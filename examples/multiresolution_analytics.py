@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Multiresolution analytics on a combustion field: PLoD and subsets.
+
+The paper's Section III-B3 offers two multiresolution mechanisms and
+this example exercises both on an S3D-like flame:
+
+* **Precision-based (PLoD)**: every point is present but only the
+  first k+1 bytes are fetched.  We compute mean/histogram statistics
+  at PLoD levels 1..7 and show how the error collapses while I/O
+  shrinks by up to 75% — the paper's "level 2 is enough for many
+  statistics" claim.
+* **Subset-based (hierarchical Hilbert)**: whole chunks are fetched at
+  a coarse spatial lattice — the visualization-preview mode.
+
+Run:  python examples/multiresolution_analytics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MLOCStore, MLOCWriter, Query, SimulatedPFS, mloc_col
+from repro.analysis import histogram_migration_error
+from repro.datasets import s3d_like
+
+
+def main() -> None:
+    fs = SimulatedPFS()
+    flame = s3d_like((128, 128, 128), seed=17)
+    flat = flame.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Precision-based multiresolution: PLoD store (V-M-S order).
+    # ------------------------------------------------------------------
+    config = mloc_col(chunk_shape=(16, 16, 16), n_bins=24)
+    MLOCWriter(fs, "/s3d", config).write(flame, variable="temperature")
+    store = MLOCStore.open(fs, "/s3d", "temperature", n_ranks=8)
+
+    region = ((16, 112), (16, 112), (16, 112))
+    mask = np.zeros(flame.shape, dtype=bool)
+    mask[16:112, 16:112, 16:112] = True
+    truth = flat[mask.reshape(-1)]
+
+    print(f"{'PLoD':>5} {'bytes/pt':>9} {'I/O bytes':>10} {'mean err':>10} "
+          f"{'hist err %':>10}")
+    for level in (1, 2, 3, 7):
+        fs.clear_cache()
+        result = store.query(Query(region=region, output="values", plod_level=level))
+        mean_err = abs(result.values.mean() - truth.mean()) / abs(truth.mean())
+        hist_err = histogram_migration_error(truth, result.values, 100) * 100
+        print(
+            f"{level:>5} {level + 1:>9} {result.stats['bytes_read']:>10} "
+            f"{mean_err:>10.2e} {hist_err:>10.4f}"
+        )
+
+    # The paper's headline: 3 bytes (level 2) already suffice for mean
+    # statistics to a few 1e-5 relative.
+    fs.clear_cache()
+    lvl2 = store.query(Query(region=region, output="values", plod_level=2))
+    rel = abs(lvl2.values.mean() - truth.mean()) / abs(truth.mean())
+    assert rel < 1e-4, rel
+
+    # ------------------------------------------------------------------
+    # Subset-based multiresolution: hierarchical-curve store.
+    # ------------------------------------------------------------------
+    hier_cfg = mloc_col(chunk_shape=(16, 16, 16), n_bins=24, curve="hierarchical")
+    MLOCWriter(fs, "/s3d-hier", hier_cfg).write(flame, variable="temperature")
+    hier = MLOCStore.open(fs, "/s3d-hier", "temperature", n_ranks=8)
+
+    print(f"\n{'res level':>9} {'points':>9} {'I/O bytes':>10} {'mean':>9}")
+    for level in (0, 1, 2, None):
+        fs.clear_cache()
+        result = hier.query(Query(resolution_level=level, output="values"))
+        label = "full" if level is None else str(level)
+        print(
+            f"{label:>9} {result.n_results:>9} {result.stats['bytes_read']:>10} "
+            f"{result.values.mean():>9.2f}"
+        )
+
+    print("\nmultiresolution analytics OK")
+
+
+if __name__ == "__main__":
+    main()

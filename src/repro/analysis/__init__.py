@@ -1,0 +1,12 @@
+"""Analysis kernels used by the accuracy experiments (Table VI)."""
+
+from repro.analysis.histogram import equal_width_histogram, histogram_migration_error
+from repro.analysis.kmeans import assign_clusters, kmeans, kmeans_misclassification
+
+__all__ = [
+    "assign_clusters",
+    "equal_width_histogram",
+    "histogram_migration_error",
+    "kmeans",
+    "kmeans_misclassification",
+]

@@ -1,0 +1,50 @@
+"""Histogram-migration error metric (Table VI, left half).
+
+The paper's accuracy experiment: construct an equal-width histogram on
+the *original* data, apply the same bin boundaries to the PLoD-degraded
+data, and report the fraction of points that land in a different bin
+than their original counterpart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["histogram_migration_error", "equal_width_histogram"]
+
+
+def equal_width_histogram(values: np.ndarray, n_bins: int) -> tuple[np.ndarray, np.ndarray]:
+    """Equal-width histogram; returns ``(counts, edges)``.
+
+    Edges span exactly ``[min, max]`` of the input, as NumPy does.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("cannot histogram an empty array")
+    if n_bins <= 0:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    counts, edges = np.histogram(values, bins=n_bins)
+    return counts, edges
+
+
+def _digitize(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Bin ids under ``edges`` with end-clamping (degraded values can
+    fall slightly outside the original range)."""
+    ids = np.searchsorted(edges, values, side="right") - 1
+    return np.clip(ids, 0, edges.size - 2)
+
+
+def histogram_migration_error(
+    original: np.ndarray, degraded: np.ndarray, n_bins: int = 100
+) -> float:
+    """Fraction of points whose histogram bin changes under degradation."""
+    original = np.asarray(original, dtype=np.float64).reshape(-1)
+    degraded = np.asarray(degraded, dtype=np.float64).reshape(-1)
+    if original.shape != degraded.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {degraded.shape}"
+        )
+    _, edges = equal_width_histogram(original, n_bins)
+    bins_orig = _digitize(original, edges)
+    bins_degr = _digitize(degraded, edges)
+    return float(np.mean(bins_orig != bins_degr))

@@ -1,0 +1,16 @@
+"""Comparator systems of the paper's evaluation (Section IV-A2):
+sequential scan, FastBit (binned WAH bitmaps), and SciDB (overlap-
+replicated chunk store)."""
+
+from repro.baselines.common import BaselineStore
+from repro.baselines.fastbit import FastBitStore
+from repro.baselines.scidb import SciDBStore
+from repro.baselines.seqscan import SeqScanStore, region_runs
+
+__all__ = [
+    "BaselineStore",
+    "FastBitStore",
+    "SciDBStore",
+    "SeqScanStore",
+    "region_runs",
+]

@@ -1,0 +1,56 @@
+"""Shared baseline-store interface.
+
+The paper compares MLOC against sequential scan, FastBit, and SciDB on
+the same two access patterns: value-constrained region queries and
+spatially-constrained value queries.  Every baseline implements this
+interface so the benchmark harness can treat all systems uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.result import QueryResult
+
+__all__ = ["BaselineStore"]
+
+
+class BaselineStore(ABC):
+    """A queryable baseline over one variable on the simulated PFS."""
+
+    #: Display name used by the harness tables.
+    name: str = "baseline"
+
+    @property
+    @abstractmethod
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the stored array."""
+
+    @abstractmethod
+    def storage_bytes(self) -> dict[str, int]:
+        """Storage accounting: ``{"data": ..., "index": ...}`` bytes."""
+
+    @abstractmethod
+    def region_query(self, value_range: tuple[float, float]) -> QueryResult:
+        """Value-constrained region-only access: positions of points
+        whose value lies in the closed range."""
+
+    @abstractmethod
+    def value_query(self, region: tuple[tuple[int, int], ...]) -> QueryResult:
+        """Spatially-constrained value retrieval: values (and
+        positions) of all points inside the region."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sorted_result(
+        positions: np.ndarray, values: np.ndarray | None, times, stats
+    ) -> QueryResult:
+        order = np.argsort(positions, kind="stable")
+        return QueryResult(
+            positions=positions[order],
+            values=values[order] if values is not None else None,
+            times=times,
+            stats=stats,
+        )

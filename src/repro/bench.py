@@ -1,0 +1,143 @@
+"""One-command reproduction runner: ``python -m repro.bench``.
+
+Regenerates the paper's tables and figures without pytest — handy for a
+quick end-to-end reproduction or for scripting:
+
+    python -m repro.bench                         # everything, default scale
+    python -m repro.bench --experiments table1,table2 --datasets gts
+    REPRO_SCALE=tiny python -m repro.bench --queries 3 --svg figs/
+
+Row computations are shared with the pytest benchmark suite through
+:mod:`repro.harness.experiments`, so both entry points always agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import format_rows, get_spec, get_suite, record_result
+from repro.harness.experiments import (
+    fig6_rows,
+    fig7_rows,
+    fig8_rows,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: experiment id -> (size class, per-dataset?, header columns)
+EXPERIMENTS = {
+    "table1": ("8g", False, ["system", "data", "index", "total", "paper-total"]),
+    "table2": ("8g", True, ["system", "1%", "10%", "paper-1%", "paper-10%"]),
+    "table3": ("8g", True, ["system", "0.1%", "1%", "paper-0.1%", "paper-1%"]),
+    "table4": ("512g", True, ["system", "1%", "10%", "paper-1%", "paper-10%"]),
+    "table5": ("512g", True, ["system", "0.1%", "1%", "paper-0.1%", "paper-1%"]),
+    "fig6": ("512g", False, ["system", "io", "decomp", "reconstruct", "total"]),
+    "fig7": ("512g", False, ["ranks", "io", "decomp", "reconstruct", "total"]),
+    "fig8": ("512g", False, ["level", "io", "decomp", "reconstruct", "total"]),
+}
+
+_TITLES = {
+    "table1": "Table I - storage as fraction of raw ({ds})",
+    "table2": "Table II - region query seconds, 8 GB-class {ds}",
+    "table3": "Table III - value query seconds, 8 GB-class {ds}",
+    "table4": "Table IV - region query seconds, 512 GB-class {ds}",
+    "table5": "Table V - value query seconds, 512 GB-class {ds}",
+    "fig6": "Fig 6 - components, 0.1% value queries, 512 GB-class {ds}",
+    "fig7": "Fig 7 - scalability, 10% value queries, 512 GB-class {ds}",
+    "fig8": "Fig 8 - PLoD access, 1% value queries, 512 GB-class {ds}",
+}
+
+
+def _compute(exp: str, suite, dataset: str, n_queries: int) -> dict:
+    if exp == "table1":
+        return table1_rows(suite)
+    if exp == "table2":
+        return table2_rows(suite, dataset, n_queries)
+    if exp == "table3":
+        return table3_rows(suite, dataset, n_queries)
+    if exp == "table4":
+        return table4_rows(suite, dataset, n_queries)
+    if exp == "table5":
+        return table5_rows(suite, dataset, n_queries)
+    if exp == "fig6":
+        return fig6_rows(suite, n_queries)
+    if exp == "fig7":
+        return fig7_rows(suite, n_queries)
+    if exp == "fig8":
+        return fig8_rows(suite, n_queries)
+    raise ValueError(f"unknown experiment {exp!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--experiments",
+        default=",".join(EXPERIMENTS),
+        help=f"comma-separated subset of: {','.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--datasets", default="gts,s3d", help="comma-separated: gts,s3d"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=5, help="random queries per cell"
+    )
+    parser.add_argument(
+        "--svg", default=None, help="also render figure SVGs into this directory"
+    )
+    parser.add_argument(
+        "--no-record", action="store_true", help="skip writing results/*.json"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    experiments = [e.strip() for e in args.experiments.split(",") if e.strip()]
+    datasets = [d.strip() for d in args.datasets.split(",") if d.strip()]
+    unknown = [e for e in experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    bad_ds = [d for d in datasets if d not in ("gts", "s3d")]
+    if bad_ds:
+        print(f"unknown datasets: {bad_ds}", file=sys.stderr)
+        return 2
+
+    for exp in experiments:
+        size_class, per_dataset, header = EXPERIMENTS[exp]
+        for dataset in datasets if per_dataset else datasets[:1]:
+            suite = get_suite(get_spec(size_class, dataset))
+            rows = _compute(exp, suite, dataset, args.queries)
+            title = _TITLES[exp].format(ds=dataset.upper())
+            print()
+            print(format_rows(title, header, rows))
+            if not args.no_record:
+                suffix = f"_{dataset}" if per_dataset else ""
+                record_result(f"bench_{exp}{suffix}", {"rows": rows})
+            if args.svg and exp in ("fig6", "fig7", "fig8"):
+                from pathlib import Path
+
+                from repro.harness.svgplot import save_figure_svg
+
+                out_dir = Path(args.svg)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                save_figure_svg(
+                    out_dir / f"{exp}_{dataset}.svg",
+                    title,
+                    {k: v[:3] for k, v in rows.items()},
+                    ["io", "decompression", "reconstruction"],
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

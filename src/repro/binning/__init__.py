@@ -1,0 +1,13 @@
+"""Value-based binning (Section III-B1): equal-frequency bin boundaries,
+vectorized bin assignment, and the aligned-bin classification behind
+MLOC's index-only fast path for region queries."""
+
+from repro.binning.binner import BinScheme, per_bin_segments
+from repro.binning.boundaries import equal_frequency_boundaries, equal_width_boundaries
+
+__all__ = [
+    "BinScheme",
+    "equal_frequency_boundaries",
+    "equal_width_boundaries",
+    "per_bin_segments",
+]

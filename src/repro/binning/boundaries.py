@@ -1,0 +1,65 @@
+"""Bin boundary selection: equal-frequency (MLOC's default) and equal-width.
+
+Section III-B1: MLOC bins elements by value so that value-constrained
+queries touch only the bins overlapping the constraint; *equal
+frequency* binning is used to balance per-bin access cost.  Following
+Section IV-A1, boundaries are computed from a *sample* of the dataset
+and then applied to the whole dataset, so each bin holds approximately
+(not exactly) the same number of elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["equal_frequency_boundaries", "equal_width_boundaries"]
+
+
+def equal_frequency_boundaries(
+    sample: np.ndarray, n_bins: int, *, assume_sorted: bool = False
+) -> np.ndarray:
+    """Quantile-based bin edges estimated from ``sample``.
+
+    Returns ``n_bins + 1`` strictly increasing finite edges; the outer
+    edges are the sample min/max.  Values outside the sample range are
+    clamped into the first/last bin at assignment time (see
+    :class:`~repro.binning.binner.BinScheme`).
+
+    Raises
+    ------
+    ValueError
+        If the sample has fewer distinct values than bins (equal
+        frequency binning is then impossible without merging bins).
+    """
+    if n_bins <= 0:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    flat = np.asarray(sample, dtype=np.float64).reshape(-1)
+    if flat.size == 0:
+        raise ValueError("cannot derive boundaries from an empty sample")
+    if not np.all(np.isfinite(flat)):
+        raise ValueError("sample contains non-finite values")
+    data = flat if assume_sorted else np.sort(flat)
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+    edges = np.quantile(data, quantiles, method="linear")
+    # Quantiles of heavily repeated values can coincide; nudge duplicate
+    # edges apart so every bin is a non-empty half-open interval.
+    edges = _deduplicate(edges)
+    return edges
+
+
+def equal_width_boundaries(lo: float, hi: float, n_bins: int) -> np.ndarray:
+    """Uniformly spaced edges over ``[lo, hi]``."""
+    if n_bins <= 0:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    if not (np.isfinite(lo) and np.isfinite(hi)) or hi <= lo:
+        raise ValueError(f"need finite lo < hi, got [{lo}, {hi}]")
+    return np.linspace(lo, hi, n_bins + 1)
+
+
+def _deduplicate(edges: np.ndarray) -> np.ndarray:
+    """Make edges strictly increasing by minimal upward nudges."""
+    out = edges.copy()
+    for i in range(1, out.size):
+        if out[i] <= out[i - 1]:
+            out[i] = np.nextafter(out[i - 1], np.inf)
+    return out

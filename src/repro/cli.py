@@ -1,0 +1,240 @@
+"""Command-line interface over persisted simulated-PFS snapshots.
+
+Because the reproduction's file system is simulated in memory, datasets
+are made durable via :meth:`SimulatedPFS.save` snapshots; the CLI works
+against those snapshot files, giving the library a shell-level surface:
+
+    python -m repro.cli demo out.pfs            # build a demo dataset
+    python -m repro.cli info out.pfs            # list variables & sizes
+    python -m repro.cli fsck out.pfs --root /demo --variable potential
+    python -m repro.cli query out.pfs --root /demo --variable potential \\
+        --vmin 4.0 --region 100:200,0:128 --output values --plod 2
+
+Every command prints human-readable text and exits non-zero on failure
+(or when fsck finds issues).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import MLOCStore, MLOCWriter, Query, mloc_col
+from repro.core.aggregate import AGGREGATE_OPS, aggregate_query
+from repro.pfs import SimulatedPFS
+from repro.tools.fsck import check_store
+from repro.tools.relayout import relayout
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Inspect and query MLOC datasets in simulated-PFS snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="build a small demo dataset snapshot")
+    demo.add_argument("snapshot", help="output .pfs snapshot path")
+    demo.add_argument("--size", type=int, default=512, help="square field size")
+    demo.add_argument("--bins", type=int, default=32, help="value bins")
+    demo.add_argument("--seed", type=int, default=7)
+
+    info = sub.add_parser("info", help="list datasets in a snapshot")
+    info.add_argument("snapshot")
+
+    fsck = sub.add_parser("fsck", help="check a store's integrity")
+    fsck.add_argument("snapshot")
+    fsck.add_argument("--root", required=True, help="dataset root, e.g. /demo")
+    fsck.add_argument("--variable", required=True)
+
+    query = sub.add_parser("query", help="run one query against a store")
+    query.add_argument("snapshot")
+    query.add_argument("--root", required=True)
+    query.add_argument("--variable", required=True)
+    query.add_argument("--vmin", type=float, default=None)
+    query.add_argument("--vmax", type=float, default=None)
+    query.add_argument(
+        "--region",
+        default=None,
+        help="per-axis lo:hi bounds, comma separated, e.g. 0:128,64:256",
+    )
+    query.add_argument(
+        "--output", choices=["positions", "values"], default="values"
+    )
+    query.add_argument("--plod", type=int, default=7, help="PLoD level 1..7")
+    query.add_argument("--ranks", type=int, default=8)
+    query.add_argument(
+        "--aggregate",
+        choices=list(AGGREGATE_OPS),
+        default=None,
+        help="reduce instead of returning points",
+    )
+    query.add_argument("--limit", type=int, default=5, help="result rows to print")
+
+    relayout_p = sub.add_parser(
+        "relayout", help="migrate a store to a different level order"
+    )
+    relayout_p.add_argument("snapshot")
+    relayout_p.add_argument("--root", required=True)
+    relayout_p.add_argument("--variable", required=True)
+    relayout_p.add_argument("--target-root", required=True)
+    relayout_p.add_argument(
+        "--order", choices=["VMS", "VSM", "VS"], default="VSM"
+    )
+    relayout_p.add_argument("--bins", type=int, default=None)
+    return parser
+
+
+def _parse_region(text: str | None):
+    if text is None:
+        return None
+    region = []
+    for axis in text.split(","):
+        lo, hi = axis.split(":")
+        region.append((int(lo), int(hi)))
+    return tuple(region)
+
+
+def _cmd_demo(args) -> int:
+    from repro.datasets import gts_like
+
+    fs = SimulatedPFS()
+    field = gts_like((args.size, args.size), seed=args.seed)
+    config = mloc_col(
+        chunk_shape=(max(args.size // 16, 1), max(args.size // 16, 1)),
+        n_bins=args.bins,
+    )
+    report = MLOCWriter(fs, "/demo", config).write(field, variable="potential")
+    fs.save(args.snapshot)
+    print(
+        f"wrote /demo/potential: {args.size}x{args.size} field, "
+        f"{report.total_ratio:.0%} of raw, snapshot -> {args.snapshot}"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    fs = SimulatedPFS.load(args.snapshot)
+    metas = [p for p in fs.list_files() if p.endswith("/meta")]
+    if not metas:
+        print("no MLOC stores in snapshot")
+        return 1
+    print(f"{'store':40s} {'shape':>16s} {'order':>6s} {'bins':>5s} {'bytes':>12s}")
+    for meta_path in metas:
+        from repro.core.meta import StoreMeta
+
+        meta = StoreMeta.from_bytes(bytes(fs.session().open(meta_path).read_all()))
+        var_root = meta_path[: -len("/meta")]
+        total = fs.total_bytes(var_root + "/")
+        print(
+            f"{var_root:40s} {str(meta.shape):>16s} "
+            f"{meta.config.level_order:>6s} {meta.config.n_bins:>5d} {total:>12d}"
+        )
+    return 0
+
+
+def _cmd_fsck(args) -> int:
+    fs = SimulatedPFS.load(args.snapshot)
+    issues = check_store(fs, args.root, args.variable)
+    if not issues:
+        print(f"{args.root}/{args.variable}: OK")
+        return 0
+    for issue in issues:
+        print(issue)
+    print(f"{len(issues)} issue(s) found")
+    return 1
+
+
+def _cmd_query(args) -> int:
+    fs = SimulatedPFS.load(args.snapshot)
+    store = MLOCStore.open(fs, args.root, args.variable, n_ranks=args.ranks)
+    value_range = None
+    if args.vmin is not None or args.vmax is not None:
+        value_range = (
+            args.vmin if args.vmin is not None else -np.inf,
+            args.vmax if args.vmax is not None else np.inf,
+        )
+    query = Query(
+        value_range=value_range,
+        region=_parse_region(args.region),
+        output=args.output,
+        plod_level=args.plod,
+    )
+    if args.aggregate is not None:
+        result = aggregate_query(store, query, args.aggregate)
+        if args.aggregate == "histogram":
+            counts, edges = result.histogram
+            for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+                print(f"[{lo:10.4g}, {hi:10.4g}) {int(c)}")
+        else:
+            print(f"{args.aggregate} = {result.value}")
+        print(
+            f"({result.n_points} points, response "
+            f"{result.times.total:.4f} s simulated)"
+        )
+        return 0
+
+    result = store.query(query)
+    coords = result.coords(store.shape)
+    for i in range(min(args.limit, result.n_results)):
+        if result.values is not None:
+            print(f"{coords[i].tolist()} = {result.values[i]:.6g}")
+        else:
+            print(f"{coords[i].tolist()}")
+    if result.n_results > args.limit:
+        print(f"... {result.n_results - args.limit} more")
+    print(
+        f"({result.n_results} results; response {result.times.total:.4f} s "
+        f"simulated: io {result.times.io:.4f}, "
+        f"decompression {result.times.decompression:.4f}, "
+        f"reconstruction {result.times.reconstruction:.4f})"
+    )
+    return 0
+
+
+def _cmd_relayout(args) -> int:
+    from dataclasses import replace as dc_replace
+
+    fs = SimulatedPFS.load(args.snapshot)
+    source = MLOCStore.open(fs, args.root, args.variable)
+    new_config = dc_replace(
+        source.meta.config,
+        level_order=args.order,
+        codec="zlib-bytes" if "M" in args.order else source.meta.config.codec,
+        n_bins=args.bins if args.bins is not None else source.meta.config.n_bins,
+    )
+    if "M" in args.order and source.meta.config.level_order == "VS":
+        print("note: switching a whole-value store to a PLoD order uses zlib-bytes")
+    report = relayout(
+        fs, args.root, args.variable, args.target_root, new_config
+    )
+    fs.save(args.snapshot)
+    print(
+        f"migrated {args.root}/{args.variable} ({report.source_order}) -> "
+        f"{args.target_root}/{args.variable} ({report.target_order}); "
+        f"stored at {report.write_report.total_ratio:.0%} of raw"
+        + (" [approximate: lossy source]" if report.approximate else "")
+    )
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "info": _cmd_info,
+    "fsck": _cmd_fsck,
+    "query": _cmd_query,
+    "relayout": _cmd_relayout,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Codec interfaces and registry (Section III-B4).
+
+MLOC gives compression "first-class treatment": any technique can be
+plugged into the pipeline level that compresses the smallest layout
+units.  Two interfaces exist because the units differ by configuration:
+
+* :class:`ByteCodec` — compresses opaque byte streams.  Used when PLoD
+  splits values into byte planes (MLOC-COL): each plane is an ordinary
+  buffer, so a general-purpose compressor applies.
+* :class:`FloatCodec` — compresses arrays of float64 values.  Used when
+  values are kept whole (MLOC-ISO, MLOC-ISA): floating-point-aware
+  codecs exploit the number representation.
+
+The registry maps codec names (as used by :class:`repro.core.MLOCConfig`)
+to constructors so configurations are serializable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ByteCodec", "FloatCodec", "register_codec", "make_codec", "codec_names"]
+
+
+class ByteCodec(ABC):
+    """Compressor for opaque byte buffers."""
+
+    #: Registry name; set by subclasses.
+    name: str = "abstract-byte"
+    #: Whether decode(encode(x)) == x exactly.
+    lossless: bool = True
+    #: Sustained decode rate in bytes of *raw output* per second,
+    #: calibrated on ~1 MB payloads (the paper-scale compression-block
+    #: size).  The query executor models decompression time as
+    #: ``scaled_raw_bytes / decode_throughput`` so that per-call Python
+    #: overhead on the scaled-down blocks does not distort the
+    #: paper-equivalent component times (DESIGN.md §5).
+    decode_throughput: float = 300e6
+
+    @abstractmethod
+    def encode(self, data: bytes) -> bytes:
+        """Compress ``data`` into a self-framed payload."""
+
+    @abstractmethod
+    def decode(self, payload: bytes, raw_len: int) -> bytes:
+        """Recover the original ``raw_len`` bytes from ``payload``."""
+
+
+class FloatCodec(ABC):
+    """Compressor for 1-D float64 arrays."""
+
+    name: str = "abstract-float"
+    lossless: bool = True
+    #: See :attr:`ByteCodec.decode_throughput`.
+    decode_throughput: float = 300e6
+
+    @abstractmethod
+    def encode(self, values: np.ndarray) -> bytes:
+        """Compress a 1-D float64 array into a self-framed payload."""
+
+    @abstractmethod
+    def decode(self, payload: bytes, count: int) -> np.ndarray:
+        """Recover ``count`` float64 values (exactly, if lossless)."""
+
+
+_REGISTRY: dict[str, Callable[..., ByteCodec | FloatCodec]] = {}
+
+
+def register_codec(name: str) -> Callable:
+    """Class decorator registering a codec constructor under ``name``."""
+
+    def wrap(cls):
+        if name in _REGISTRY:
+            raise ValueError(f"codec {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return wrap
+
+
+def make_codec(name: str, **params) -> ByteCodec | FloatCodec:
+    """Instantiate a registered codec by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**params)
+
+
+def codec_names() -> list[str]:
+    """Names of all registered codecs, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,49 @@
+"""Pass-through codecs: the uncompressed configuration.
+
+MLOC treats compression as one optional pipeline level; disabling it
+(e.g. to isolate the layout levels in ablation benchmarks) plugs these
+identity codecs in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import ByteCodec, FloatCodec, register_codec
+
+__all__ = ["NullByteCodec", "NullFloatCodec"]
+
+
+@register_codec("null-bytes")
+class NullByteCodec(ByteCodec):
+    """Identity byte codec."""
+
+    lossless = True
+    decode_throughput = 8e9  # memcpy
+
+    def encode(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decode(self, payload: bytes, raw_len: int) -> bytes:
+        if len(payload) != raw_len:
+            raise ValueError(f"payload is {len(payload)} bytes, expected {raw_len}")
+        return bytes(payload)
+
+
+@register_codec("null-float")
+class NullFloatCodec(FloatCodec):
+    """Identity float codec (stores raw little-endian float64)."""
+
+    lossless = True
+    decode_throughput = 8e9  # memcpy
+
+    def encode(self, values: np.ndarray) -> bytes:
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {values.shape}")
+        return values.tobytes()
+
+    def decode(self, payload: bytes, count: int) -> np.ndarray:
+        if len(payload) != count * 8:
+            raise ValueError(f"payload is {len(payload)} bytes, expected {count * 8}")
+        return np.frombuffer(payload, dtype=np.float64).copy()

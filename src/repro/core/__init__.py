@@ -1,0 +1,71 @@
+"""MLOC core: configuration, multi-level writer, store, queries.
+
+The primary public API of the reproduction:
+
+* :func:`mloc_col` / :func:`mloc_iso` / :func:`mloc_isa` build the three
+  paper configurations; :class:`MLOCConfig` is fully general.
+* :class:`MLOCWriter` encodes arrays through the multi-level layout
+  pipeline onto a simulated PFS.
+* :class:`MLOCStore` answers :class:`Query` objects (VC / SC /
+  multiresolution) and, with :func:`multi_variable_query`,
+  multi-variable accesses.
+"""
+
+from repro.core.advisor import (
+    AdvisorReport,
+    QueryClass,
+    WorkloadProfile,
+    recommend_level_order,
+)
+from repro.core.aggregate import AGGREGATE_OPS, AggregateResult, aggregate_query
+from repro.core.chunking import ChunkGrid, normalize_region, region_size
+from repro.core.compound import CompoundResult, VariableConstraint, compound_query
+from repro.core.config import LEVEL_ORDERS, MLOCConfig, mloc_col, mloc_isa, mloc_iso
+from repro.core.dataset import MLOCDataset
+from repro.core.executor import QueryExecutor
+from repro.core.meta import StoreMeta
+from repro.core.multivar import MultiVarResult, multi_variable_query
+from repro.core.planner import QueryPlan, plan_query
+from repro.core.query import Query
+from repro.core.result import ComponentTimes, QueryResult
+from repro.core.staging import InSituStager, StagingOverflow, StagingReport
+from repro.core.store import MLOCStore, StorageReport
+from repro.core.writer import MLOCWriter, WriteReport
+
+__all__ = [
+    "AGGREGATE_OPS",
+    "AdvisorReport",
+    "AggregateResult",
+    "ChunkGrid",
+    "CompoundResult",
+    "ComponentTimes",
+    "InSituStager",
+    "LEVEL_ORDERS",
+    "MLOCConfig",
+    "MLOCDataset",
+    "MLOCStore",
+    "MLOCWriter",
+    "MultiVarResult",
+    "Query",
+    "QueryClass",
+    "QueryExecutor",
+    "QueryPlan",
+    "QueryResult",
+    "StagingOverflow",
+    "StagingReport",
+    "StorageReport",
+    "StoreMeta",
+    "VariableConstraint",
+    "WorkloadProfile",
+    "WriteReport",
+    "aggregate_query",
+    "compound_query",
+    "mloc_col",
+    "mloc_isa",
+    "mloc_iso",
+    "multi_variable_query",
+    "normalize_region",
+    "plan_query",
+    "recommend_level_order",
+    "region_size",
+]

@@ -1,0 +1,195 @@
+"""Compound multivariate constraints (Section II's general case).
+
+The paper's multi-variable pattern "may involve two or more variables":
+*what are the temperature values within New York, where the humidity is
+above 90% — and the pressure below a front threshold?*  The general
+form is a conjunction of per-variable value constraints (each possibly
+a union of ranges) plus one spatial constraint, selecting positions at
+which any number of output variables are retrieved.
+
+Evaluation strategy, following Section III-D4's bitmap machinery:
+
+1. for each constrained variable, run a region-only access per value
+   range and OR the resulting position bitmaps (union of ranges);
+2. AND the per-variable bitmaps (conjunction) — each AND is a modeled
+   allreduce of WAH payloads across the ranks;
+3. fetch each output variable at the surviving positions via
+   :meth:`MLOCStore.fetch_positions`.
+
+Variables are evaluated most-selective-first when selectivity hints
+are available from the bin metadata, so later region-only steps can be
+skipped entirely once the running intersection is empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.query import Query
+from repro.core.result import ComponentTimes, QueryResult
+from repro.core.store import MLOCStore
+from repro.index.bitmap import Bitmap
+from repro.parallel.simmpi import SimCommunicator
+
+__all__ = ["VariableConstraint", "CompoundResult", "compound_query"]
+
+
+@dataclass(frozen=True)
+class VariableConstraint:
+    """A (possibly multi-range) value constraint on one variable."""
+
+    variable: str
+    ranges: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranges:
+            raise ValueError(f"{self.variable}: at least one value range required")
+        for lo, hi in self.ranges:
+            if hi < lo:
+                raise ValueError(f"{self.variable}: empty range [{lo}, {hi}]")
+
+    @classmethod
+    def between(cls, variable: str, lo: float, hi: float) -> "VariableConstraint":
+        return cls(variable, ((lo, hi),))
+
+    @classmethod
+    def above(cls, variable: str, lo: float) -> "VariableConstraint":
+        return cls(variable, ((lo, np.inf),))
+
+    @classmethod
+    def below(cls, variable: str, hi: float) -> "VariableConstraint":
+        return cls(variable, ((-np.inf, hi),))
+
+
+@dataclass
+class CompoundResult:
+    """Outcome of a compound multivariate access."""
+
+    positions: np.ndarray
+    values: dict[str, np.ndarray]
+    times: ComponentTimes
+    #: Per constrained variable: the region-only selection result(s).
+    selections: dict[str, list[QueryResult]] = field(default_factory=dict)
+
+    @property
+    def n_results(self) -> int:
+        return int(self.positions.size)
+
+
+def _estimated_selectivity(store: MLOCStore, ranges) -> float:
+    """Fraction of elements the constraint can select, from bin counts.
+
+    Uses only in-memory metadata: the element counts of the bins each
+    range overlaps — an upper bound on the true selectivity, good
+    enough to order the evaluation most-selective-first.
+    """
+    counts = store.meta.counts.sum(axis=1).astype(np.float64)
+    total = counts.sum()
+    selected = np.zeros(store.meta.config.n_bins, dtype=bool)
+    for lo, hi in ranges:
+        bin_ids, _ = store.scheme.bins_overlapping(float(lo), float(hi))
+        selected[bin_ids] = True
+    return float(counts[selected].sum() / total) if total else 1.0
+
+
+def compound_query(
+    stores: dict[str, MLOCStore],
+    constraints: list[VariableConstraint],
+    *,
+    fetch: list[str] | None = None,
+    region: tuple[tuple[int, int], ...] | None = None,
+    plod_level: int = 7,
+) -> CompoundResult:
+    """Evaluate a conjunction of per-variable constraints.
+
+    Parameters
+    ----------
+    stores:
+        Variable name -> open store; all must share one grid.
+    constraints:
+        The per-variable value constraints (conjunction across
+        variables; union across each variable's ranges).
+    fetch:
+        Variables to retrieve at qualifying positions (defaults to the
+        constrained variables themselves).
+    region:
+        Optional spatial constraint applied to every step.
+    plod_level:
+        PLoD level for the retrieval step on PLoD-enabled stores.
+    """
+    if not constraints:
+        raise ValueError("at least one variable constraint is required")
+    seen = set()
+    for c in constraints:
+        if c.variable in seen:
+            raise ValueError(f"duplicate constraint on variable {c.variable!r}")
+        seen.add(c.variable)
+        if c.variable not in stores:
+            raise ValueError(f"no store for constrained variable {c.variable!r}")
+    fetch = list(fetch) if fetch is not None else [c.variable for c in constraints]
+    for name in fetch:
+        if name not in stores:
+            raise ValueError(f"no store for fetch variable {name!r}")
+
+    shapes = {stores[name].shape for name in {c.variable for c in constraints} | set(fetch)}
+    if len(shapes) != 1:
+        raise ValueError(f"stores disagree on grid shape: {sorted(shapes)}")
+
+    first_store = stores[constraints[0].variable]
+    n_elements = first_store.n_elements
+    times = ComponentTimes()
+    selections: dict[str, list[QueryResult]] = {}
+
+    # Most-selective-first: cheap metadata-only estimate.
+    ordered = sorted(
+        constraints,
+        key=lambda c: _estimated_selectivity(stores[c.variable], c.ranges),
+    )
+
+    intersection: Bitmap | None = None
+    for constraint in ordered:
+        store = stores[constraint.variable]
+        if intersection is not None and intersection.count() == 0:
+            break  # conjunction already empty: skip remaining variables
+        variable_bitmap = Bitmap(n_elements)
+        selections[constraint.variable] = []
+        for lo, hi in constraint.ranges:
+            result = store.query(
+                Query(value_range=(float(lo), float(hi)), region=region,
+                      output="positions")
+            )
+            selections[constraint.variable].append(result)
+            times = times + result.times
+            variable_bitmap = variable_bitmap | Bitmap.from_positions(
+                result.positions, n_elements
+            )
+        intersection = (
+            variable_bitmap
+            if intersection is None
+            else intersection & variable_bitmap
+        )
+        # Model the cross-rank synchronization of this variable's bitmap.
+        comm = SimCommunicator(store.executor.n_ranks, store.executor.comm_cost)
+        comm.allreduce([variable_bitmap.wah_bytes()] * comm.size, lambda a, b: a)
+        times = times + ComponentTimes(communication=comm.comm_seconds)
+
+    assert intersection is not None
+    positions = intersection.to_positions()
+
+    values: dict[str, np.ndarray] = {}
+    for name in fetch:
+        store = stores[name]
+        fetched = store.fetch_positions(
+            intersection, region=region, plod_level=plod_level
+        )
+        values[name] = fetched.values
+        times = times + fetched.times
+
+    return CompoundResult(
+        positions=positions,
+        values=values,
+        times=times,
+        selections=selections,
+    )

@@ -1,0 +1,155 @@
+"""MLOC dataset configuration and the three paper variants.
+
+The paper's multi-level architecture (Fig. 1) applies, in user-chosen
+priority order, layout optimizations for value-constrained access (V:
+value binning), multiresolution access (M: PLoD byte groups), and
+spatially-constrained access (S: Hilbert chunk ordering), plus a
+compression level.  Value binning defines the subfiling (one file pair
+per bin, Fig. 4), so V is the outermost key of every order the paper
+evaluates; the orders differ in how the smallest units — (byte group,
+chunk) cells within a bin — nest (Section III-B5):
+
+* ``"VMS"`` (default): within a bin, byte group is the major key and
+  chunk position the minor key, so a PLoD-level-k access reads one
+  contiguous prefix region per bin.
+* ``"VSM"``: chunk position major, byte group minor, so a
+  full-precision spatial access reads contiguous per-chunk cells.
+* ``"VS"``: no PLoD splitting — values stay whole, enabling
+  floating-point codecs (ISOBAR, ISABELA); multiresolution is then
+  available via the subset-based hierarchical curve, not PLoD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.plod.byteplanes import N_GROUPS
+
+__all__ = ["MLOCConfig", "LEVEL_ORDERS", "mloc_col", "mloc_iso", "mloc_isa"]
+
+LEVEL_ORDERS = ("VMS", "VSM", "VS")
+
+_CURVES = ("hilbert", "zorder", "rowmajor", "hierarchical")
+
+
+@dataclass(frozen=True)
+class MLOCConfig:
+    """Static layout configuration of one MLOC dataset.
+
+    Attributes
+    ----------
+    chunk_shape:
+        Spatial chunk shape; must tile the dataset exactly and should
+        keep the smallest accessed unit within one PFS stripe
+        (Section III-C).
+    n_bins:
+        Number of equal-frequency value bins (paper default: 100).
+    level_order:
+        One of :data:`LEVEL_ORDERS`; see the module docstring.
+    curve:
+        Chunk ordering: ``"hilbert"`` (MLOC), ``"zorder"``/``"rowmajor"``
+        (ablations), or ``"hierarchical"`` (subset-based
+        multiresolution — hierarchical Hilbert, Section III-B3).
+    codec:
+        Registered codec name.  Byte codec (e.g. ``"zlib-bytes"``) when
+        PLoD splitting is on, float codec (e.g. ``"isobar"``,
+        ``"isabela"``) for the ``"VS"`` order.
+    codec_params:
+        Keyword arguments for the codec constructor.
+    target_block_bytes:
+        Raw size at which a compression block is cut; aligned with the
+        PFS stripe size for best parallel access (Section III-C).
+    binning:
+        ``"equal-frequency"`` (MLOC's choice, Section III-B1: balanced
+        per-bin access cost) or ``"equal-width"`` (the ablation
+        comparator: simpler bounds, unbalanced bins).
+    sample_fraction:
+        Fraction of the data sampled to estimate bin boundaries
+        (Section IV-A1).
+    seed:
+        Seed for the boundary-sampling generator.
+    """
+
+    chunk_shape: tuple[int, ...]
+    n_bins: int = 100
+    level_order: str = "VMS"
+    curve: str = "hilbert"
+    codec: str = "zlib-bytes"
+    codec_params: dict[str, Any] = field(default_factory=dict)
+    target_block_bytes: int = 1 << 20
+    binning: str = "equal-frequency"
+    sample_fraction: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.level_order not in LEVEL_ORDERS:
+            raise ValueError(
+                f"level_order must be one of {LEVEL_ORDERS}, got {self.level_order!r}"
+            )
+        if self.curve not in _CURVES:
+            raise ValueError(f"curve must be one of {_CURVES}, got {self.curve!r}")
+        if self.n_bins <= 0:
+            raise ValueError(f"n_bins must be positive, got {self.n_bins}")
+        if self.target_block_bytes <= 0:
+            raise ValueError(
+                f"target_block_bytes must be positive, got {self.target_block_bytes}"
+            )
+        if not (0 < self.sample_fraction <= 1):
+            raise ValueError(
+                f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
+            )
+        if not self.chunk_shape or any(c <= 0 for c in self.chunk_shape):
+            raise ValueError(f"invalid chunk_shape {self.chunk_shape!r}")
+        if self.binning not in ("equal-frequency", "equal-width"):
+            raise ValueError(
+                f"binning must be 'equal-frequency' or 'equal-width', got {self.binning!r}"
+            )
+
+    @property
+    def plod_enabled(self) -> bool:
+        """Whether values are split into PLoD byte groups ('M' level)."""
+        return "M" in self.level_order
+
+    @property
+    def n_groups(self) -> int:
+        """Byte groups per value: 7 with PLoD, 1 for whole values."""
+        return N_GROUPS if self.plod_enabled else 1
+
+    @property
+    def group_major(self) -> bool:
+        """True when byte group is the major cell key (V-M-S order)."""
+        return self.level_order == "VMS"
+
+
+def mloc_col(chunk_shape: tuple[int, ...], **overrides) -> MLOCConfig:
+    """MLOC-COL: V-M-S order, Zlib-compressed PLoD byte columns."""
+    defaults = dict(
+        chunk_shape=chunk_shape,
+        level_order="VMS",
+        codec="zlib-bytes",
+    )
+    defaults.update(overrides)
+    return MLOCConfig(**defaults)
+
+
+def mloc_iso(chunk_shape: tuple[int, ...], **overrides) -> MLOCConfig:
+    """MLOC-ISO: whole-value layout with ISOBAR lossless compression."""
+    defaults = dict(
+        chunk_shape=chunk_shape,
+        level_order="VS",
+        codec="isobar",
+    )
+    defaults.update(overrides)
+    return MLOCConfig(**defaults)
+
+
+def mloc_isa(chunk_shape: tuple[int, ...], **overrides) -> MLOCConfig:
+    """MLOC-ISA: whole-value layout with ISABELA lossy compression."""
+    defaults = dict(
+        chunk_shape=chunk_shape,
+        level_order="VS",
+        codec="isabela",
+    )
+    defaults.update(overrides)
+    return MLOCConfig(**defaults)

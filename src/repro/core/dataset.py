@@ -1,0 +1,121 @@
+"""MLOCDataset: a multi-variable, multi-timestep facade.
+
+The paper's data model is multi-variate, spatio-temporal simulation
+output: several physical variables on a shared grid, one snapshot per
+simulation timestep.  ``MLOCDataset`` manages that catalog over one
+dataset root on the simulated PFS — each (variable, timestep) pair is
+an independent MLOC store (its own bin subfiles and metadata), which is
+exactly how the framework composes: queries on one snapshot never touch
+another's files, and multi-variable access joins stores that share the
+grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MLOCConfig
+from repro.core.multivar import MultiVarResult, multi_variable_query
+from repro.core.store import MLOCStore
+from repro.core.writer import MLOCWriter, WriteReport
+from repro.pfs.simfs import SimulatedPFS
+
+__all__ = ["MLOCDataset"]
+
+
+class MLOCDataset:
+    """Catalog of MLOC-encoded variables/timesteps under one root."""
+
+    def __init__(
+        self,
+        fs: SimulatedPFS,
+        root: str,
+        config: MLOCConfig,
+        *,
+        n_ranks: int = 8,
+    ) -> None:
+        self.fs = fs
+        self.root = root.rstrip("/")
+        self.config = config
+        self.n_ranks = n_ranks
+        self._writer = MLOCWriter(fs, self.root, config)
+        self._stores: dict[str, MLOCStore] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(variable: str, timestep: int | None) -> str:
+        if "@" in variable or "/" in variable:
+            raise ValueError(
+                f"variable name must not contain '@' or '/': {variable!r}"
+            )
+        return variable if timestep is None else f"{variable}@{timestep:06d}"
+
+    def write(
+        self, data: np.ndarray, variable: str, timestep: int | None = None
+    ) -> WriteReport:
+        """Encode one variable snapshot through the MLOC pipeline."""
+        key = self._key(variable, timestep)
+        report = self._writer.write(data, variable=key)
+        self._stores.pop(key, None)  # invalidate any cached open store
+        return report
+
+    def store(self, variable: str, timestep: int | None = None) -> MLOCStore:
+        """Open (and cache) the store of one variable snapshot."""
+        key = self._key(variable, timestep)
+        if key not in self._stores:
+            self._stores[key] = MLOCStore.open(
+                self.fs, self.root, key, n_ranks=self.n_ranks
+            )
+        return self._stores[key]
+
+    # ------------------------------------------------------------------
+    def variables(self) -> list[str]:
+        """All (variable[@timestep]) keys present under the root."""
+        prefix = self.root + "/"
+        keys = set()
+        for path in self.fs.list_files(prefix):
+            rest = path[len(prefix) :]
+            if "/" in rest:
+                keys.add(rest.split("/", 1)[0])
+        return sorted(keys)
+
+    def timesteps(self, variable: str) -> list[int]:
+        """Timesteps stored for ``variable`` (empty for static vars)."""
+        out = []
+        for key in self.variables():
+            if key.startswith(variable + "@"):
+                out.append(int(key.split("@", 1)[1]))
+        return sorted(out)
+
+    def total_bytes(self) -> int:
+        """Total storage under the dataset root."""
+        return self.fs.total_bytes(self.root + "/")
+
+    # ------------------------------------------------------------------
+    def multi_variable_query(
+        self,
+        select_variable: str,
+        fetch_variables: list[str],
+        value_range: tuple[float, float],
+        *,
+        timestep: int | None = None,
+        region: tuple[tuple[int, int], ...] | None = None,
+        plod_level: int = 7,
+    ) -> MultiVarResult:
+        """Section III-D4 access across this dataset's variables."""
+        select = self.store(select_variable, timestep)
+        fetch = [self.store(v, timestep) for v in fetch_variables]
+        result = multi_variable_query(
+            select,
+            fetch,
+            value_range,
+            region=region,
+            plod_level=plod_level,
+        )
+        # Stores are keyed by "variable@timestep"; present results under
+        # the caller's plain variable names.
+        result.values = {
+            name: result.values[store.variable]
+            for name, store in zip(fetch_variables, fetch)
+        }
+        return result

@@ -1,0 +1,438 @@
+"""Parallel query execution (Section III-D, Fig. 5).
+
+The executor turns a :class:`~repro.core.planner.QueryPlan` into the
+bulk-synchronous parallel program the paper describes:
+
+1. the planned (bin, chunk) blocks are assigned to simulated MPI ranks
+   in column order (each rank touches the fewest bin files);
+2. each rank opens its bin subfiles through its own PFS session, reads
+   exactly the index/data compression blocks covering its cells,
+   decompresses them, reconstructs positions and values, and filters
+   against the constraints;
+3. the root gathers per-rank results through the simulated
+   communicator (modeled communication time).
+
+Response time = simulated parallel I/O (max-loaded OST / node link +
+max-rank overhead) + max-rank decompression + max-rank reconstruction +
+communication.  Decompression is modeled as ``scaled_raw_bytes /
+codec.decode_throughput`` (calibrated at paper-scale block sizes, see
+:class:`repro.compression.base.ByteCodec`); reconstruction is measured
+CPU scaled by the cost model's ``cpu_scale`` (DESIGN.md §5).  Aligned
+bins under region-only output never touch the data subfiles — the
+index-only fast path of Section III-D1.
+
+All per-chunk work inside a rank is batched per bin: cell payloads are
+sliced out of decoded blocks as contiguous *runs* of consecutive cells
+and reassembled with single vectorized operations, so measured CPU
+reflects per-byte work rather than Python per-chunk overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import make_codec
+from repro.core.chunking import ChunkGrid
+from repro.core.meta import StoreMeta
+from repro.core.planner import QueryPlan
+from repro.core.query import Query
+from repro.core.result import ComponentTimes, QueryResult
+from repro.index.binindex import decode_position_block
+from repro.index.bitmap import Bitmap
+from repro.parallel.scheduler import (
+    BlockRef,
+    column_order_assignment,
+    round_robin_assignment,
+)
+from repro.parallel.simmpi import CommCostModel, SimCommunicator
+from repro.pfs.layout import BinFileSet, aggregate_parallel_time
+from repro.pfs.simfs import PFSSession, SimulatedPFS
+from repro.plod.byteplanes import GROUP_WIDTHS, assemble_from_groups
+from repro.sfc.linearize import CurveOrder
+from repro.util.timing import TimerRegistry
+
+__all__ = ["QueryExecutor", "RankOutput", "INDEX_DECODE_THROUGHPUT"]
+
+#: Modeled decode rate of the per-bin position index (delta + varint +
+#: deflate), bytes of reconstructed positions (8 B each) per second,
+#: calibrated at paper-scale block sizes like the codec throughputs.
+INDEX_DECODE_THROUGHPUT = 240e6
+
+#: Modeled rate of gathering cells out of decoded blocks and
+#: reassembling PLoD byte planes, bytes of raw data per second —
+#: memcpy-class work, calibrated like the codec throughputs.
+ASSEMBLY_THROUGHPUT = 600e6
+
+_SCHEDULERS = {
+    "column": column_order_assignment,
+    "round-robin": round_robin_assignment,
+}
+
+
+@dataclass
+class RankOutput:
+    """What one simulated rank produced before the gather."""
+
+    positions: np.ndarray
+    values: np.ndarray | None
+    timers: TimerRegistry
+    session: PFSSession
+    #: Raw bytes this rank decompressed from data blocks.
+    data_raw_bytes: int = 0
+    #: Bytes of position payload (8 B/position) this rank decoded.
+    index_raw_bytes: int = 0
+
+    def modeled_decompression(self, codec, byte_scale: float) -> float:
+        """Modeled decompression seconds for this rank (DESIGN.md §5):
+        codec decode + index decode + cell-gather/PLoD-assembly, all
+        modeled from the bytes processed (measured wall/CPU time of the
+        scaled-down blocks would amplify per-call overhead by the
+        magnification factor)."""
+        return (
+            self.data_raw_bytes * byte_scale / codec.decode_throughput
+            + self.index_raw_bytes * byte_scale / INDEX_DECODE_THROUGHPUT
+            + self.data_raw_bytes * byte_scale / ASSEMBLY_THROUGHPUT
+        )
+
+
+class QueryExecutor:
+    """Executes planned queries over one stored variable."""
+
+    def __init__(
+        self,
+        fs: SimulatedPFS,
+        files: BinFileSet,
+        meta: StoreMeta,
+        grid: ChunkGrid,
+        curve: CurveOrder,
+        *,
+        n_ranks: int = 8,
+        scheduler: str = "column",
+        comm_cost: CommCostModel | None = None,
+    ) -> None:
+        if scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {sorted(_SCHEDULERS)}, got {scheduler!r}"
+            )
+        if n_ranks <= 0:
+            raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+        self.fs = fs
+        self.files = files
+        self.meta = meta
+        self.grid = grid
+        self.curve = curve
+        self.n_ranks = n_ranks
+        self.scheduler = scheduler
+        if comm_cost is None:
+            # Scale collective payload costs with the dataset
+            # magnification so communication stays commensurate with
+            # the paper-equivalent I/O seconds (DESIGN.md §5).
+            base = CommCostModel()
+            comm_cost = CommCostModel(
+                latency=base.latency,
+                byte_time=base.byte_time * fs.cost_model.byte_scale,
+            )
+        self.comm_cost = comm_cost
+        self._codec = make_codec(meta.config.codec, **meta.config.codec_params)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        plan: QueryPlan,
+        position_filter: Bitmap | None = None,
+    ) -> QueryResult:
+        """Run the parallel access program for one planned query."""
+        blocks = plan.block_refs()
+        assignment = _SCHEDULERS[self.scheduler](blocks, self.n_ranks)
+
+        rank_outputs = [
+            self._run_rank(rank_blocks, query, plan, position_filter)
+            for rank_blocks in assignment
+        ]
+
+        comm = SimCommunicator(self.n_ranks, self.comm_cost)
+        gathered = comm.gather([r.positions for r in rank_outputs])
+        positions = (
+            np.concatenate(gathered) if gathered else np.empty(0, dtype=np.int64)
+        )
+        values: np.ndarray | None = None
+        if query.wants_values:
+            gathered_v = comm.gather(
+                [r.values if r.values is not None else np.empty(0) for r in rank_outputs]
+            )
+            values = np.concatenate(gathered_v)
+
+        order = np.argsort(positions, kind="stable")
+        positions = positions[order]
+        if values is not None:
+            values = values[order]
+
+        sessions = [r.session for r in rank_outputs]
+        cpu_scale = self.fs.cost_model.effective_cpu_scale
+        byte_scale = self.fs.cost_model.byte_scale
+        times = ComponentTimes(
+            io=aggregate_parallel_time(self.fs.cost_model, sessions),
+            decompression=max(
+                (r.modeled_decompression(self._codec, byte_scale) for r in rank_outputs),
+                default=0.0,
+            ),
+            reconstruction=cpu_scale
+            * max((r.timers.elapsed("reconstruction") for r in rank_outputs), default=0.0),
+            communication=comm.comm_seconds,
+        )
+        stats = {
+            "n_ranks": self.n_ranks,
+            "bins_accessed": int(plan.bin_ids.size),
+            "aligned_bins": int(plan.aligned.sum()),
+            "chunks_accessed": int(plan.cpos.size),
+            "blocks_planned": len(blocks),
+            "bytes_read": int(sum(s.stats.bytes_read for s in sessions)),
+            "files_opened": int(sum(s.stats.opens for s in sessions)),
+            "seeks": int(sum(s.stats.seeks for s in sessions)),
+            "n_results": int(positions.size),
+        }
+        return QueryResult(positions=positions, values=values, times=times, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _run_rank(
+        self,
+        rank_blocks: list[BlockRef],
+        query: Query,
+        plan: QueryPlan,
+        position_filter: Bitmap | None,
+    ) -> RankOutput:
+        timers = TimerRegistry()
+        session = self.fs.session()
+        out_positions: list[np.ndarray] = []
+        out_values: list[np.ndarray] = []
+        raw_counters = {"data": 0, "index": 0}
+
+        # Group this rank's blocks by bin (they arrive bin-major).
+        by_bin: dict[int, list[BlockRef]] = {}
+        for ref in rank_blocks:
+            by_bin.setdefault(ref.bin_id, []).append(ref)
+
+        for bin_id, refs in by_bin.items():
+            refs.sort(key=lambda r: r.chunk_pos)
+            cpos = np.array([r.chunk_pos for r in refs], dtype=np.int64)
+            chunk_ids = np.array([r.chunk_id for r in refs], dtype=np.int64)
+            aligned = plan.is_aligned(bin_id)
+            need_values = (
+                query.wants_values or not aligned or position_filter is not None
+            )
+
+            positions, counts = self._read_positions(
+                session, bin_id, cpos, chunk_ids, timers, raw_counters
+            )
+            values: np.ndarray | None = None
+            if need_values:
+                values = self._read_values(
+                    session, bin_id, cpos, query.plod_level, timers, raw_counters
+                )
+
+            with timers["reconstruction"]:
+                mask: np.ndarray | None = None
+                if query.value_range is not None and not aligned:
+                    lo, hi = query.value_range
+                    mask = (values >= lo) & (values <= hi)
+                if plan.region is not None:
+                    interior = plan.interior_of(cpos)
+                    if not interior.all():
+                        # Only elements of boundary chunks need the
+                        # coordinate test; interior chunks pass whole.
+                        in_region = np.ones(positions.size, dtype=bool)
+                        boundary = ~np.repeat(interior, counts)
+                        in_region[boundary] = self.grid.positions_in_region(
+                            positions[boundary], plan.region
+                        )
+                        mask = in_region if mask is None else (mask & in_region)
+                if position_filter is not None:
+                    hit = position_filter.get(positions)
+                    mask = hit if mask is None else (mask & hit)
+                if mask is not None:
+                    positions = positions[mask]
+                    if values is not None:
+                        values = values[mask]
+                out_positions.append(positions)
+                if query.wants_values:
+                    out_values.append(values)
+
+        positions = (
+            np.concatenate(out_positions) if out_positions else np.empty(0, dtype=np.int64)
+        )
+        values = None
+        if query.wants_values:
+            values = (
+                np.concatenate(out_values) if out_values else np.empty(0, dtype=np.float64)
+            )
+        return RankOutput(
+            positions=positions,
+            values=values,
+            timers=timers,
+            session=session,
+            data_raw_bytes=raw_counters["data"],
+            index_raw_bytes=raw_counters["index"],
+        )
+
+    # ------------------------------------------------------------------
+    def _read_positions(
+        self,
+        session: PFSSession,
+        bin_id: int,
+        cpos: np.ndarray,
+        chunk_ids: np.ndarray,
+        timers: TimerRegistry,
+        raw_counters: dict[str, int],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read+decode the index blocks covering ``cpos``.
+
+        Returns the concatenated global positions (in ``cpos`` order)
+        and the per-chunk element counts.
+        """
+        table = self.meta.index_blocks[bin_id]
+        bin_counts = self.meta.counts[bin_id]
+        handle = session.open(self.files.index_path(bin_id))
+        local_parts: list[np.ndarray] = []
+        for row_idx in _covering_rows(table[:, 0], cpos):
+            cpos_start, cpos_end, offset, comp_len = (
+                int(v) for v in table[row_idx][:4]
+            )
+            payload = handle.read(offset, comp_len)
+            wanted = cpos[(cpos >= cpos_start) & (cpos < cpos_end)]
+            per_chunk = decode_position_block(payload, bin_counts[cpos_start:cpos_end])
+            raw_counters["index"] += int(bin_counts[cpos_start:cpos_end].sum()) * 8
+            with timers["reconstruction"]:
+                local_parts.extend(per_chunk[int(cp) - cpos_start] for cp in wanted)
+        with timers["reconstruction"]:
+            counts = bin_counts[cpos].astype(np.int64)
+            local_ids = (
+                np.concatenate(local_parts) if local_parts else np.empty(0, dtype=np.int64)
+            )
+            positions = self.grid.global_positions_batch(chunk_ids, local_ids, counts)
+        return positions, counts
+
+    def _read_values(
+        self,
+        session: PFSSession,
+        bin_id: int,
+        cpos: np.ndarray,
+        plod_level: int,
+        timers: TimerRegistry,
+        raw_counters: dict[str, int],
+    ) -> np.ndarray:
+        """Read+decode the data blocks covering the needed cells.
+
+        Returns the (possibly PLoD-approximate) values of all requested
+        chunks concatenated in ``cpos`` order.
+        """
+        config = self.meta.config
+        n_chunks = self.meta.n_chunks
+        counts = self.meta.counts[bin_id].astype(np.int64)
+        table = self.meta.data_blocks[bin_id]
+        handle = session.open(self.files.data_path(bin_id))
+        n_elem = int(counts[cpos].sum())
+        if n_elem == 0:
+            return np.empty(0, dtype=np.float64)
+
+        n_groups = min(plod_level, config.n_groups) if config.plod_enabled else 1
+        cell_sizes = _cell_sizes(config, counts, n_chunks)
+        cell_offsets = np.zeros(cell_sizes.size + 1, dtype=np.int64)
+        np.cumsum(cell_sizes, out=cell_offsets[1:])
+        row_starts = table[:, 0]
+
+        # The cells needed, grouped per byte group (so each group's
+        # payload concatenates contiguously in cpos order).
+        if config.plod_enabled:
+            if config.group_major:  # V-M-S: cell = g * n_chunks + cpos
+                cells_per_group = [g * n_chunks + cpos for g in range(n_groups)]
+            else:  # V-S-M: cell = cpos * 7 + g
+                cells_per_group = [
+                    cpos * config.n_groups + g for g in range(n_groups)
+                ]
+        else:
+            cells_per_group = [cpos]
+
+        # Read and decode each covering compression block exactly once.
+        all_cells = np.unique(np.concatenate(cells_per_group))
+        decoded: dict[int, np.ndarray] = {}
+        for row_idx in _covering_rows(row_starts, all_cells):
+            cell_start, cell_end, offset, comp_len, raw_len = (
+                int(v) for v in table[row_idx][:5]
+            )
+            payload = handle.read(offset, comp_len)
+            raw_counters["data"] += raw_len
+            if config.plod_enabled:
+                raw = self._codec.decode(payload, raw_len)
+                decoded[row_idx] = np.frombuffer(raw, dtype=np.uint8)
+            else:
+                decoded[row_idx] = self._codec.decode(payload, raw_len // 8)
+
+        # Cell gathering + PLoD byte-plane assembly belong to the
+        # *decompression* component: they are part of recovering values
+        # from the stored representation and scale with the bytes
+        # fetched, whereas the paper's "reconstruction" (filtering +
+        # final assembly of results) is independent of the PLoD level
+        # (Fig. 8's flat reconstruction line).
+        with timers["assembly"]:
+            group_payloads = [
+                self._gather_cells(
+                    decoded,
+                    row_starts,
+                    cell_offsets,
+                    cells,
+                    as_float=not config.plod_enabled,
+                )
+                for cells in cells_per_group
+            ]
+            if config.plod_enabled:
+                return assemble_from_groups(group_payloads, n_elem, n_groups)
+            return group_payloads[0]
+
+    def _gather_cells(
+        self,
+        decoded: dict[int, np.ndarray],
+        row_starts: np.ndarray,
+        cell_offsets: np.ndarray,
+        cells: np.ndarray,
+        as_float: bool,
+    ) -> np.ndarray:
+        """Concatenate the payloads of ``cells`` (ascending) out of the
+        decoded blocks, slicing maximal runs of consecutive cells."""
+        rows = np.searchsorted(row_starts, cells, side="right") - 1
+        breaks = np.flatnonzero((np.diff(cells) != 1) | (np.diff(rows) != 0)) + 1
+        starts = np.concatenate(([0], breaks))
+        ends = np.concatenate((breaks, [cells.size]))
+        parts: list[np.ndarray] = []
+        for s, e in zip(starts, ends):
+            row_idx = int(rows[s])
+            buf = decoded[row_idx]
+            block_base = int(cell_offsets[row_starts[row_idx]])
+            lo = int(cell_offsets[cells[s]]) - block_base
+            hi = int(cell_offsets[cells[e - 1] + 1]) - block_base
+            parts.append(buf[lo // 8 : hi // 8] if as_float else buf[lo:hi])
+        if not parts:
+            return np.empty(0, dtype=np.float64 if as_float else np.uint8)
+        return np.concatenate(parts)
+
+
+def _cell_sizes(config, counts: np.ndarray, n_chunks: int) -> np.ndarray:
+    """Byte size of every cell of a bin, in file cell order."""
+    counts = counts.astype(np.int64)
+    if not config.plod_enabled:
+        return counts * 8
+    widths = np.array(GROUP_WIDTHS, dtype=np.int64)
+    if config.group_major:  # cell = g * n_chunks + cpos
+        return (widths[:, None] * counts[None, :]).reshape(-1)
+    # cell = cpos * n_groups + g
+    return (counts[:, None] * widths[None, :]).reshape(-1)
+
+
+def _covering_rows(row_starts: np.ndarray, cells: np.ndarray) -> list[int]:
+    """Indices of the block-table rows containing the given cells."""
+    if cells.size == 0 or row_starts.size == 0:
+        return []
+    rows = np.searchsorted(row_starts, cells, side="right") - 1
+    return sorted(set(int(r) for r in rows))

@@ -1,0 +1,98 @@
+"""Multi-variable access (Section III-D4).
+
+"What are the temperature values within New York where the humidity is
+above 90%?" decomposes into a region-only access on the *selecting*
+variable followed by value retrieval on the *fetched* variables at the
+qualifying positions.  The spatial index produced by the first step is
+represented as a WAH-compressible bitmap to minimize the memory
+footprint and the communication cost of synchronizing it across ranks
+before the second step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.query import Query
+from repro.core.result import ComponentTimes, QueryResult
+from repro.core.store import MLOCStore
+from repro.index.bitmap import Bitmap
+from repro.parallel.simmpi import SimCommunicator
+
+__all__ = ["MultiVarResult", "multi_variable_query"]
+
+
+@dataclass
+class MultiVarResult:
+    """Combined outcome of a multi-variable access."""
+
+    #: Positions qualifying the selection constraint (and region).
+    positions: np.ndarray
+    #: Per fetched variable name: values at those positions.
+    values: dict[str, np.ndarray]
+    #: End-to-end component times (selection + exchange + retrievals).
+    times: ComponentTimes
+    #: The region-only selection result, for inspection.
+    selection: QueryResult
+
+
+def multi_variable_query(
+    select_store: MLOCStore,
+    fetch_stores: list[MLOCStore],
+    value_range: tuple[float, float],
+    *,
+    region: tuple[tuple[int, int], ...] | None = None,
+    plod_level: int = 7,
+) -> MultiVarResult:
+    """Run a multi-variable access across stores sharing one grid.
+
+    Parameters
+    ----------
+    select_store:
+        Variable carrying the value constraint (region-only step).
+    fetch_stores:
+        Variables whose values are retrieved at qualifying positions.
+    value_range:
+        The VC applied to the selecting variable.
+    region:
+        Optional SC applied to every step.
+    plod_level:
+        PLoD level for the retrieval steps (on PLoD-enabled stores).
+    """
+    for other in fetch_stores:
+        if other.shape != select_store.shape:
+            raise ValueError(
+                f"grid mismatch: {other.variable} has shape {other.shape}, "
+                f"selector has {select_store.shape}"
+            )
+
+    selection = select_store.query(
+        Query(value_range=value_range, region=region, output="positions")
+    )
+
+    # Synchronize the qualifying positions as a bitmap across ranks
+    # (allreduce-OR); the modeled payload is the WAH-compressed form.
+    bitmap = Bitmap.from_positions(selection.positions, select_store.n_elements)
+    wah_payload = bitmap.wah_bytes()
+    comm = SimCommunicator(select_store.executor.n_ranks, select_store.executor.comm_cost)
+    comm.allreduce([wah_payload] * comm.size, lambda a, b: a)
+
+    times = selection.times + ComponentTimes(communication=comm.comm_seconds)
+    values: dict[str, np.ndarray] = {}
+    for other in fetch_stores:
+        fetched = other.fetch_positions(bitmap, region=region, plod_level=plod_level)
+        if not np.array_equal(fetched.positions, selection.positions):
+            raise AssertionError(
+                "retrieved positions diverge from the selection bitmap"
+            )
+        values[other.variable] = fetched.values
+        times = times + fetched.times
+
+    return MultiVarResult(
+        positions=selection.positions,
+        values=values,
+        times=times,
+        selection=selection,
+    )

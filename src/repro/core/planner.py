@@ -1,0 +1,136 @@
+"""Query planning: bin selection, aligned-bin classification, chunk
+selection, and the block work-list (Section III-D).
+
+Given a query, the planner decides — entirely from in-memory metadata,
+without touching data — which value bins must be visited (and which of
+those are *aligned*, i.e. guaranteed to contain only qualifying values),
+which chunks intersect the spatial constraint (and which lie fully
+inside it, needing no position filtering), and materializes the
+per-(bin, chunk) work items handed to the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.binning.binner import BinScheme
+from repro.core.chunking import ChunkGrid, normalize_region
+from repro.core.query import Query
+from repro.parallel.scheduler import BlockRef
+from repro.sfc.hierarchical import level_prefix_counts
+from repro.sfc.linearize import CurveOrder
+
+__all__ = ["QueryPlan", "plan_query"]
+
+
+@dataclass
+class QueryPlan:
+    """The planner's decisions for one query."""
+
+    #: Ids of the bins that can contain qualifying values, sorted.
+    bin_ids: np.ndarray
+    #: Per selected bin: True if its whole content satisfies the VC.
+    aligned: np.ndarray
+    #: Curve positions of the chunks to visit, sorted.
+    cpos: np.ndarray
+    #: Row-major chunk ids aligned with ``cpos``.
+    chunk_ids: np.ndarray
+    #: Per chunk: True if it lies entirely inside the region (no SC filter).
+    interior: np.ndarray
+    #: Normalized region or None.
+    region: tuple[tuple[int, int], ...] | None
+
+    def is_aligned(self, bin_id: int) -> bool:
+        idx = np.searchsorted(self.bin_ids, bin_id)
+        return bool(self.aligned[idx])
+
+    def chunk_is_interior(self, cpos: int) -> bool:
+        idx = np.searchsorted(self.cpos, cpos)
+        return bool(self.interior[idx])
+
+    def interior_of(self, cpos: np.ndarray) -> np.ndarray:
+        """Vectorized interior flags for an array of chunk positions."""
+        idx = np.searchsorted(self.cpos, np.asarray(cpos, dtype=np.int64))
+        return self.interior[idx]
+
+    def block_refs(self) -> list[BlockRef]:
+        """Materialize the (bin, chunk) work items for the scheduler."""
+        refs: list[BlockRef] = []
+        for b in self.bin_ids:
+            for cp, cid in zip(self.cpos, self.chunk_ids):
+                refs.append(BlockRef(int(b), int(cp), int(cid)))
+        return refs
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.bin_ids.size) * int(self.cpos.size)
+
+
+def plan_query(
+    grid: ChunkGrid,
+    curve: CurveOrder,
+    scheme: BinScheme,
+    query: Query,
+    *,
+    hierarchical: bool = False,
+) -> QueryPlan:
+    """Plan a query against one stored variable.
+
+    Parameters
+    ----------
+    grid, curve, scheme:
+        The store's geometry, chunk ordering, and bin scheme.
+    query:
+        The access request.
+    hierarchical:
+        Whether the store uses the hierarchical (subset-multiresolution)
+        curve; required for ``query.resolution_level``.
+    """
+    # --- Value constraint -> bins -------------------------------------
+    if query.value_range is not None:
+        lo, hi = query.value_range
+        bin_ids, aligned = scheme.bins_overlapping(float(lo), float(hi))
+    else:
+        # No VC: every bin participates and no value filtering is
+        # needed anywhere, which is exactly the "aligned" property.
+        bin_ids = np.arange(scheme.n_bins, dtype=np.int32)
+        aligned = np.ones(scheme.n_bins, dtype=bool)
+
+    # --- Spatial constraint -> chunks ----------------------------------
+    if query.region is not None:
+        region = normalize_region(query.region, grid.shape)
+        chunk_ids = grid.chunks_overlapping(region)
+        interior = np.array(
+            [grid.chunk_within_region(int(cid), region) for cid in chunk_ids],
+            dtype=bool,
+        )
+    else:
+        region = None
+        chunk_ids = np.arange(grid.n_chunks, dtype=np.int64)
+        interior = np.ones(grid.n_chunks, dtype=bool)
+
+    cpos = curve.positions_of(chunk_ids)
+
+    # --- Subset-based multiresolution ----------------------------------
+    if query.resolution_level is not None:
+        if not hierarchical:
+            raise ValueError(
+                "resolution_level requires a store written with the "
+                "'hierarchical' curve (subset-based multiresolution)"
+            )
+        prefixes = level_prefix_counts(grid.grid_shape)
+        level = min(query.resolution_level, prefixes.size - 1)
+        keep = cpos < prefixes[level]
+        cpos, chunk_ids, interior = cpos[keep], chunk_ids[keep], interior[keep]
+
+    order = np.argsort(cpos)
+    return QueryPlan(
+        bin_ids=bin_ids,
+        aligned=aligned,
+        cpos=cpos[order],
+        chunk_ids=chunk_ids[order],
+        interior=interior[order],
+        region=region,
+    )

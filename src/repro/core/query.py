@@ -1,0 +1,77 @@
+"""Query model: the access patterns of Section II.
+
+One :class:`Query` object expresses every single-variable pattern the
+paper enumerates:
+
+* value-constrained region-only access — ``value_range`` set,
+  ``output="positions"`` (what *regions* have abnormal temperature?);
+* spatially-constrained value retrieval — ``region`` set,
+  ``output="values"`` (what are the values inside New York?);
+* value-and-spatial-constrained access — both set;
+* multiresolution access — ``plod_level < 7`` (precision-based) or
+  ``resolution_level`` (subset-based, hierarchical-curve stores);
+
+Multi-variable access composes two stores through
+:func:`repro.core.multivar.multi_variable_query`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plod.byteplanes import FULL_PLOD_LEVEL
+
+__all__ = ["Query", "OUTPUTS"]
+
+OUTPUTS = ("positions", "values")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single-variable data access request.
+
+    Attributes
+    ----------
+    value_range:
+        Optional closed value constraint ``(lo, hi)`` (VC).
+    region:
+        Optional spatial constraint: per-axis ``(lo, hi)`` half-open
+        bounds (SC).  ``None`` = whole domain.
+    output:
+        ``"positions"`` for region-only access (the index-only fast
+        path applies on aligned bins); ``"values"`` for value
+        retrieval (positions *and* values are returned).
+    plod_level:
+        Precision-based level of detail: 1 (two bytes/point) through 7
+        (full precision).  Only meaningful on PLoD-enabled stores;
+        full-precision elsewhere.
+    resolution_level:
+        Subset-based resolution level for hierarchical-curve stores:
+        only chunks of levels ``<= resolution_level`` are accessed.
+    """
+
+    value_range: tuple[float, float] | None = None
+    region: tuple[tuple[int, int], ...] | None = None
+    output: str = "values"
+    plod_level: int = FULL_PLOD_LEVEL
+    resolution_level: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.output not in OUTPUTS:
+            raise ValueError(f"output must be one of {OUTPUTS}, got {self.output!r}")
+        if self.value_range is not None:
+            lo, hi = self.value_range
+            if hi < lo:
+                raise ValueError(f"empty value_range [{lo}, {hi}]")
+        if not (1 <= self.plod_level <= FULL_PLOD_LEVEL):
+            raise ValueError(
+                f"plod_level must be in [1, {FULL_PLOD_LEVEL}], got {self.plod_level}"
+            )
+        if self.resolution_level is not None and self.resolution_level < 0:
+            raise ValueError(
+                f"resolution_level must be non-negative, got {self.resolution_level}"
+            )
+
+    @property
+    def wants_values(self) -> bool:
+        return self.output == "values"

@@ -1,0 +1,87 @@
+"""Query results and the component-time decomposition of Fig. 6.
+
+Every data access in the paper's evaluation is decomposed into I/O
+(seek + read), decompression, and reconstruction (filtering and final
+assembly); the reproduction adds the modeled communication time of the
+simulated MPI collectives as a fourth explicit component.  See
+DESIGN.md §5 for the timing methodology: I/O and communication are
+simulated seconds from the cost models, decompression and
+reconstruction are measured CPU seconds on the parallel critical path
+(max over ranks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ComponentTimes", "QueryResult"]
+
+
+@dataclass
+class ComponentTimes:
+    """Response-time decomposition of one query."""
+
+    io: float = 0.0
+    decompression: float = 0.0
+    reconstruction: float = 0.0
+    communication: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.io + self.decompression + self.reconstruction + self.communication
+
+    def __add__(self, other: "ComponentTimes") -> "ComponentTimes":
+        return ComponentTimes(
+            io=self.io + other.io,
+            decompression=self.decompression + other.decompression,
+            reconstruction=self.reconstruction + other.reconstruction,
+            communication=self.communication + other.communication,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "io": self.io,
+            "decompression": self.decompression,
+            "reconstruction": self.reconstruction,
+            "communication": self.communication,
+            "total": self.total,
+        }
+
+
+@dataclass
+class QueryResult:
+    """The answer to one :class:`~repro.core.query.Query`.
+
+    Attributes
+    ----------
+    positions:
+        Global row-major positions of the qualifying points, sorted.
+    values:
+        The corresponding values (``None`` for region-only output).
+        For lossy codecs or reduced PLoD levels these are approximate.
+    times:
+        The component-time decomposition.
+    stats:
+        Execution counters: bins/chunks/blocks touched, aligned bins,
+        bytes read, ranks used.
+    """
+
+    positions: np.ndarray
+    values: np.ndarray | None
+    times: ComponentTimes
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_results(self) -> int:
+        return int(self.positions.size)
+
+    def coords(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Positions as array coordinates, shape ``(n, ndims)``."""
+        strides = [int(np.prod(shape[d + 1 :])) for d in range(len(shape))]
+        coords = np.empty((self.positions.size, len(shape)), dtype=np.int64)
+        rem = self.positions
+        for d, s in enumerate(strides):
+            coords[:, d], rem = np.divmod(rem, s)
+        return coords

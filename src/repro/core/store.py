@@ -1,0 +1,183 @@
+"""MLOCStore: the user-facing query interface over a written dataset.
+
+Opens the metadata of a variable previously written by
+:class:`~repro.core.writer.MLOCWriter`, reconstructs the geometry (chunk
+grid, curve order, bin scheme), and serves queries through the planner
+and parallel executor.  Storage accounting for Table I is exposed via
+:meth:`storage_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.binning.binner import BinScheme
+from repro.core.chunking import ChunkGrid
+from repro.core.executor import QueryExecutor
+from repro.core.meta import StoreMeta
+from repro.core.planner import plan_query
+from repro.core.query import Query
+from repro.core.result import QueryResult
+from repro.core.writer import make_curve
+from repro.index.bitmap import Bitmap
+from repro.parallel.simmpi import CommCostModel
+from repro.pfs.layout import BinFileSet
+from repro.pfs.simfs import SimulatedPFS
+
+__all__ = ["MLOCStore", "StorageReport"]
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """On-disk footprint of one variable (Table I accounting)."""
+
+    data_bytes: int
+    index_bytes: int
+    meta_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.index_bytes + self.meta_bytes
+
+
+class MLOCStore:
+    """Read-side handle on one stored variable."""
+
+    def __init__(
+        self,
+        fs: SimulatedPFS,
+        root: str,
+        meta: StoreMeta,
+        *,
+        n_ranks: int = 8,
+        scheduler: str = "column",
+        comm_cost: CommCostModel | None = None,
+    ) -> None:
+        self.fs = fs
+        self.root = root.rstrip("/")
+        self.meta = meta
+        self.grid = ChunkGrid(meta.shape, meta.config.chunk_shape)
+        self.curve = make_curve(meta.config, self.grid)
+        self.scheme = BinScheme(meta.edges)
+        self.files = BinFileSet(self.root, meta.config.n_bins)
+        self.executor = QueryExecutor(
+            fs,
+            self.files,
+            meta,
+            self.grid,
+            self.curve,
+            n_ranks=n_ranks,
+            scheduler=scheduler,
+            comm_cost=comm_cost,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        fs: SimulatedPFS,
+        root: str,
+        variable: str = "var",
+        **executor_options,
+    ) -> "MLOCStore":
+        """Open the variable stored under ``root/variable``.
+
+        The metadata file is read once here (the store keeps it in
+        memory for its lifetime, as any long-running analysis service
+        would); per-query index/data reads are charged to each query.
+        """
+        var_root = f"{root.rstrip('/')}/{variable}"
+        meta_path = f"{var_root}/meta"
+        raw = bytes(fs.session().open(meta_path).read_all())
+        meta = StoreMeta.from_bytes(raw)
+        return cls(fs, var_root, meta, **executor_options)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.meta.shape
+
+    @property
+    def n_elements(self) -> int:
+        return self.grid.n_elements
+
+    @property
+    def variable(self) -> str:
+        return self.meta.variable
+
+    def with_ranks(self, n_ranks: int) -> "MLOCStore":
+        """A view of the same store using a different rank count."""
+        return MLOCStore(
+            self.fs,
+            self.root,
+            self.meta,
+            n_ranks=n_ranks,
+            scheduler=self.executor.scheduler,
+            comm_cost=self.executor.comm_cost,
+        )
+
+    # ------------------------------------------------------------------
+    def query(self, query: Query, position_filter: Bitmap | None = None) -> QueryResult:
+        """Plan and execute one access request."""
+        plan = plan_query(
+            self.grid,
+            self.curve,
+            self.scheme,
+            query,
+            hierarchical=self.meta.config.curve == "hierarchical",
+        )
+        return self.executor.execute(query, plan, position_filter=position_filter)
+
+    def fetch_positions(
+        self,
+        bitmap: Bitmap,
+        *,
+        region: tuple[tuple[int, int], ...] | None = None,
+        plod_level: int | None = None,
+    ) -> QueryResult:
+        """Retrieve values at the positions set in ``bitmap``.
+
+        The second step of multi-variable access (Section III-D4): the
+        bitmap produced by a region-only step on another variable masks
+        the value retrieval on this one.  Only chunks containing set
+        positions are visited.
+        """
+        if bitmap.nbits != self.n_elements:
+            raise ValueError(
+                f"bitmap covers {bitmap.nbits} positions, store has {self.n_elements}"
+            )
+        positions = bitmap.to_positions()
+        query = Query(
+            region=region,
+            output="values",
+            plod_level=plod_level if plod_level is not None else 7,
+        )
+        plan = plan_query(
+            self.grid,
+            self.curve,
+            self.scheme,
+            query,
+            hierarchical=self.meta.config.curve == "hierarchical",
+        )
+        if positions.size:
+            hit_chunks = np.unique(self.grid.chunk_of_positions(positions))
+            keep = np.isin(plan.chunk_ids, hit_chunks)
+            plan.chunk_ids = plan.chunk_ids[keep]
+            plan.cpos = plan.cpos[keep]
+            plan.interior = plan.interior[keep]
+        else:
+            plan.chunk_ids = plan.chunk_ids[:0]
+            plan.cpos = plan.cpos[:0]
+            plan.interior = plan.interior[:0]
+        return self.executor.execute(query, plan, position_filter=bitmap)
+
+    # ------------------------------------------------------------------
+    def storage_report(self) -> StorageReport:
+        """On-disk footprint of this variable (Table I accounting)."""
+        return StorageReport(
+            data_bytes=self.files.data_bytes(self.fs),
+            index_bytes=self.files.index_bytes(self.fs),
+            meta_bytes=self.fs.size(self.files.meta_path),
+        )

@@ -1,0 +1,313 @@
+"""MLOC writer: the multi-level encode pipeline (Sections III-A/B).
+
+The writer runs the full layout pipeline of Fig. 1 over an input array:
+
+1. chunk the array on the configured grid;
+2. order chunks by the configured curve (Hilbert by default,
+   hierarchical Hilbert for subset-based multiresolution);
+3. estimate equal-frequency bin boundaries from a sample and scatter
+   each chunk's elements into bins (stable, preserving within-chunk
+   order so position indices stay delta-friendly);
+4. split values into PLoD byte groups (orders with 'M') or keep them
+   whole (order 'VS');
+5. nest the smallest units — (byte group, chunk) cells inside a bin —
+   according to the level order, cut them into stripe-sized
+   compression blocks, compress each with the configured codec;
+6. write one data file and one position-index file per bin (Fig. 4)
+   plus one metadata file.
+
+The writer is a single pass over chunks with bounded buffering:
+compressed blocks are staged in memory per (bin, group) stream and the
+subfiles are materialized at the end, because the V-M-S order requires
+all of byte-group g's cells to precede group g+1's in the file while
+generation is chunk-major.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.binning.binner import BinScheme, per_bin_segments
+from repro.binning.boundaries import (
+    equal_frequency_boundaries,
+    equal_width_boundaries,
+)
+from repro.compression.base import ByteCodec, FloatCodec, make_codec
+from repro.core.chunking import ChunkGrid
+from repro.core.config import MLOCConfig
+from repro.core.meta import StoreMeta
+from repro.index.binindex import encode_position_block
+from repro.pfs.layout import BinFileSet
+from repro.pfs.simfs import SimulatedPFS
+from repro.plod.byteplanes import GROUP_WIDTHS, split_byte_groups
+from repro.sfc.hierarchical import hierarchical_order
+from repro.sfc.linearize import CurveOrder, chunk_curve_order
+
+__all__ = ["MLOCWriter", "WriteReport", "make_curve"]
+
+
+def make_curve(config: MLOCConfig, grid: ChunkGrid) -> CurveOrder:
+    """The chunk ordering a configuration prescribes."""
+    if config.curve == "hierarchical":
+        return hierarchical_order(grid.grid_shape)
+    return chunk_curve_order(grid.grid_shape, config.curve)
+
+
+@dataclass(frozen=True)
+class WriteReport:
+    """Storage accounting of one completed write (Table I inputs)."""
+
+    variable: str
+    raw_bytes: int
+    data_bytes: int
+    index_bytes: int
+    meta_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.index_bytes + self.meta_bytes
+
+    @property
+    def data_ratio(self) -> float:
+        return self.data_bytes / self.raw_bytes
+
+    @property
+    def total_ratio(self) -> float:
+        return self.total_bytes / self.raw_bytes
+
+
+class _DataStream:
+    """Accumulates consecutive cells of one (bin, group-stream) into
+    compression blocks of approximately the configured raw size."""
+
+    def __init__(self, codec, is_float: bool, target_bytes: int) -> None:
+        self.codec = codec
+        self.is_float = is_float
+        self.target = target_bytes
+        self._parts: list[np.ndarray] = []
+        self._raw = 0
+        self._cell_start: int | None = None
+        self._next_cell: int | None = None
+        #: (cell_start, cell_end, payload, raw_len) tuples.
+        self.blocks: list[tuple[int, int, bytes, int]] = []
+
+    def add(self, cell: int, part: np.ndarray) -> None:
+        if self._cell_start is None:
+            self._cell_start = cell
+        elif cell != self._next_cell:
+            raise ValueError(
+                f"cells must be added consecutively: expected {self._next_cell}, got {cell}"
+            )
+        self._next_cell = cell + 1
+        if part.size:
+            self._parts.append(part)
+            self._raw += part.nbytes
+        if self._raw >= self.target:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._cell_start is None:
+            return
+        if self.is_float:
+            raw = (
+                np.concatenate(self._parts)
+                if self._parts
+                else np.empty(0, dtype=np.float64)
+            )
+            payload = self.codec.encode(raw)
+            raw_len = raw.nbytes
+        else:
+            raw = b"".join(p.tobytes() for p in self._parts)
+            payload = self.codec.encode(raw)
+            raw_len = len(raw)
+        self.blocks.append((self._cell_start, self._next_cell, payload, raw_len))
+        self._parts = []
+        self._raw = 0
+        self._cell_start = None
+        self._next_cell = None
+
+
+class _IndexStream:
+    """Accumulates per-chunk position arrays into index blocks."""
+
+    def __init__(self, target_bytes: int, zlib_level: int = 6) -> None:
+        self.target = target_bytes
+        self.level = zlib_level
+        self._parts: list[np.ndarray] = []
+        self._raw = 0
+        self._cpos_start: int | None = None
+        self._next_cpos: int | None = None
+        #: (cpos_start, cpos_end, payload) tuples.
+        self.blocks: list[tuple[int, int, bytes]] = []
+
+    def add(self, cpos: int, local_ids: np.ndarray) -> None:
+        if self._cpos_start is None:
+            self._cpos_start = cpos
+        elif cpos != self._next_cpos:
+            raise ValueError(
+                f"chunks must be added consecutively: expected {self._next_cpos}, got {cpos}"
+            )
+        self._next_cpos = cpos + 1
+        self._parts.append(local_ids)
+        self._raw += local_ids.size * 8
+        if self._raw >= self.target:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._cpos_start is None:
+            return
+        payload = encode_position_block(self._parts, self.level)
+        self.blocks.append((self._cpos_start, self._next_cpos, payload))
+        self._parts = []
+        self._raw = 0
+        self._cpos_start = None
+        self._next_cpos = None
+
+
+class MLOCWriter:
+    """Encodes arrays into MLOC's multi-level on-disk layout."""
+
+    def __init__(self, fs: SimulatedPFS, root: str, config: MLOCConfig) -> None:
+        self.fs = fs
+        self.root = root.rstrip("/")
+        self.config = config
+
+    def variable_root(self, variable: str) -> str:
+        """Directory of one variable's subfiles under this writer's root."""
+        return f"{self.root}/{variable}"
+
+    def write(self, data: np.ndarray, variable: str = "var") -> WriteReport:
+        """Run the full pipeline on ``data`` and persist every subfile."""
+        config = self.config
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        grid = ChunkGrid(data.shape, config.chunk_shape)
+        curve = make_curve(config, grid)
+        codec = make_codec(config.codec, **config.codec_params)
+        if config.plod_enabled and not isinstance(codec, ByteCodec):
+            raise TypeError(
+                f"level order {config.level_order!r} splits byte planes and needs a "
+                f"ByteCodec; {config.codec!r} is a {type(codec).__name__}"
+            )
+        if not config.plod_enabled and not isinstance(codec, FloatCodec):
+            raise TypeError(
+                f"level order {config.level_order!r} keeps whole values and needs a "
+                f"FloatCodec; {config.codec!r} is a {type(codec).__name__}"
+            )
+
+        scheme = self._estimate_bins(data)
+        n_bins, n_chunks = config.n_bins, grid.n_chunks
+        n_groups = config.n_groups
+        counts = np.zeros((n_bins, n_chunks), dtype=np.uint32)
+
+        # One stream per (bin, group) for group-major (V-M-S) nesting;
+        # a single stream per bin otherwise (cells arrive in file order).
+        streams_per_bin = n_groups if config.group_major else 1
+        data_streams = [
+            [
+                _DataStream(codec, not config.plod_enabled, config.target_block_bytes)
+                for _ in range(streams_per_bin)
+            ]
+            for _ in range(n_bins)
+        ]
+        index_streams = [_IndexStream(config.target_block_bytes) for _ in range(n_bins)]
+
+        widths = GROUP_WIDTHS if config.plod_enabled else (8,)
+        for cpos in range(n_chunks):
+            chunk_id = int(curve.order[cpos])
+            vals = data[grid.chunk_slices(chunk_id)].reshape(-1)
+            bids = scheme.assign(vals)
+            perm, sorted_vals, offsets = per_bin_segments(vals, bids, n_bins)
+            counts[:, cpos] = np.diff(offsets).astype(np.uint32)
+            planes = (
+                split_byte_groups(sorted_vals) if config.plod_enabled else [sorted_vals]
+            )
+            for b in range(n_bins):
+                lo, hi = int(offsets[b]), int(offsets[b + 1])
+                index_streams[b].add(cpos, perm[lo:hi])
+                for g in range(n_groups):
+                    w = widths[g]
+                    part = planes[g][lo * w : hi * w] if config.plod_enabled else planes[0][lo:hi]
+                    if config.group_major:
+                        cell = g * n_chunks + cpos
+                        data_streams[b][g].add(cell, part)
+                    else:
+                        cell = cpos * n_groups + g
+                        data_streams[b][0].add(cell, part)
+
+        # Materialize subfiles.
+        files = BinFileSet(self.variable_root(variable), n_bins)
+        data_block_tables: list[np.ndarray] = []
+        index_block_tables: list[np.ndarray] = []
+        for b in range(n_bins):
+            rows = []
+            chunks_of_file: list[bytes] = []
+            offset = 0
+            for stream in data_streams[b]:
+                stream.flush()
+                for cell_start, cell_end, payload, raw_len in stream.blocks:
+                    rows.append(
+                        (
+                            cell_start,
+                            cell_end,
+                            offset,
+                            len(payload),
+                            raw_len,
+                            zlib.crc32(payload),
+                        )
+                    )
+                    chunks_of_file.append(payload)
+                    offset += len(payload)
+            self.fs.write_file(files.data_path(b), b"".join(chunks_of_file))
+            data_block_tables.append(np.array(rows, dtype=np.int64).reshape(-1, 6))
+
+            index_streams[b].flush()
+            rows = []
+            chunks_of_file = []
+            offset = 0
+            for cpos_start, cpos_end, payload in index_streams[b].blocks:
+                rows.append(
+                    (cpos_start, cpos_end, offset, len(payload), zlib.crc32(payload))
+                )
+                chunks_of_file.append(payload)
+                offset += len(payload)
+            self.fs.write_file(files.index_path(b), b"".join(chunks_of_file))
+            index_block_tables.append(np.array(rows, dtype=np.int64).reshape(-1, 5))
+
+        meta = StoreMeta(
+            variable=variable,
+            shape=data.shape,
+            config=config,
+            edges=scheme.edges,
+            counts=counts,
+            data_blocks=data_block_tables,
+            index_blocks=index_block_tables,
+        )
+        meta.validate()
+        self.fs.write_file(files.meta_path, meta.to_bytes())
+
+        return WriteReport(
+            variable=variable,
+            raw_bytes=data.nbytes,
+            data_bytes=files.data_bytes(self.fs),
+            index_bytes=files.index_bytes(self.fs),
+            meta_bytes=self.fs.size(files.meta_path),
+        )
+
+    def _estimate_bins(self, data: np.ndarray) -> BinScheme:
+        """Bin boundaries from a random sample (§IV-A1)."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        flat = data.reshape(-1)
+        n_sample = max(int(flat.size * config.sample_fraction), config.n_bins * 8)
+        n_sample = min(n_sample, flat.size)
+        sample = flat[rng.integers(0, flat.size, size=n_sample)]
+        if config.binning == "equal-width":
+            edges = equal_width_boundaries(
+                float(sample.min()), float(sample.max()), config.n_bins
+            )
+        else:
+            edges = equal_frequency_boundaries(sample, config.n_bins)
+        return BinScheme(edges)

@@ -1,0 +1,205 @@
+"""Shared experiment row computations.
+
+Each function regenerates one of the paper's tables/figures as a
+``{row_label: [cells...]}`` dict with the paper's reference values
+appended, given a built :class:`~repro.harness.systems.SystemSuite`.
+Both the pytest benchmarks (`benchmarks/`) and the standalone runner
+(``python -m repro.bench``) call these, so the two entry points can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core import ComponentTimes, Query
+from repro.harness.systems import ALL_SYSTEMS, SystemSuite
+from repro.harness.tables import PAPER
+
+__all__ = [
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "fig6_rows",
+    "fig7_rows",
+    "fig8_rows",
+]
+
+_512G_SYSTEMS = ("mloc-col", "mloc-iso", "mloc-isa", "seqscan")
+
+
+def table1_rows(suite: SystemSuite) -> dict[str, list]:
+    """Table I: storage fractions of raw for every system."""
+    rows = {}
+    for system in ALL_SYSTEMS:
+        sizes = suite.storage_bytes(system)
+        raw = suite.spec.raw_bytes
+        data_frac = sizes["data"] / raw
+        index_frac = sizes["index"] / raw
+        paper = PAPER["table1_storage_gb"][system]
+        rows[system] = [
+            round(data_frac, 3),
+            round(index_frac, 3),
+            round(data_frac + index_frac, 3),
+            round((paper[0] + paper[1]) / 8.0, 3),
+        ]
+    return rows
+
+
+def _query_table(
+    suite: SystemSuite,
+    systems: tuple[str, ...],
+    paper_key: str,
+    dataset_label: str,
+    selectivities: tuple[float, float],
+    kind: str,
+    n_queries: int,
+) -> dict[str, list]:
+    """Response-time cells are per-query *medians* (robust against
+    outlier draws), computed alongside the medians of the deterministic
+    io + decompression component.  The reconstruction part is measured
+    CPU time amplified by ``cpu_scale``, so fine-margin shape
+    assertions should use the deterministic cells."""
+    n_queries = max(n_queries, 3)
+    rows = {}
+    deterministic = {}
+    for system in systems:
+        cells = []
+        det_cells = []
+        for sel in selectivities:
+            totals = []
+            det = []
+            if kind == "region":
+                constraints = suite.workload.value_constraints(sel, n_queries)
+                run = suite.region_query
+            else:
+                constraints = suite.workload.region_constraints(sel, n_queries)
+                run = suite.value_query
+            for constraint in constraints:
+                times = run(system, constraint).times
+                totals.append(times.total)
+                det.append(times.io + times.decompression)
+            cells.append(round(statistics.median(totals), 2))
+            det_cells.append(round(statistics.median(det), 2))
+        paper = PAPER[paper_key][system]
+        offset = 0 if dataset_label == "gts" else 2
+        rows[system] = cells + [paper[offset], paper[offset + 1]]
+        deterministic[system] = det_cells
+    return rows, deterministic
+
+
+def table2_rows(
+    suite: SystemSuite, dataset_label: str, n_queries: int, detailed: bool = False
+):
+    """Table II: 8 GB-class region queries at 1% / 10% selectivity.
+
+    With ``detailed=True`` additionally returns the per-system medians
+    of the deterministic (io + decompression) component, which is what
+    shape assertions should compare — see ``_query_table``.
+    """
+    rows, det = _query_table(
+        suite, ALL_SYSTEMS, "table2_region_8g", dataset_label,
+        (0.01, 0.10), "region", n_queries,
+    )
+    return (rows, det) if detailed else rows
+
+
+def table3_rows(
+    suite: SystemSuite, dataset_label: str, n_queries: int, detailed: bool = False
+):
+    """Table III: 8 GB-class value queries at 0.1% / 1% selectivity."""
+    rows, det = _query_table(
+        suite, ALL_SYSTEMS, "table3_value_8g", dataset_label,
+        (0.001, 0.01), "value", n_queries,
+    )
+    return (rows, det) if detailed else rows
+
+
+def table4_rows(
+    suite: SystemSuite, dataset_label: str, n_queries: int, detailed: bool = False
+):
+    """Table IV: 512 GB-class region queries (MLOC vs seq scan)."""
+    rows, det = _query_table(
+        suite, _512G_SYSTEMS, "table4_region_512g", dataset_label,
+        (0.01, 0.10), "region", n_queries,
+    )
+    return (rows, det) if detailed else rows
+
+
+def table5_rows(
+    suite: SystemSuite, dataset_label: str, n_queries: int, detailed: bool = False
+):
+    """Table V: 512 GB-class value queries (MLOC vs seq scan)."""
+    rows, det = _query_table(
+        suite, _512G_SYSTEMS, "table5_value_512g", dataset_label,
+        (0.001, 0.01), "value", n_queries,
+    )
+    return (rows, det) if detailed else rows
+
+
+def fig6_rows(suite: SystemSuite, n_queries: int) -> dict[str, list]:
+    """Fig. 6: component decomposition of 0.1% value queries."""
+    rows = {}
+    regions = suite.workload.region_constraints(0.001, n_queries)
+    for system in _512G_SYSTEMS:
+        times, _ = suite.average_value_times(system, regions)
+        rows[system] = [
+            round(times.io, 2),
+            round(times.decompression, 2),
+            round(times.reconstruction, 2),
+            round(times.total, 2),
+        ]
+    return rows
+
+
+def fig7_rows(
+    suite: SystemSuite,
+    n_queries: int,
+    ranks: tuple[int, ...] = (8, 16, 32, 64, 128),
+) -> dict[str, list]:
+    """Fig. 7: scalability of 10% value queries over rank counts."""
+    base = suite.store("mloc-iso")
+    regions = suite.workload.region_constraints(0.10, max(2, n_queries // 2))
+    rows = {}
+    for n_ranks in ranks:
+        store = base.with_ranks(n_ranks)
+        total = ComponentTimes()
+        for region in regions:
+            suite.fs.clear_cache()
+            total = total + store.query(Query(region=region, output="values")).times
+        k = len(regions)
+        rows[f"{n_ranks} ranks"] = [
+            round(total.io / k, 2),
+            round(total.decompression / k, 2),
+            round(total.reconstruction / k, 2),
+            round(total.total / k, 2),
+        ]
+    return rows
+
+
+def fig8_rows(
+    suite: SystemSuite,
+    n_queries: int,
+    levels: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7),
+) -> dict[str, list]:
+    """Fig. 8: PLoD access cost of 1% value queries per level."""
+    store = suite.store("mloc-col")
+    regions = suite.workload.region_constraints(0.01, n_queries)
+    rows = {}
+    for level in levels:
+        total = ComponentTimes()
+        for region in regions:
+            suite.fs.clear_cache()
+            total = total + store.query(
+                Query(region=region, output="values", plod_level=level)
+            ).times
+        k = len(regions)
+        rows[f"PLoD {level} ({level + 1}B)"] = [
+            round(total.io / k, 2),
+            round(total.decompression / k, 2),
+            round(total.reconstruction / k, 2),
+            round(total.total / k, 2),
+        ]
+    return rows

@@ -1,0 +1,155 @@
+"""Dataset scale definitions for the experiment harness.
+
+The paper evaluates on 8 GB and 512 GB datasets.  Absolute scale is a
+property of the testbed, not of the algorithms; the reproduction runs
+the same experiments on scaled-down datasets (DESIGN.md §2) with every
+system scaled identically, so ratios and orderings are preserved.  The
+``REPRO_SCALE`` environment variable selects the tier:
+
+* ``tiny``  — seconds-fast, for CI and quick iteration;
+* ``small`` — the default "8 GB-class" tier (tens of MB);
+* ``large`` — the "512 GB-class" tier (hundreds of MB).
+
+Every spec pins the chunk shape (chosen so the per-chunk byte size is
+in the stripe-friendly range the paper prescribes) and the RNG seed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import gts_like, s3d_like
+
+__all__ = ["DatasetSpec", "get_spec", "scale_tier", "SCALE_TIERS"]
+
+SCALE_TIERS = ("tiny", "small", "large")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One concrete dataset the harness can materialize.
+
+    ``paper_bytes`` is the size of the dataset this spec *stands in
+    for* (8 GB or 512 GB); the ratio ``paper_bytes / raw_bytes`` is the
+    cost model's ``byte_scale``, making every reported I/O second
+    paper-scale-equivalent (DESIGN.md §5).
+    """
+
+    name: str
+    kind: str  # "gts" | "s3d"
+    shape: tuple[int, ...]
+    chunk_shape: tuple[int, ...]
+    n_bins: int
+    fastbit_bins: int
+    seed: int
+    paper_bytes: int = 8 << 30
+
+    @property
+    def n_elements(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def raw_bytes(self) -> int:
+        return self.n_elements * 8
+
+    @property
+    def byte_scale(self) -> float:
+        return self.paper_bytes / self.raw_bytes
+
+    def generate(self) -> np.ndarray:
+        """Materialize the synthetic field."""
+        if self.kind == "gts":
+            return gts_like(self.shape, seed=self.seed)
+        if self.kind == "s3d":
+            return s3d_like(self.shape, seed=self.seed)
+        raise ValueError(f"unknown dataset kind {self.kind!r}")
+
+
+_SPECS: dict[tuple[str, str, str], DatasetSpec] = {}
+
+
+def _register(tier: str, cls: str, spec: DatasetSpec) -> None:
+    _SPECS[(tier, cls, spec.kind)] = spec
+
+
+_8G = 8 << 30
+_512G = 512 << 30
+
+# ---------------------------------------------------------------------
+# tiny tier (CI): ~2 MB per dataset
+_register("tiny", "8g", DatasetSpec("gts-8g", "gts", (512, 512), (32, 32), 20, 128, 11, _8G))
+_register(
+    "tiny", "8g", DatasetSpec("s3d-8g", "s3d", (64, 64, 64), (16, 16, 16), 20, 128, 12, _8G)
+)
+_register(
+    "tiny", "512g", DatasetSpec("gts-512g", "gts", (1024, 1024), (32, 32), 20, 128, 13, _512G)
+)
+_register(
+    "tiny",
+    "512g",
+    DatasetSpec("s3d-512g", "s3d", (64, 64, 64), (16, 16, 16), 20, 128, 14, _512G),
+)
+
+# small tier: the default experiment tier
+_register(
+    "small", "8g", DatasetSpec("gts-8g", "gts", (2048, 2048), (64, 64), 100, 1024, 11, _8G)
+)
+_register(
+    "small",
+    "8g",
+    DatasetSpec("s3d-8g", "s3d", (128, 128, 128), (16, 16, 16), 100, 1024, 12, _8G),
+)
+_register(
+    "small",
+    "512g",
+    DatasetSpec("gts-512g", "gts", (4096, 4096), (64, 64), 100, 1024, 13, _512G),
+)
+_register(
+    "small",
+    "512g",
+    DatasetSpec("s3d-512g", "s3d", (256, 256, 256), (32, 32, 32), 100, 1024, 14, _512G),
+)
+
+# large tier: bigger runs (smaller byte_scale, finer-grained effects)
+_register(
+    "large", "8g", DatasetSpec("gts-8g", "gts", (4096, 4096), (64, 64), 100, 1024, 11, _8G)
+)
+_register(
+    "large",
+    "8g",
+    DatasetSpec("s3d-8g", "s3d", (256, 256, 256), (32, 32, 32), 100, 1024, 12, _8G),
+)
+_register(
+    "large",
+    "512g",
+    DatasetSpec("gts-512g", "gts", (8192, 8192), (64, 64), 100, 1024, 13, _512G),
+)
+_register(
+    "large",
+    "512g",
+    DatasetSpec("s3d-512g", "s3d", (512, 512, 512), (32, 32, 32), 100, 1024, 14, _512G),
+)
+
+
+def scale_tier() -> str:
+    """The active tier, from ``REPRO_SCALE`` (default ``small``)."""
+    tier = os.environ.get("REPRO_SCALE", "small")
+    if tier not in SCALE_TIERS:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {SCALE_TIERS}, got {tier!r}"
+        )
+    return tier
+
+
+def get_spec(size_class: str, kind: str, tier: str | None = None) -> DatasetSpec:
+    """Look up the spec for a paper size class ('8g'/'512g') and kind."""
+    tier = tier if tier is not None else scale_tier()
+    try:
+        return _SPECS[(tier, size_class, kind)]
+    except KeyError:
+        raise ValueError(
+            f"no spec for tier={tier!r}, size_class={size_class!r}, kind={kind!r}"
+        ) from None

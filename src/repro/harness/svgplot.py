@@ -1,0 +1,126 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+matplotlib is unavailable in the reproduction environment, so this
+module emits hand-rolled SVG — enough for publication-style stacked
+horizontal bar charts of the component-time figures (6, 7, 8).  The
+output is deliberately plain: one `<rect>` per component segment, a
+labelled axis, and a legend, all computed with simple arithmetic so
+the renderer itself is easily testable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["stacked_bar_svg", "save_figure_svg", "COMPONENT_COLORS"]
+
+#: Default fill colors per component (colorblind-safe-ish).
+COMPONENT_COLORS = ("#4477aa", "#ee6677", "#228833", "#ccbb44")
+
+_BAR_HEIGHT = 22
+_BAR_GAP = 10
+_LABEL_WIDTH = 150
+_CHART_WIDTH = 560
+_MARGIN = 16
+_LEGEND_HEIGHT = 28
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def stacked_bar_svg(
+    title: str,
+    rows: dict[str, list[float]],
+    components: list[str],
+    *,
+    unit: str = "s",
+) -> str:
+    """Render stacked horizontal bars as an SVG document string.
+
+    ``rows[label]`` holds one non-negative value per component; bars
+    share a common scale set by the largest total.
+    """
+    if not rows:
+        raise ValueError("stacked_bar_svg needs at least one row")
+    if len(components) > len(COMPONENT_COLORS):
+        raise ValueError(f"at most {len(COMPONENT_COLORS)} components supported")
+    for label, values in rows.items():
+        if len(values) != len(components):
+            raise ValueError(
+                f"row {label!r} has {len(values)} values for "
+                f"{len(components)} components"
+            )
+        if any(v < 0 for v in values):
+            raise ValueError(f"row {label!r} has negative values")
+
+    peak = max(sum(v) for v in rows.values()) or 1.0
+    n = len(rows)
+    height = (
+        _MARGIN * 2
+        + 24  # title
+        + _LEGEND_HEIGHT
+        + n * (_BAR_HEIGHT + _BAR_GAP)
+    )
+    width = _MARGIN * 2 + _LABEL_WIDTH + _CHART_WIDTH + 90
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<text x="{_MARGIN}" y="{_MARGIN + 12}" font-size="14" '
+        f'font-weight="bold">{_esc(title)}</text>',
+    ]
+
+    # Legend.
+    x = _MARGIN
+    legend_y = _MARGIN + 26
+    for color, name in zip(COMPONENT_COLORS, components):
+        parts.append(
+            f'<rect x="{x}" y="{legend_y}" width="12" height="12" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 16}" y="{legend_y + 10}">{_esc(name)}</text>'
+        )
+        x += 16 + 8 * len(name) + 24
+
+    # Bars.
+    y = legend_y + _LEGEND_HEIGHT
+    for label, values in rows.items():
+        parts.append(
+            f'<text x="{_MARGIN + _LABEL_WIDTH - 6}" y="{y + _BAR_HEIGHT - 7}" '
+            f'text-anchor="end">{_esc(label)}</text>'
+        )
+        x = float(_MARGIN + _LABEL_WIDTH)
+        for color, value in zip(COMPONENT_COLORS, values):
+            seg = _CHART_WIDTH * value / peak
+            if seg > 0:
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y}" width="{seg:.1f}" '
+                    f'height="{_BAR_HEIGHT}" fill="{color}"/>'
+                )
+            x += seg
+        total = sum(values)
+        parts.append(
+            f'<text x="{x + 6:.1f}" y="{y + _BAR_HEIGHT - 7}">'
+            f"{total:.3g} {_esc(unit)}</text>"
+        )
+        y += _BAR_HEIGHT + _BAR_GAP
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_figure_svg(
+    path: str | Path,
+    title: str,
+    rows: dict[str, list[float]],
+    components: list[str],
+    *,
+    unit: str = "s",
+) -> Path:
+    """Write :func:`stacked_bar_svg` output to ``path``."""
+    path = Path(path)
+    path.write_text(stacked_bar_svg(title, rows, components, unit=unit))
+    return path

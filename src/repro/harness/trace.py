@@ -1,0 +1,135 @@
+"""Query-trace recording and replay.
+
+The paper's target users run *iterative* exploration: "typical
+analytical workflows consist of iterative data querying for patterns
+of interest and fetching subsets of data" (Section I).  Traces make
+those workflows first-class artifacts:
+
+* :class:`TracingStore` wraps an :class:`~repro.core.store.MLOCStore`
+  and records every query it serves;
+* :class:`QueryTrace` serializes to/from JSON, so a session captured
+  against one layout can be replayed against another (different level
+  order, bin count, codec, rank count) for an apples-to-apples layout
+  comparison — the empirical input the level-order advisor formalizes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.query import Query
+from repro.core.result import ComponentTimes, QueryResult
+from repro.core.store import MLOCStore
+
+__all__ = ["QueryTrace", "TracingStore", "ReplayReport", "replay_trace"]
+
+_TRACE_VERSION = 1
+
+
+def _query_to_dict(query: Query) -> dict:
+    return {
+        "value_range": list(query.value_range) if query.value_range else None,
+        "region": [list(b) for b in query.region] if query.region else None,
+        "output": query.output,
+        "plod_level": query.plod_level,
+        "resolution_level": query.resolution_level,
+    }
+
+
+def _query_from_dict(payload: dict) -> Query:
+    return Query(
+        value_range=tuple(payload["value_range"]) if payload["value_range"] else None,
+        region=(
+            tuple(tuple(b) for b in payload["region"]) if payload["region"] else None
+        ),
+        output=payload["output"],
+        plod_level=payload["plod_level"],
+        resolution_level=payload["resolution_level"],
+    )
+
+
+@dataclass
+class QueryTrace:
+    """An ordered list of queries, serializable to JSON."""
+
+    queries: list[Query] = field(default_factory=list)
+
+    def append(self, query: Query) -> None:
+        self.queries.append(query)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": _TRACE_VERSION,
+            "queries": [_query_to_dict(q) for q in self.queries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QueryTrace":
+        payload = json.loads(Path(path).read_text())
+        version = payload.get("version")
+        if version != _TRACE_VERSION:
+            raise ValueError(f"unsupported trace version {version!r}")
+        return cls([_query_from_dict(q) for q in payload["queries"]])
+
+
+class TracingStore:
+    """Store wrapper that records every query into a trace."""
+
+    def __init__(self, store: MLOCStore, trace: QueryTrace | None = None) -> None:
+        self.store = store
+        self.trace = trace if trace is not None else QueryTrace()
+
+    def query(self, query: Query, **kwargs) -> QueryResult:
+        self.trace.append(query)
+        return self.store.query(query, **kwargs)
+
+    def __getattr__(self, name):
+        # Delegate everything else (shape, meta, fetch_positions, ...).
+        return getattr(self.store, name)
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a trace against one store."""
+
+    per_query: list[ComponentTimes]
+    n_results: list[int]
+
+    @property
+    def total(self) -> ComponentTimes:
+        out = ComponentTimes()
+        for times in self.per_query:
+            out = out + times
+        return out
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total.total / len(self.per_query) if self.per_query else 0.0
+
+
+def replay_trace(
+    store: MLOCStore,
+    trace: QueryTrace,
+    *,
+    cold_cache: bool = True,
+) -> ReplayReport:
+    """Run every traced query against ``store``; gather the timings.
+
+    ``cold_cache`` clears the PFS cache before each query (the paper's
+    methodology); pass ``False`` to measure a warm iterative session.
+    """
+    per_query: list[ComponentTimes] = []
+    n_results: list[int] = []
+    for query in trace.queries:
+        if cold_cache:
+            store.fs.clear_cache()
+        result = store.query(query)
+        per_query.append(result.times)
+        n_results.append(result.n_results)
+    return ReplayReport(per_query=per_query, n_results=n_results)

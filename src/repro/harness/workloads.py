@@ -1,0 +1,81 @@
+"""Random query workload generation (Section IV-A).
+
+The paper generates "random value and spatial constraints with certain
+selectivity" and reports averages over 100 random queries.  The
+generators here reproduce that protocol:
+
+* a *value constraint* at selectivity ``s`` is a value interval
+  containing fraction ``s`` of the points, anchored at a uniformly
+  random quantile;
+* a *spatial constraint* at selectivity ``s`` is an axis-aligned box
+  covering fraction ``s`` of the domain volume (equal per-axis side
+  fractions), at a uniformly random position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorkloadGenerator", "ValueConstraint", "RegionConstraint"]
+
+ValueConstraint = tuple[float, float]
+RegionConstraint = tuple[tuple[int, int], ...]
+
+
+@dataclass
+class WorkloadGenerator:
+    """Seeded generator of random constraints over one dataset."""
+
+    shape: tuple[int, ...]
+    quantiles: np.ndarray  # value at quantile q, sampled on a fine grid
+    seed: int = 0
+
+    @classmethod
+    def for_data(cls, data: np.ndarray, seed: int = 0, grid: int = 4096) -> "WorkloadGenerator":
+        """Build from the data itself (quantile table precomputed)."""
+        flat = np.asarray(data, dtype=np.float64).reshape(-1)
+        qs = np.quantile(flat, np.linspace(0.0, 1.0, grid + 1))
+        return cls(shape=tuple(data.shape), quantiles=qs, seed=seed)
+
+    # ------------------------------------------------------------------
+    def _quantile(self, q: float) -> float:
+        grid = self.quantiles.size - 1
+        x = q * grid
+        i = int(np.clip(np.floor(x), 0, grid - 1))
+        frac = x - i
+        return float(self.quantiles[i] * (1 - frac) + self.quantiles[i + 1] * frac)
+
+    def value_constraints(
+        self, selectivity: float, n: int
+    ) -> list[ValueConstraint]:
+        """``n`` random value intervals each selecting ~``selectivity``."""
+        if not (0 < selectivity <= 1):
+            raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+        rng = np.random.default_rng(self.seed)
+        out = []
+        for _ in range(n):
+            u = rng.uniform(0.0, 1.0 - selectivity)
+            out.append((self._quantile(u), self._quantile(u + selectivity)))
+        return out
+
+    def region_constraints(
+        self, selectivity: float, n: int
+    ) -> list[RegionConstraint]:
+        """``n`` random boxes each covering ~``selectivity`` of the volume."""
+        if not (0 < selectivity <= 1):
+            raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+        rng = np.random.default_rng(self.seed + 1)
+        ndims = len(self.shape)
+        side = selectivity ** (1.0 / ndims)
+        out = []
+        for _ in range(n):
+            region = []
+            for extent in self.shape:
+                width = max(1, int(round(side * extent)))
+                width = min(width, extent)
+                lo = int(rng.integers(0, extent - width + 1))
+                region.append((lo, lo + width))
+            out.append(tuple(region))
+        return out

@@ -1,0 +1,14 @@
+"""Light-weight indexing: per-bin position indices and WAH bitmaps
+(Sections III-A3 and III-D4)."""
+
+from repro.index.binindex import decode_position_block, encode_position_block
+from repro.index.bitmap import Bitmap, wah_decode, wah_encode, wah_from_positions
+
+__all__ = [
+    "Bitmap",
+    "decode_position_block",
+    "encode_position_block",
+    "wah_decode",
+    "wah_encode",
+    "wah_from_positions",
+]

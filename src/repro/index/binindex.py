@@ -1,0 +1,90 @@
+"""Per-bin position index codec.
+
+MLOC's light-weight index (Section III-A3) records, for every element
+placed in a bin, its original spatial position, so that region-only
+queries over *aligned* bins are answered from the index alone without
+touching (or decompressing) the data.  The index is stored in the bin's
+separate index file (Fig. 4) in the same chunk order as the data.
+
+Within one chunk the element positions are strictly increasing (the
+writer's stable grouping preserves original order), so each chunk's
+positions are delta-encoded with an absolute first value, the deltas of
+a run of chunks are concatenated, varint-packed and deflated.  The
+resulting index is a small fraction of the data (Table I: 1.6 GB for
+8 GB raw), in contrast to FastBit's bitmap index which exceeds it.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.util.varint import varint_decode_array, varint_encode_array
+
+__all__ = ["encode_position_block", "decode_position_block"]
+
+
+def encode_position_block(positions_per_chunk: list[np.ndarray], level: int = 6) -> bytes:
+    """Encode the positions of a run of chunks into one index block.
+
+    Each array must be strictly increasing (positions of one chunk's
+    elements within the bin, in original order).  Empty arrays are
+    allowed (a chunk may contribute nothing to a bin).
+    """
+    deltas: list[np.ndarray] = []
+    for positions in positions_per_chunk:
+        p = np.asarray(positions, dtype=np.int64)
+        if p.size == 0:
+            continue
+        if p.size > 1 and np.any(np.diff(p) <= 0):
+            raise ValueError("chunk positions must be strictly increasing")
+        if p[0] < 0:
+            raise ValueError("positions must be non-negative")
+        d = np.empty(p.size, dtype=np.uint64)
+        d[0] = p[0]
+        d[1:] = np.diff(p).astype(np.uint64)
+        deltas.append(d)
+    if not deltas:
+        return zlib.compress(b"", level)
+    stream = varint_encode_array(np.concatenate(deltas))
+    return zlib.compress(stream, level)
+
+
+def decode_position_block(payload: bytes, counts: np.ndarray) -> list[np.ndarray]:
+    """Decode an index block back into per-chunk position arrays.
+
+    Parameters
+    ----------
+    payload:
+        Bytes produced by :func:`encode_position_block`.
+    counts:
+        Element count of each chunk in the block, in order (from the
+        store metadata).
+
+    Returns
+    -------
+    list of int64 arrays, one per chunk (possibly empty).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    stream = zlib.decompress(payload)
+    deltas = varint_decode_array(stream, total).astype(np.int64)
+    if total == 0:
+        return [np.empty(0, dtype=np.int64) for _ in counts]
+    # Per-chunk cumulative sums in one vectorized pass: a chunk's first
+    # delta is absolute, so subtracting the running prefix before each
+    # chunk start from the global cumsum restores the positions.
+    cs = np.cumsum(deltas)
+    starts = np.zeros(counts.size, dtype=np.int64)
+    starts[1:] = np.cumsum(counts)[:-1]
+    prefixes = np.where(starts > 0, cs[starts - 1], 0)
+    prefix_stream = np.repeat(prefixes, counts)
+    positions = cs - prefix_stream
+
+    out: list[np.ndarray] = []
+    cursor = 0
+    for c in counts:
+        out.append(positions[cursor : cursor + c])
+        cursor += int(c)
+    return out

@@ -1,0 +1,308 @@
+"""Simulated parallel file system (Lustre-like) with I/O accounting.
+
+This is the storage substrate for the whole reproduction.  Bytes are
+held in memory (the real datasets here are tens to hundreds of MB), but
+every access is accounted under the :class:`~repro.pfs.costmodel.PFSCostModel`:
+file opens, seeks (non-contiguous reads), bytes streamed per OST, and an
+extent-level cache that the experiment harness clears between query
+rounds exactly as the paper clears the OS file cache.
+
+Key objects
+-----------
+``SimulatedPFS``
+    The file-system namespace: create/append/read files, striping
+    layout, cache, and global storage accounting.
+``PFSSession``
+    One client's (simulated MPI rank's) view for a single query:
+    accumulates :class:`IOStats` and per-OST byte loads.
+``SimFileHandle``
+    A positioned reader that detects seeks.
+
+Striping follows Lustre's default round-robin layout: stripe *k* of a
+file lives on OST ``(first_ost + k) % ost_count`` where ``first_ost`` is
+derived deterministically from the file name.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.pfs.costmodel import IOStats, PFSCostModel
+
+_SNAPSHOT_VERSION = 1
+
+__all__ = ["SimulatedPFS", "PFSSession", "SimFileHandle", "FileStat"]
+
+
+@dataclass
+class _SimFile:
+    """A single simulated file: a growable byte buffer plus its layout."""
+
+    data: bytearray = field(default_factory=bytearray)
+    first_ost: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Metadata snapshot returned by :meth:`SimulatedPFS.stat`."""
+
+    path: str
+    size: int
+    first_ost: int
+    n_stripes: int
+
+
+class _ExtentCache:
+    """Per-file merged-interval cache of byte extents already read.
+
+    Reads of cached extents are free (they would be served from the
+    client page cache); :meth:`clear` models dropping the cache between
+    experiment rounds.
+    """
+
+    def __init__(self) -> None:
+        self._extents: dict[str, list[tuple[int, int]]] = {}
+
+    def clear(self) -> None:
+        self._extents.clear()
+
+    def drop_file(self, path: str) -> None:
+        self._extents.pop(path, None)
+
+    def uncached_bytes(self, path: str, offset: int, length: int) -> int:
+        """How many of the bytes in [offset, offset+length) are cold."""
+        if length <= 0:
+            return 0
+        cold = length
+        for start, end in self._extents.get(path, ()):
+            lo = max(start, offset)
+            hi = min(end, offset + length)
+            if hi > lo:
+                cold -= hi - lo
+        return cold
+
+    def mark(self, path: str, offset: int, length: int) -> None:
+        """Record [offset, offset+length) as cached, merging intervals."""
+        if length <= 0:
+            return
+        intervals = self._extents.setdefault(path, [])
+        intervals.append((offset, offset + length))
+        intervals.sort()
+        merged: list[tuple[int, int]] = []
+        for start, end in intervals:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        self._extents[path] = merged
+
+
+class SimulatedPFS:
+    """In-memory parallel file system with Lustre-style striping.
+
+    Parameters
+    ----------
+    cost_model:
+        The :class:`PFSCostModel` controlling striping geometry and the
+        time attributed to opens/seeks/transfers.
+    """
+
+    def __init__(self, cost_model: PFSCostModel | None = None) -> None:
+        self.cost_model = cost_model if cost_model is not None else PFSCostModel()
+        self._files: dict[str, _SimFile] = {}
+        self._cache = _ExtentCache()
+
+    # ------------------------------------------------------------------
+    # Namespace operations
+    # ------------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` names a file in the namespace."""
+        return path in self._files
+
+    def create(self, path: str, overwrite: bool = True) -> None:
+        """Create an empty file; its first OST is derived from the name."""
+        if not overwrite and path in self._files:
+            raise FileExistsError(path)
+        first_ost = zlib.crc32(path.encode()) % self.cost_model.ost_count
+        self._files[path] = _SimFile(first_ost=first_ost)
+        self._cache.drop_file(path)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create (or replace) ``path`` with ``data``."""
+        self.create(path, overwrite=True)
+        self._files[path].data.extend(data)
+
+    def append(self, path: str, data: bytes) -> int:
+        """Append ``data``; returns the offset at which it was written."""
+        f = self._require(path)
+        offset = len(f.data)
+        f.data.extend(data)
+        return offset
+
+    def delete(self, path: str) -> None:
+        """Remove ``path`` (raises ``FileNotFoundError`` if absent)."""
+        self._require(path)
+        del self._files[path]
+        self._cache.drop_file(path)
+
+    def stat(self, path: str) -> FileStat:
+        """Size and striping metadata of ``path``."""
+        f = self._require(path)
+        stripe = self.cost_model.stripe_size
+        n_stripes = (f.size + stripe - 1) // stripe
+        return FileStat(path=path, size=f.size, first_ost=f.first_ost, n_stripes=n_stripes)
+
+    def size(self, path: str) -> int:
+        """Current size of ``path`` in bytes."""
+        return self._require(path).size
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        """All paths under ``prefix``, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Total storage under ``prefix`` (used for Table I accounting)."""
+        return sum(f.size for p, f in self._files.items() if p.startswith(prefix))
+
+    def clear_cache(self) -> None:
+        """Drop the extent cache: the next reads hit 'disk' again."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence (snapshots of the whole simulated file system)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Snapshot every file (and the cost model) to a real file.
+
+        Lets encoded datasets outlive the process — e.g. the CLI builds
+        a dataset once and queries it from later invocations.  The
+        extent cache is deliberately not persisted (a fresh snapshot
+        load is a cold file system).
+        """
+        payload = {
+            "version": _SNAPSHOT_VERSION,
+            "cost_model": self.cost_model,
+            "files": {
+                name: (bytes(f.data), f.first_ost) for name, f in self._files.items()
+            },
+        }
+        Path(path).write_bytes(pickle.dumps(payload, protocol=4))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SimulatedPFS":
+        """Restore a snapshot written by :meth:`save`."""
+        payload = pickle.loads(Path(path).read_bytes())
+        version = payload.get("version")
+        if version != _SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {version!r}")
+        fs = cls(payload["cost_model"])
+        for name, (data, first_ost) in payload["files"].items():
+            fs._files[name] = _SimFile(data=bytearray(data), first_ost=first_ost)
+        return fs
+
+    def _require(self, path: str) -> _SimFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    # ------------------------------------------------------------------
+    # Client sessions
+    # ------------------------------------------------------------------
+    def session(self) -> "PFSSession":
+        """Open a new accounting session (one per simulated rank/query)."""
+        return PFSSession(self)
+
+    # Internal: distribute ``length`` cold bytes of a read across OSTs.
+    def _ost_loads(self, f: _SimFile, offset: int, length: int) -> np.ndarray:
+        loads = np.zeros(self.cost_model.ost_count, dtype=np.int64)
+        if length <= 0:
+            return loads
+        stripe = self.cost_model.stripe_size
+        first = offset // stripe
+        last = (offset + length - 1) // stripe
+        stripes = np.arange(first, last + 1, dtype=np.int64)
+        starts = np.maximum(stripes * stripe, offset)
+        ends = np.minimum((stripes + 1) * stripe, offset + length)
+        osts = (f.first_ost + stripes) % self.cost_model.ost_count
+        np.add.at(loads, osts, ends - starts)
+        return loads
+
+
+class SimFileHandle:
+    """A positioned read handle that charges seeks on discontinuity."""
+
+    def __init__(self, session: "PFSSession", path: str) -> None:
+        self._session = session
+        self._path = path
+        self._pos: int | None = None  # None => no read yet; first read seeks
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``, charging I/O costs."""
+        fs = self._session.fs
+        f = fs._require(self._path)
+        if offset < 0 or length < 0 or offset + length > f.size:
+            raise ValueError(
+                f"read out of range: [{offset}, {offset + length}) of {self._path} "
+                f"(size {f.size})"
+            )
+        stats = self._session.stats
+        if self._pos is None or offset != self._pos:
+            stats.seeks += 1
+        self._pos = offset + length
+        stats.reads += 1
+
+        cold = fs._cache.uncached_bytes(self._path, offset, length)
+        if cold > 0:
+            # Charge only the cold fraction; distribute proportionally
+            # over the stripes the full extent touches.
+            loads = fs._ost_loads(f, offset, length)
+            total = int(loads.sum())
+            if total > 0:
+                scaled = loads.astype(np.float64) * (cold / total)
+                self._session.ost_bytes += scaled
+            stats.bytes_read += cold
+            fs._cache.mark(self._path, offset, length)
+        return bytes(f.data[offset : offset + length])
+
+    def read_all(self) -> bytes:
+        return self.read(0, self._session.fs.size(self._path))
+
+
+class PFSSession:
+    """One client's I/O accounting context.
+
+    Open handles are cached per path (a client keeps a file open for the
+    duration of a query), so each distinct file costs exactly one
+    file-open metadata operation per session.
+    """
+
+    def __init__(self, fs: SimulatedPFS) -> None:
+        self.fs = fs
+        self.stats = IOStats()
+        self.ost_bytes = np.zeros(fs.cost_model.ost_count, dtype=np.float64)
+        self._handles: dict[str, SimFileHandle] = {}
+
+    def open(self, path: str) -> SimFileHandle:
+        if path not in self._handles:
+            self.fs._require(path)  # raise FileNotFoundError eagerly
+            self.stats.opens += 1
+            self._handles[path] = SimFileHandle(self, path)
+        return self._handles[path]
+
+    def serial_seconds(self) -> float:
+        """Simulated seconds if this session ran alone."""
+        return self.fs.cost_model.serial_time(self.stats)

@@ -1,0 +1,36 @@
+"""Precision-based Level of Detail (PLoD) byte-plane machinery
+(Section III-B3, Fig. 3) and its error metrics."""
+
+from repro.plod.accuracy import (
+    PLoDErrorReport,
+    io_reduction,
+    plod_error_report,
+    relative_errors,
+)
+from repro.plod.byteplanes import (
+    FULL_PLOD_LEVEL,
+    GROUP_OFFSETS,
+    GROUP_WIDTHS,
+    N_GROUPS,
+    assemble_from_groups,
+    bytes_for_level,
+    groups_for_level,
+    plod_degrade,
+    split_byte_groups,
+)
+
+__all__ = [
+    "FULL_PLOD_LEVEL",
+    "GROUP_OFFSETS",
+    "GROUP_WIDTHS",
+    "N_GROUPS",
+    "PLoDErrorReport",
+    "assemble_from_groups",
+    "bytes_for_level",
+    "groups_for_level",
+    "io_reduction",
+    "plod_degrade",
+    "plod_error_report",
+    "relative_errors",
+    "split_byte_groups",
+]

@@ -1,0 +1,27 @@
+"""Space-filling curves: Hilbert (MLOC's choice), Z-order, hierarchical.
+
+Implements Section III-B2 (HSFC chunk ordering) and the hierarchical
+ordering behind subset-based multiresolution (Section III-B3).
+"""
+
+from repro.sfc.hierarchical import (
+    hierarchical_levels,
+    hierarchical_order,
+    level_prefix_counts,
+)
+from repro.sfc.hilbert import hilbert_decode, hilbert_encode
+from repro.sfc.linearize import CURVES, CurveOrder, chunk_curve_order
+from repro.sfc.zorder import zorder_decode, zorder_encode
+
+__all__ = [
+    "CURVES",
+    "CurveOrder",
+    "chunk_curve_order",
+    "hierarchical_levels",
+    "hierarchical_order",
+    "hilbert_decode",
+    "hilbert_encode",
+    "level_prefix_counts",
+    "zorder_decode",
+    "zorder_encode",
+]

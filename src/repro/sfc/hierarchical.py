@@ -1,0 +1,98 @@
+"""Hierarchical Hilbert ordering for subset-based multiresolution.
+
+Section III-B3 of the paper: besides the byte-level PLoD scheme, MLOC
+supports the traditional *subset-based* multiresolution access by
+storing data of the same resolution level together using a hierarchical
+Hilbert space-filling-curve mapping (in the spirit of Pascucci's
+hierarchical indexing).  Reading resolution levels ``0..r`` yields a
+uniform spatial subsample of the chunk grid that covers the whole
+domain, so a low-resolution visualization pass fetches a small prefix
+of each bin file.
+
+Level definition
+----------------
+For a grid of ``2**b`` chunks per axis, a chunk at coordinates ``c``
+belongs to level ``L`` (``0 <= L <= b``) where ``L`` is the smallest
+value such that every coordinate of ``c`` is a multiple of
+``2**(b-L)``.  Level 0 contains only the origin chunk; level ``L`` adds
+the chunks on the ``2**L``-per-axis lattice not already present in
+coarser levels; level ``b`` completes the grid.  Within a level, chunks
+are ordered by their Hilbert index, preserving spatial locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sfc.hilbert import hilbert_encode
+from repro.sfc.linearize import CurveOrder, _grid_coords
+
+__all__ = ["hierarchical_levels", "hierarchical_order", "level_prefix_counts"]
+
+
+def hierarchical_levels(grid_shape: tuple[int, ...]) -> np.ndarray:
+    """Resolution level of every chunk (row-major ids).
+
+    Requires every axis extent to be the same power of two (the layout
+    used by the multiresolution experiments).
+    """
+    _check_grid(grid_shape)
+    b = int(grid_shape[0] - 1).bit_length()
+    coords = _grid_coords(grid_shape)
+    levels = np.zeros(coords.shape[0], dtype=np.int64)
+    for axis in range(coords.shape[1]):
+        c = coords[:, axis]
+        # Smallest L with c % 2**(b-L) == 0, i.e. b - trailing_zeros(c)
+        # clamped to [0, b]; c == 0 belongs to every lattice.
+        axis_level = np.full(c.shape, 0, dtype=np.int64)
+        nonzero = c != 0
+        tz = np.zeros(c.shape, dtype=np.int64)
+        cc = c.copy()
+        # Count trailing zeros vectorized (b is small: <= 20 iterations).
+        remaining = nonzero.copy()
+        while np.any(remaining):
+            even = remaining & ((cc & 1) == 0)
+            tz[even] += 1
+            cc[even] >>= 1
+            remaining = even
+        axis_level[nonzero] = b - tz[nonzero]
+        np.maximum(levels, axis_level, out=levels)
+    return levels
+
+
+def hierarchical_order(grid_shape: tuple[int, ...]) -> CurveOrder:
+    """Chunk ordering grouped by resolution level, Hilbert within level."""
+    _check_grid(grid_shape)
+    b = max(int(grid_shape[0] - 1).bit_length(), 1)
+    coords = _grid_coords(grid_shape)
+    hkeys = hilbert_encode(coords, b)
+    levels = hierarchical_levels(grid_shape)
+    # Primary key: level; secondary: Hilbert index.
+    order = np.lexsort((hkeys, levels)).astype(np.int64)
+    return CurveOrder(order)
+
+
+def level_prefix_counts(grid_shape: tuple[int, ...]) -> np.ndarray:
+    """Number of chunks in levels ``0..L`` inclusive, for each ``L``.
+
+    ``counts[L]`` is the length of the file prefix a resolution-``L``
+    access reads.
+    """
+    levels = hierarchical_levels(grid_shape)
+    b = int(levels.max()) if levels.size else 0
+    counts = np.array([(levels <= L).sum() for L in range(b + 1)], dtype=np.int64)
+    return counts
+
+
+def _check_grid(grid_shape: tuple[int, ...]) -> None:
+    if len(grid_shape) == 0:
+        raise ValueError("grid_shape must have at least one dimension")
+    first = grid_shape[0]
+    if first <= 0 or (first & (first - 1)) != 0:
+        raise ValueError(
+            f"hierarchical ordering needs power-of-two extents, got {grid_shape}"
+        )
+    if any(extent != first for extent in grid_shape):
+        raise ValueError(
+            f"hierarchical ordering needs equal extents per axis, got {grid_shape}"
+        )

@@ -1,0 +1,7 @@
+"""Operational tools: store integrity checking (fsck) and layout
+migration (relayout)."""
+
+from repro.tools.fsck import Issue, check_store
+from repro.tools.relayout import RelayoutReport, relayout
+
+__all__ = ["Issue", "RelayoutReport", "check_store", "relayout"]

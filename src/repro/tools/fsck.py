@@ -1,0 +1,356 @@
+"""fsck: deep integrity checking of an MLOC store.
+
+Walks every structural invariant of the on-disk layout — the contracts
+between metadata, block tables, subfiles, codecs, and position indices
+— and decodes every block.  Checks, per variable:
+
+* metadata parses, is internally consistent, and its counts cover the
+  array exactly;
+* each bin's data/index block tables form a contiguous, non-overlapping
+  partition of the cell/chunk space, with offsets matching the actual
+  subfile bytes;
+* every data block decompresses to exactly its recorded raw length;
+* every index block decodes to position lists matching the per-chunk
+  counts, with strictly increasing in-chunk-range local ids;
+* across bins, each chunk's local ids partition ``{0..chunk_size-1}``
+  exactly (every element in exactly one bin);
+* decoded values actually fall inside their bin's value interval
+  (within the lossy codec's error bound for ISABELA stores); for PLoD
+  stores the values are first reassembled from all seven byte planes.
+
+Returns a list of :class:`Issue` records; an empty list means the store
+is sound.  Used by the CLI (``python -m repro.cli fsck``) and the test
+suite's corruption-injection tests.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import ByteCodec, make_codec
+from repro.core.chunking import ChunkGrid
+from repro.core.executor import _cell_sizes
+from repro.core.meta import StoreMeta
+from repro.index.binindex import decode_position_block
+from repro.pfs.layout import BinFileSet
+from repro.pfs.simfs import SimulatedPFS
+
+__all__ = ["Issue", "check_store"]
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One detected inconsistency."""
+
+    severity: str  # "error" | "warning"
+    location: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.location}: {self.message}"
+
+
+def check_store(fs: SimulatedPFS, root: str, variable: str) -> list[Issue]:
+    """Run every integrity check on ``root/variable``; see module doc."""
+    issues: list[Issue] = []
+    var_root = f"{root.rstrip('/')}/{variable}"
+    meta_path = f"{var_root}/meta"
+    if not fs.exists(meta_path):
+        return [Issue("error", meta_path, "metadata file missing")]
+
+    try:
+        meta = StoreMeta.from_bytes(bytes(fs.session().open(meta_path).read_all()))
+    except Exception as exc:
+        return [Issue("error", meta_path, f"metadata unreadable: {exc}")]
+
+    config = meta.config
+    grid = ChunkGrid(meta.shape, config.chunk_shape)
+    files = BinFileSet(var_root, config.n_bins)
+    codec = make_codec(config.codec, **config.codec_params)
+    n_chunks = meta.n_chunks
+    if n_chunks != grid.n_chunks:
+        issues.append(
+            Issue(
+                "error",
+                meta_path,
+                f"counts cover {n_chunks} chunks but the grid has {grid.n_chunks}",
+            )
+        )
+        return issues
+
+    n_cells = n_chunks * config.n_groups
+    lossy_bound = None
+    if config.codec == "isabela":
+        lossy_bound = codec.error_rate  # relative to per-window max
+
+    # Per-chunk accumulation of local ids across bins (coverage check).
+    chunk_locals: list[list[np.ndarray]] = [[] for _ in range(n_chunks)]
+
+    for b in range(config.n_bins):
+        loc = f"bin {b:04d}"
+        data_path, index_path = files.data_path(b), files.index_path(b)
+        missing = False
+        for path in (data_path, index_path):
+            if not fs.exists(path):
+                issues.append(Issue("error", loc, f"subfile missing: {path}"))
+                missing = True
+        if missing:
+            continue
+
+        issues += _check_table(
+            meta.data_blocks[b], n_cells, fs.size(data_path), loc + " data table"
+        )
+        issues += _check_table(
+            meta.index_blocks[b], n_chunks, fs.size(index_path), loc + " index table"
+        )
+
+        # Decode every data block.
+        session = fs.session()
+        handle = session.open(data_path)
+        cell_sizes = _cell_sizes(config, meta.counts[b], n_chunks)
+        cell_offsets = np.zeros(cell_sizes.size + 1, dtype=np.int64)
+        np.cumsum(cell_sizes, out=cell_offsets[1:])
+        lo_edge, hi_edge = float(meta.edges[b]), float(meta.edges[b + 1])
+        plane_stream = bytearray()  # decoded bytes in cell order (PLoD)
+        stream_sound = True
+        for row in meta.data_blocks[b]:
+            cell_start, cell_end, offset, comp_len, raw_len, crc = (
+                int(v) for v in row
+            )
+            expected_raw = int(cell_offsets[cell_end] - cell_offsets[cell_start])
+            if expected_raw != raw_len:
+                issues.append(
+                    Issue(
+                        "error",
+                        f"{loc} block cells [{cell_start},{cell_end})",
+                        f"recorded raw_len {raw_len} != counts-derived {expected_raw}",
+                    )
+                )
+                stream_sound = False
+                continue
+            try:
+                payload = handle.read(offset, comp_len)
+                if zlib.crc32(payload) != crc:
+                    issues.append(
+                        Issue(
+                            "error",
+                            f"{loc} block at offset {offset}",
+                            "payload CRC mismatch",
+                        )
+                    )
+                    stream_sound = False
+                    continue
+                if isinstance(codec, ByteCodec):
+                    raw = codec.decode(payload, raw_len)
+                    ok = len(raw) == raw_len
+                    if ok:
+                        plane_stream.extend(raw)
+                else:
+                    values = codec.decode(payload, raw_len // 8)
+                    ok = values.size == raw_len // 8
+                    if ok and values.size:
+                        issues += _check_bin_membership(
+                            values, b, config.n_bins, lo_edge, hi_edge,
+                            lossy_bound, loc,
+                        )
+            except Exception as exc:
+                issues.append(
+                    Issue(
+                        "error",
+                        f"{loc} block at offset {offset}",
+                        f"decode failed: {exc}",
+                    )
+                )
+                stream_sound = False
+                continue
+            if not ok:
+                issues.append(
+                    Issue(
+                        "error",
+                        f"{loc} block at offset {offset}",
+                        "decoded length mismatch",
+                    )
+                )
+                stream_sound = False
+
+        # PLoD stores: reassemble the bin's values from its byte planes
+        # and verify bin membership (the strongest cross-plane check).
+        if config.plod_enabled and stream_sound:
+            issues += _check_plod_bin_values(
+                np.frombuffer(bytes(plane_stream), dtype=np.uint8),
+                meta,
+                b,
+                cell_offsets,
+                lo_edge,
+                hi_edge,
+                loc,
+            )
+
+        # Decode every index block and collect coverage.
+        handle = session.open(index_path)
+        for row in meta.index_blocks[b]:
+            cpos_start, cpos_end, offset, comp_len, crc = (int(v) for v in row)
+            counts = meta.counts[b, cpos_start:cpos_end]
+            try:
+                payload = handle.read(offset, comp_len)
+                if zlib.crc32(payload) != crc:
+                    issues.append(
+                        Issue(
+                            "error",
+                            f"{loc} index block [{cpos_start},{cpos_end})",
+                            "payload CRC mismatch",
+                        )
+                    )
+                    continue
+                per_chunk = decode_position_block(payload, counts)
+            except Exception as exc:
+                issues.append(
+                    Issue(
+                        "error",
+                        f"{loc} index block [{cpos_start},{cpos_end})",
+                        f"decode failed: {exc}",
+                    )
+                )
+                continue
+            for i, local_ids in enumerate(per_chunk):
+                cpos = cpos_start + i
+                if local_ids.size:
+                    if local_ids.min() < 0 or local_ids.max() >= grid.chunk_size:
+                        issues.append(
+                            Issue(
+                                "error",
+                                f"{loc} chunk pos {cpos}",
+                                "local ids out of chunk range",
+                            )
+                        )
+                    if np.any(np.diff(local_ids) <= 0):
+                        issues.append(
+                            Issue(
+                                "error",
+                                f"{loc} chunk pos {cpos}",
+                                "local ids not strictly increasing",
+                            )
+                        )
+                chunk_locals[cpos].append(local_ids)
+
+    # Cross-bin coverage: every chunk partitioned exactly.
+    for cpos in range(n_chunks):
+        merged = (
+            np.concatenate(chunk_locals[cpos])
+            if chunk_locals[cpos]
+            else np.empty(0, dtype=np.int64)
+        )
+        if merged.size != grid.chunk_size or (
+            merged.size and np.unique(merged).size != grid.chunk_size
+        ):
+            issues.append(
+                Issue(
+                    "error",
+                    f"chunk pos {cpos}",
+                    f"bins cover {np.unique(merged).size}/{grid.chunk_size} "
+                    "elements (must partition exactly)",
+                )
+            )
+    return issues
+
+
+def _check_plod_bin_values(
+    stream: np.ndarray,
+    meta: StoreMeta,
+    bin_id: int,
+    cell_offsets: np.ndarray,
+    lo_edge: float,
+    hi_edge: float,
+    loc: str,
+) -> list[Issue]:
+    """Reassemble a PLoD bin's values from its byte planes and check
+    that they fall inside the bin interval."""
+    from repro.plod.byteplanes import GROUP_WIDTHS, N_GROUPS, assemble_from_groups
+
+    config = meta.config
+    n_chunks = meta.n_chunks
+    counts = meta.counts[bin_id].astype(np.int64)
+    n_elem = int(counts.sum())
+    if n_elem == 0:
+        return []
+    groups: list[np.ndarray] = []
+    try:
+        for g in range(N_GROUPS):
+            if config.group_major:  # cells of group g are contiguous
+                lo = int(cell_offsets[g * n_chunks])
+                hi = int(cell_offsets[(g + 1) * n_chunks])
+                groups.append(stream[lo:hi])
+            else:  # V-S-M: gather group-g cells chunk by chunk
+                parts = [
+                    stream[
+                        int(cell_offsets[cpos * N_GROUPS + g]) : int(
+                            cell_offsets[cpos * N_GROUPS + g + 1]
+                        )
+                    ]
+                    for cpos in range(n_chunks)
+                ]
+                groups.append(np.concatenate(parts))
+        expected = [n_elem * GROUP_WIDTHS[g] for g in range(N_GROUPS)]
+        if [g.size for g in groups] != expected:
+            return [Issue("error", loc, "byte-plane stream sizes inconsistent")]
+        values = assemble_from_groups(groups, n_elem, N_GROUPS)
+    except Exception as exc:
+        return [Issue("error", loc, f"byte-plane reassembly failed: {exc}")]
+    return _check_bin_membership(
+        values, bin_id, config.n_bins, lo_edge, hi_edge, None, loc
+    )
+
+
+def _check_table(table: np.ndarray, n_units: int, file_size: int, loc: str) -> list[Issue]:
+    """Contiguity/offset invariants of one block table."""
+    issues: list[Issue] = []
+    if table.shape[0] == 0:
+        return [Issue("error", loc, "empty block table")]
+    if int(table[0, 0]) != 0:
+        issues.append(Issue("error", loc, f"first block starts at {table[0, 0]}, not 0"))
+    if int(table[-1, 1]) != n_units:
+        issues.append(
+            Issue("error", loc, f"last block ends at {table[-1, 1]}, expected {n_units}")
+        )
+    if not np.array_equal(table[1:, 0], table[:-1, 1]):
+        issues.append(Issue("error", loc, "block unit ranges are not contiguous"))
+    if int(table[0, 2]) != 0:
+        issues.append(Issue("error", loc, "first block offset is not 0"))
+    if not np.array_equal(table[1:, 2], table[:-1, 2] + table[:-1, 3]):
+        issues.append(Issue("error", loc, "block offsets do not chain"))
+    end = int(table[-1, 2] + table[-1, 3])
+    if end != file_size:
+        issues.append(
+            Issue("error", loc, f"blocks end at byte {end}, file has {file_size}")
+        )
+    return issues
+
+
+def _check_bin_membership(
+    values: np.ndarray,
+    bin_id: int,
+    n_bins: int,
+    lo_edge: float,
+    hi_edge: float,
+    lossy_bound: float | None,
+    loc: str,
+) -> list[Issue]:
+    """Values of a full-value block must lie inside their bin interval."""
+    lo = -np.inf if bin_id == 0 else lo_edge
+    hi = np.inf if bin_id == n_bins - 1 else hi_edge
+    slack = 0.0
+    if lossy_bound is not None:
+        slack = 0.5 * lossy_bound * float(np.abs(values).max())
+    bad = np.count_nonzero((values < lo - slack) | (values >= hi + slack))
+    if bad:
+        return [
+            Issue(
+                "error",
+                loc,
+                f"{bad} values outside bin interval [{lo}, {hi}) (+/-{slack:g})",
+            )
+        ]
+    return []

@@ -1,0 +1,87 @@
+"""Lightweight CPU timers used to attribute real work to query components.
+
+MLOC's evaluation decomposes every data access into I/O, decompression
+and reconstruction (Fig. 6 of the paper).  I/O seconds in this
+reproduction come from the simulated PFS cost model
+(:mod:`repro.pfs.costmodel`); decompression and reconstruction are real
+computation, measured with these timers.
+
+The clock is :func:`time.process_time` — CPU seconds of this process —
+not wall time: component times get multiplied by the dataset
+magnification factor (DESIGN.md §5), so scheduling delays from
+*other* processes on the machine would otherwise be amplified into
+spurious seconds.  The measured sections are single-threaded NumPy
+work, for which CPU time equals busy wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "TimerRegistry"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating CPU-time stopwatch usable as a context manager.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(100))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started: float | None = None
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.process_time()
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.process_time() - self._started
+        self.elapsed += delta
+        self._started = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+@dataclass
+class TimerRegistry:
+    """Named collection of stopwatches.
+
+    The query executor creates one registry per simulated MPI rank so
+    the per-component critical path (max over ranks) can be reported.
+    """
+
+    timers: dict[str, Stopwatch] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Stopwatch:
+        if name not in self.timers:
+            self.timers[name] = Stopwatch()
+        return self.timers[name]
+
+    def elapsed(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never used)."""
+        timer = self.timers.get(name)
+        return timer.elapsed if timer is not None else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: sw.elapsed for name, sw in self.timers.items()}

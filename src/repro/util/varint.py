@@ -1,0 +1,124 @@
+"""Vectorized LEB128-style variable-length integer packing.
+
+The per-bin position indices in MLOC are stored as *deltas* between
+consecutive (sorted) linear element positions.  Deltas are small, so a
+variable-length encoding followed by a general-purpose compressor (zlib)
+yields an index of roughly 20% of the raw data size, matching the
+index-size column of Table I in the paper.
+
+A pure-Python byte-at-a-time varint codec would be hopelessly slow for
+millions of positions, so both directions are vectorized with NumPy:
+
+* ``varint_encode_array`` computes the byte-length of every value up
+  front, allocates one output buffer, and scatters the payload bytes of
+  each length class with masked writes.
+* ``varint_decode_array`` identifies continuation bits on the whole
+  buffer at once, segments the stream into values via a cumulative sum,
+  and horners the 7-bit groups back together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["varint_encode_array", "varint_decode_array"]
+
+#: Maximum bytes a uint64 can occupy in LEB128 (ceil(64 / 7)).
+_MAX_LEN = 10
+
+
+def _byte_lengths(values: np.ndarray) -> np.ndarray:
+    """Return the LEB128 encoded length (in bytes) of each value."""
+    lengths = np.ones(values.shape, dtype=np.int64)
+    v = values >> np.uint64(7)
+    while np.any(v):
+        lengths += (v != 0).astype(np.int64)
+        v = v >> np.uint64(7)
+    return lengths
+
+
+def varint_encode_array(values: np.ndarray) -> bytes:
+    """Encode a 1-D array of unsigned integers as a LEB128 byte stream.
+
+    Parameters
+    ----------
+    values:
+        1-D array of non-negative integers.  Converted to ``uint64``.
+
+    Returns
+    -------
+    bytes
+        The concatenated varint encoding of all values, in order.
+    """
+    values = np.ascontiguousarray(values)
+    if values.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {values.shape}")
+    if values.size == 0:
+        return b""
+    if np.issubdtype(values.dtype, np.signedinteger) and np.any(values < 0):
+        raise ValueError("varint encoding requires non-negative values")
+    v = values.astype(np.uint64)
+
+    lengths = _byte_lengths(v)
+    total = int(lengths.sum())
+    out = np.zeros(total, dtype=np.uint8)
+    # Offsets of the first byte of each value in the output stream.
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+
+    max_len = int(lengths.max())
+    remaining = v.copy()
+    for byte_i in range(max_len):
+        mask = lengths > byte_i
+        positions = starts[mask] + byte_i
+        payload = (remaining[mask] & np.uint64(0x7F)).astype(np.uint8)
+        # Continuation bit set on every byte except the last of a value.
+        cont = (lengths[mask] - 1 > byte_i).astype(np.uint8) << 7
+        out[positions] = payload | cont
+        remaining[mask] = remaining[mask] >> np.uint64(7)
+    return out.tobytes()
+
+
+def varint_decode_array(buffer: bytes | np.ndarray, count: int | None = None) -> np.ndarray:
+    """Decode a LEB128 byte stream back to a ``uint64`` array.
+
+    Parameters
+    ----------
+    buffer:
+        The byte stream produced by :func:`varint_encode_array`.
+    count:
+        Optional expected number of values; used as a sanity check.
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D ``uint64`` array of the decoded values.
+    """
+    raw = np.frombuffer(buffer, dtype=np.uint8) if not isinstance(buffer, np.ndarray) else buffer
+    if raw.size == 0:
+        result = np.empty(0, dtype=np.uint64)
+        if count not in (None, 0):
+            raise ValueError(f"expected {count} values, decoded 0")
+        return result
+
+    is_last = (raw & 0x80) == 0
+    if not is_last[-1]:
+        raise ValueError("truncated varint stream: final byte has continuation bit set")
+    # value_id[i] = index of the value byte i belongs to.
+    value_id = np.zeros(raw.size, dtype=np.int64)
+    value_id[1:] = np.cumsum(is_last)[:-1]
+    n_values = int(value_id[-1]) + 1
+    if count is not None and n_values != count:
+        raise ValueError(f"expected {count} values, decoded {n_values}")
+
+    # Position of each byte within its value (0 = least significant group).
+    starts_mask = np.ones(raw.size, dtype=bool)
+    starts_mask[1:] = is_last[:-1]
+    start_positions = np.flatnonzero(starts_mask)
+    within = np.arange(raw.size, dtype=np.int64) - start_positions[value_id]
+    if np.any(within >= _MAX_LEN):
+        raise ValueError("varint value exceeds 64 bits")
+
+    groups = (raw & 0x7F).astype(np.uint64) << (np.uint64(7) * within.astype(np.uint64))
+    out = np.zeros(n_values, dtype=np.uint64)
+    np.add.at(out, value_id, groups)
+    return out

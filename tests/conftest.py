@@ -1,0 +1,66 @@
+"""Shared fixtures: deterministic RNGs, small datasets, built stores.
+
+Store-building is the expensive part of the integration tests, so the
+written stores are session-scoped and shared; tests must not mutate
+them (queries are read-only by construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, mloc_col, mloc_isa, mloc_iso
+from repro.datasets import gts_like, s3d_like
+from repro.pfs import SimulatedPFS
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def gts_small() -> np.ndarray:
+    """2-D 256x256 GTS-like field used across integration tests."""
+    return gts_like((256, 256), seed=7)
+
+
+@pytest.fixture(scope="session")
+def s3d_small() -> np.ndarray:
+    """3-D 48x48x48 S3D-like field."""
+    return s3d_like((48, 48, 48), seed=8)
+
+
+def _build(data: np.ndarray, maker, chunk_shape, **overrides):
+    fs = SimulatedPFS()
+    config = maker(
+        chunk_shape=chunk_shape,
+        n_bins=overrides.pop("n_bins", 16),
+        target_block_bytes=overrides.pop("target_block_bytes", 8 * 1024),
+        **overrides,
+    )
+    MLOCWriter(fs, "/store", config).write(data, variable="field")
+    store = MLOCStore.open(fs, "/store", "field", n_ranks=4)
+    return fs, store
+
+
+@pytest.fixture(scope="session")
+def col_store(gts_small):
+    """(fs, store) for an MLOC-COL layout over the small GTS field."""
+    return _build(gts_small, mloc_col, (32, 32))
+
+
+@pytest.fixture(scope="session")
+def iso_store(gts_small):
+    return _build(gts_small, mloc_iso, (32, 32))
+
+
+@pytest.fixture(scope="session")
+def isa_store(gts_small):
+    return _build(gts_small, mloc_isa, (32, 32))
+
+
+@pytest.fixture(scope="session")
+def col_store_3d(s3d_small):
+    return _build(s3d_small, mloc_col, (16, 16, 16))

@@ -1,0 +1,106 @@
+"""Tests for the level-order advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import (
+    AdvisorReport,
+    QueryClass,
+    WorkloadProfile,
+    recommend_level_order,
+)
+from repro.core.config import mloc_col
+from repro.datasets import s3d_like
+from repro.pfs import PFSCostModel
+
+
+class TestQueryClass:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="pattern"):
+            QueryClass("scan")
+        with pytest.raises(ValueError, match="selectivity"):
+            QueryClass("region", selectivity=0.0)
+
+    def test_defaults(self):
+        q = QueryClass("value")
+        assert q.plod_level == 7 and q.selectivity == 0.01
+
+
+class TestWorkloadProfile:
+    def test_presets(self):
+        for profile in (
+            WorkloadProfile.fusion_like(),
+            WorkloadProfile.climate_like(),
+            WorkloadProfile.analytics_like(),
+        ):
+            assert sum(w for _, w in profile.classes) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WorkloadProfile(())
+        with pytest.raises(ValueError, match="positive"):
+            WorkloadProfile(((QueryClass("region"), 0.0),))
+
+
+class TestRecommendation:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return s3d_like((64, 64, 64), seed=51)
+
+    @pytest.fixture(scope="class")
+    def base_config(self):
+        return mloc_col(
+            chunk_shape=(16, 16, 16), n_bins=8, target_block_bytes=4096
+        )
+
+    def test_report_structure(self, sample, base_config):
+        report = recommend_level_order(
+            sample,
+            WorkloadProfile.climate_like(),
+            base_config,
+            n_queries=2,
+        )
+        assert isinstance(report, AdvisorReport)
+        assert set(report.scores) == {"VMS", "VSM"}
+        assert report.recommended in report.scores
+        assert report.ranking()[0] == report.recommended
+        assert all(len(v) == 2 for v in report.per_class.values())
+
+    def test_plod_heavy_profile_prefers_vms(self, sample, base_config):
+        """Table VII's mechanism through the advisor: a reduced-
+        precision-dominated workload favors V-M-S; a full-precision
+        retrieval workload favors V-S-M."""
+        cost = PFSCostModel(byte_scale=(8 << 30) / sample.nbytes)
+        plod_heavy = WorkloadProfile(
+            ((QueryClass("value", 0.10, plod_level=2), 1.0),)
+        )
+        full_heavy = WorkloadProfile(((QueryClass("value", 0.10, plod_level=7), 1.0),))
+        r_plod = recommend_level_order(
+            sample, plod_heavy, base_config, cost_model=cost, n_queries=4
+        )
+        r_full = recommend_level_order(
+            sample, full_heavy, base_config, cost_model=cost, n_queries=4
+        )
+        assert r_plod.recommended == "VMS"
+        assert r_full.recommended == "VSM"
+
+    def test_single_candidate(self, sample, base_config):
+        report = recommend_level_order(
+            sample,
+            WorkloadProfile.fusion_like(),
+            base_config,
+            candidates=("VMS",),
+            n_queries=1,
+        )
+        assert report.recommended == "VMS"
+
+    def test_no_candidates_rejected(self, sample, base_config):
+        with pytest.raises(ValueError, match="at least one candidate"):
+            recommend_level_order(
+                sample, WorkloadProfile.fusion_like(), base_config, candidates=()
+            )
+
+    def test_combined_pattern_runs(self, sample, base_config):
+        profile = WorkloadProfile(((QueryClass("combined", 0.05), 1.0),))
+        report = recommend_level_order(sample, profile, base_config, n_queries=1)
+        assert report.recommended in ("VMS", "VSM")

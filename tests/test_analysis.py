@@ -1,0 +1,110 @@
+"""Tests for the analysis kernels (histogram migration, K-means)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import equal_width_histogram, histogram_migration_error
+from repro.analysis.kmeans import assign_clusters, kmeans, kmeans_misclassification
+
+
+class TestHistogram:
+    def test_equal_width_counts(self, rng):
+        v = rng.uniform(0, 10, 10_000)
+        counts, edges = equal_width_histogram(v, 10)
+        assert counts.sum() == 10_000
+        width = (v.max() - v.min()) / 10
+        assert np.allclose(np.diff(edges), width, rtol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equal_width_histogram(np.array([]), 5)
+        with pytest.raises(ValueError):
+            equal_width_histogram(np.array([1.0]), 0)
+
+    def test_zero_error_for_identical(self, rng):
+        v = rng.uniform(0, 1, 1000)
+        assert histogram_migration_error(v, v.copy(), 50) == 0.0
+
+    def test_full_error_for_shifted(self, rng):
+        v = rng.uniform(0, 1, 1000)
+        shifted = v + 10.0  # all clamp into the last bin
+        err = histogram_migration_error(v, shifted, 50)
+        assert err > 0.9
+
+    def test_error_scales_with_noise(self, rng):
+        v = rng.uniform(0, 1, 50_000)
+        small = histogram_migration_error(v, v + rng.normal(0, 1e-4, v.size), 100)
+        large = histogram_migration_error(v, v + rng.normal(0, 1e-2, v.size), 100)
+        assert small < large
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            histogram_migration_error(np.zeros(3), np.zeros(4))
+
+
+class TestKMeans:
+    def _blobs(self, rng, n=600):
+        centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        points = np.concatenate(
+            [c + rng.normal(0, 0.5, (n // 3, 2)) for c in centers]
+        )
+        labels = np.repeat(np.arange(3), n // 3)
+        return points, labels
+
+    def test_recovers_separated_blobs(self, rng):
+        points, truth = self._blobs(rng)
+        _, labels = kmeans(points, 3, n_iters=50, seed=0)
+        # Same partition up to label permutation: check pair agreement.
+        same_truth = truth[:, None] == truth[None, :]
+        same_found = labels[:, None] == labels[None, :]
+        agreement = (same_truth == same_found).mean()
+        assert agreement > 0.99
+
+    def test_centroids_near_truth(self, rng):
+        points, _ = self._blobs(rng)
+        centroids, _ = kmeans(points, 3, n_iters=50, seed=1)
+        found = np.sort(centroids.round(0), axis=0)
+        expected = np.sort(np.array([[0, 0], [10, 0], [0, 10]]), axis=0)
+        assert np.allclose(found, expected, atol=1.0)
+
+    def test_k_validation(self, rng):
+        points = rng.uniform(0, 1, (10, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 11)
+        with pytest.raises(ValueError):
+            kmeans(points.reshape(-1), 2)
+
+    def test_assign_clusters_nearest(self):
+        centroids = np.array([[0.0], [10.0]])
+        points = np.array([[1.0], [9.0], [4.9]])
+        assert assign_clusters(points, centroids).tolist() == [0, 1, 0]
+
+    def test_deterministic_given_seed(self, rng):
+        points, _ = self._blobs(rng)
+        _, a = kmeans(points, 3, seed=7)
+        _, b = kmeans(points, 3, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestMisclassification:
+    def test_zero_for_identical(self, rng):
+        v = rng.uniform(0, 100, (2000, 2))
+        assert kmeans_misclassification(v, v.copy(), k=4, n_iters=20, repeats=1) == 0.0
+
+    def test_grows_with_degradation(self, rng):
+        v = rng.uniform(1, 100, 5000)
+        mild = v * (1 + rng.normal(0, 1e-5, v.size))
+        harsh = v * (1 + rng.normal(0, 0.2, v.size))
+        e_mild = kmeans_misclassification(v, mild, k=6, n_iters=20, repeats=1)
+        e_harsh = kmeans_misclassification(v, harsh, k=6, n_iters=20, repeats=1)
+        assert e_mild < e_harsh
+
+    def test_1d_inputs_accepted(self, rng):
+        v = rng.uniform(0, 1, 500)
+        assert kmeans_misclassification(v, v, k=3, n_iters=10, repeats=1) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kmeans_misclassification(np.zeros(5), np.zeros(6))

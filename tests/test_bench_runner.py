@@ -1,0 +1,49 @@
+"""Smoke tests for the standalone reproduction runner (repro.bench)."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults_cover_all_experiments(self):
+        args = build_parser().parse_args([])
+        assert set(args.experiments.split(",")) == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["--experiments", "table99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_unknown_dataset_rejected(self, capsys):
+        assert main(["--datasets", "mnist"]) == 2
+        assert "unknown datasets" in capsys.readouterr().err
+
+
+class TestRun:
+    @pytest.fixture(autouse=True)
+    def _tiny(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        self.tmp_path = tmp_path
+
+    def test_table1_runs_and_records(self, capsys):
+        assert main(["--experiments", "table1", "--datasets", "gts", "--queries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "mloc-isa" in out
+        assert (self.tmp_path / "results" / "bench_table1.json").exists()
+
+    def test_no_record_flag(self, capsys):
+        assert main([
+            "--experiments", "table1", "--datasets", "gts",
+            "--queries", "1", "--no-record",
+        ]) == 0
+        assert not (self.tmp_path / "results" / "bench_table1.json").exists()
+
+    def test_fig8_with_svg(self, capsys):
+        svg_dir = self.tmp_path / "figs"
+        assert main([
+            "--experiments", "fig8", "--datasets", "gts",
+            "--queries", "1", "--svg", str(svg_dir),
+        ]) == 0
+        assert (svg_dir / "fig8_gts.svg").exists()
+        assert "Fig 8" in capsys.readouterr().out

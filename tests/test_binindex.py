@@ -1,0 +1,82 @@
+"""Tests for the per-bin position index codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.binindex import decode_position_block, encode_position_block
+
+
+def _chunks_from_sets(position_sets):
+    return [np.array(sorted(s), dtype=np.int64) for s in position_sets]
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        chunks = _chunks_from_sets([{0, 5, 6}, {2}, set(), {100, 101}])
+        payload = encode_position_block(chunks)
+        out = decode_position_block(payload, np.array([3, 1, 0, 2]))
+        for got, want in zip(out, chunks):
+            assert np.array_equal(got, want)
+
+    def test_empty_block(self):
+        payload = encode_position_block([])
+        out = decode_position_block(payload, np.array([], dtype=np.int64))
+        assert out == []
+
+    def test_all_empty_chunks(self):
+        payload = encode_position_block([np.array([], dtype=np.int64)] * 3)
+        out = decode_position_block(payload, np.array([0, 0, 0]))
+        assert all(a.size == 0 for a in out)
+
+    def test_large_positions(self):
+        chunks = [np.array([2**40, 2**40 + 1, 2**50], dtype=np.int64)]
+        payload = encode_position_block(chunks)
+        out = decode_position_block(payload, np.array([3]))
+        assert np.array_equal(out[0], chunks[0])
+
+    def test_compresses_regular_strides(self, rng):
+        """Within-chunk positions have regular strides, the whole point
+        of delta encoding: the index should be far below 8 B/position."""
+        chunks = [np.arange(0, 4096, 2, dtype=np.int64) + i * 5000 for i in range(20)]
+        payload = encode_position_block(chunks)
+        n_positions = sum(c.size for c in chunks)
+        assert len(payload) < n_positions  # < 1 byte per position
+
+
+class TestValidation:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            encode_position_block([np.array([3, 1])])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            encode_position_block([np.array([1, 1])])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            encode_position_block([np.array([-1, 2])])
+
+    def test_count_mismatch_detected(self):
+        payload = encode_position_block([np.array([1, 2, 3])])
+        with pytest.raises(ValueError):
+            decode_position_block(payload, np.array([2]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.sets(st.integers(min_value=0, max_value=10_000), max_size=50),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_roundtrip_property(position_sets):
+    chunks = _chunks_from_sets(position_sets)
+    payload = encode_position_block(chunks)
+    counts = np.array([c.size for c in chunks])
+    out = decode_position_block(payload, counts)
+    assert len(out) == len(chunks)
+    for got, want in zip(out, chunks):
+        assert np.array_equal(got, want)

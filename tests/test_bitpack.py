@@ -1,0 +1,79 @@
+"""Tests for fixed-width bit packing (ISABELA's rank index storage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bitpack import bits_required, pack_uints, unpack_uints
+
+
+class TestBitsRequired:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9), (1023, 10)],
+    )
+    def test_values(self, value, expected):
+        assert bits_required(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_required(-1)
+
+
+class TestPackUnpack:
+    def test_empty(self):
+        assert pack_uints(np.empty(0, dtype=np.uint32), 10) == b""
+        assert unpack_uints(b"", 10, 0).size == 0
+
+    def test_exact_sizes(self):
+        # 10 bits x 1024 values = 1280 bytes exactly.
+        v = np.arange(1024, dtype=np.uint32)
+        packed = pack_uints(v, 10)
+        assert len(packed) == 1280
+        assert np.array_equal(unpack_uints(packed, 10, 1024), v)
+
+    def test_padding_final_byte(self):
+        v = np.array([1, 2, 3], dtype=np.uint32)
+        packed = pack_uints(v, 3)  # 9 bits -> 2 bytes
+        assert len(packed) == 2
+
+    def test_single_bit_width(self):
+        v = np.array([1, 0, 1, 1, 0, 0, 0, 1, 1], dtype=np.uint32)
+        assert np.array_equal(unpack_uints(pack_uints(v, 1), 1, 9), v)
+
+    def test_32_bit_width(self):
+        v = np.array([2**32 - 1, 0, 12345678], dtype=np.uint64)
+        assert np.array_equal(unpack_uints(pack_uints(v, 32), 32, 3), v.astype(np.uint32))
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            pack_uints(np.array([8], dtype=np.uint32), 3)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            pack_uints(np.array([1]), 0)
+        with pytest.raises(ValueError):
+            unpack_uints(b"\x00", 33, 1)
+
+    def test_short_buffer(self):
+        with pytest.raises(ValueError, match="need"):
+            unpack_uints(b"\x00", 10, 5)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_roundtrip_property(data):
+    bits = data.draw(st.integers(min_value=1, max_value=32))
+    values = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << bits) - 1),
+            min_size=0,
+            max_size=150,
+        )
+    )
+    v = np.array(values, dtype=np.uint64)
+    assert np.array_equal(
+        unpack_uints(pack_uints(v, bits), bits, len(values)),
+        v.astype(np.uint32),
+    )

@@ -1,0 +1,158 @@
+"""Cross-codec tests: registry, roundtrips, framing, throughput attrs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    ByteCodec,
+    FloatCodec,
+    codec_names,
+    make_codec,
+    register_codec,
+)
+
+LOSSLESS_FLOAT = ["zlib-float", "isobar", "fpzip-like", "null-float"]
+BYTE_CODECS = ["zlib-bytes", "null-bytes"]
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        names = codec_names()
+        for expected in LOSSLESS_FLOAT + BYTE_CODECS + ["isabela"]:
+            assert expected in names
+
+    def test_unknown_codec(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            make_codec("lzma-mystery")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_codec("zlib-bytes")
+            class Dup(ByteCodec):  # pragma: no cover - never instantiated
+                def encode(self, data):
+                    return data
+
+                def decode(self, payload, raw_len):
+                    return payload
+
+    def test_params_forwarded(self):
+        codec = make_codec("zlib-bytes", level=1)
+        assert codec.level == 1
+
+    def test_throughput_attribute_present(self):
+        for name in codec_names():
+            codec = make_codec(name)
+            assert codec.decode_throughput > 0
+
+
+@pytest.mark.parametrize("name", LOSSLESS_FLOAT)
+class TestLosslessFloatCodecs:
+    def test_roundtrip_smooth(self, name, rng):
+        codec = make_codec(name)
+        v = np.cumsum(rng.normal(0, 0.01, 10_000)) + 300.0
+        assert np.array_equal(codec.decode(codec.encode(v), v.size), v)
+
+    def test_roundtrip_random(self, name, rng):
+        codec = make_codec(name)
+        v = rng.uniform(-1e30, 1e30, 2_000)
+        assert np.array_equal(codec.decode(codec.encode(v), v.size), v)
+
+    def test_roundtrip_special_values(self, name):
+        codec = make_codec(name)
+        v = np.array([0.0, -0.0, 1e-308, -1e308, np.pi, 2.0**1023])
+        out = codec.decode(codec.encode(v), v.size)
+        assert np.array_equal(out.view(np.uint64), v.view(np.uint64))
+
+    def test_empty(self, name):
+        codec = make_codec(name)
+        assert codec.decode(codec.encode(np.empty(0)), 0).size == 0
+
+    def test_single_value(self, name):
+        codec = make_codec(name)
+        v = np.array([42.125])
+        assert np.array_equal(codec.decode(codec.encode(v), 1), v)
+
+    def test_rejects_2d(self, name):
+        codec = make_codec(name)
+        with pytest.raises(ValueError, match="1-D"):
+            codec.encode(np.zeros((2, 2)))
+
+    def test_compresses_smooth_data(self, name, rng):
+        if name == "null-float":
+            pytest.skip("identity codec")
+        codec = make_codec(name)
+        v = np.cumsum(rng.normal(0, 1e-4, 50_000)) + 1000.0
+        assert len(codec.encode(v)) < v.nbytes
+
+    def test_lossless_flag(self, name):
+        assert make_codec(name).lossless is True
+
+
+@pytest.mark.parametrize("name", BYTE_CODECS)
+class TestByteCodecs:
+    def test_roundtrip(self, name, rng):
+        codec = make_codec(name)
+        data = rng.integers(0, 256, 5000, dtype=np.uint8).tobytes()
+        assert codec.decode(codec.encode(data), len(data)) == data
+
+    def test_compressible_payload(self, name):
+        codec = make_codec(name)
+        data = b"abcd" * 10_000
+        payload = codec.encode(data)
+        if name == "zlib-bytes":
+            assert len(payload) < len(data)
+        assert codec.decode(payload, len(data)) == data
+
+    def test_incompressible_falls_back_to_raw(self, name, rng):
+        codec = make_codec(name)
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        payload = codec.encode(data)
+        # Bounded expansion: at most one flag byte of overhead.
+        assert len(payload) <= len(data) + 1
+        assert codec.decode(payload, len(data)) == data
+
+    def test_empty(self, name):
+        codec = make_codec(name)
+        assert codec.decode(codec.encode(b""), 0) == b""
+
+    def test_length_mismatch_detected(self, name):
+        codec = make_codec(name)
+        payload = codec.encode(b"hello")
+        with pytest.raises(ValueError):
+            codec.decode(payload, 3)
+
+
+class TestZlibByteFraming:
+    def test_unknown_mode_rejected(self):
+        codec = make_codec("zlib-bytes")
+        with pytest.raises(ValueError, match="unknown payload mode"):
+            codec.decode(b"\x07junk", 4)
+
+    def test_level_validated(self):
+        with pytest.raises(ValueError):
+            make_codec("zlib-bytes", level=11)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(LOSSLESS_FLOAT),
+    values=st.lists(
+        st.floats(allow_nan=False, width=64), min_size=0, max_size=300
+    ),
+)
+def test_lossless_roundtrip_property(name, values):
+    codec = make_codec(name)
+    v = np.array(values, dtype=np.float64)
+    out = codec.decode(codec.encode(v), v.size)
+    assert np.array_equal(out.view(np.uint64), v.view(np.uint64))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=2000))
+def test_byte_roundtrip_property(data):
+    for name in BYTE_CODECS:
+        codec = make_codec(name)
+        assert codec.decode(codec.encode(data), len(data)) == data

@@ -1,0 +1,212 @@
+"""Tests for PFS snapshots, the fsck tool, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import MLOCWriter, mloc_col, mloc_isa
+from repro.datasets import gts_like
+from repro.pfs import PFSCostModel, SimulatedPFS
+from repro.tools.fsck import check_store
+
+
+@pytest.fixture()
+def sound_store():
+    fs = SimulatedPFS()
+    data = gts_like((128, 128), seed=5)
+    cfg = mloc_col(chunk_shape=(16, 16), n_bins=8, target_block_bytes=4096)
+    MLOCWriter(fs, "/s", cfg).write(data, variable="f")
+    return fs
+
+
+class TestSnapshots:
+    def test_save_load_roundtrip(self, tmp_path, sound_store):
+        fs = sound_store
+        path = tmp_path / "snap.pfs"
+        fs.save(path)
+        restored = SimulatedPFS.load(path)
+        assert restored.list_files() == fs.list_files()
+        for name in fs.list_files():
+            assert (
+                restored.session().open(name).read_all()
+                == fs.session().open(name).read_all()
+            )
+        assert restored.cost_model == fs.cost_model
+
+    def test_load_is_cold(self, tmp_path, sound_store):
+        fs = sound_store
+        path = tmp_path / "snap.pfs"
+        some_file = fs.list_files()[0]
+        fs.session().open(some_file).read_all()  # warm the cache
+        fs.save(path)
+        restored = SimulatedPFS.load(path)
+        s = restored.session()
+        s.open(some_file).read_all()
+        assert s.stats.bytes_read == restored.size(some_file)
+
+    def test_version_check(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.pfs"
+        path.write_bytes(pickle.dumps({"version": 99}))
+        with pytest.raises(ValueError, match="snapshot version"):
+            SimulatedPFS.load(path)
+
+    def test_cost_model_persisted(self, tmp_path):
+        fs = SimulatedPFS(PFSCostModel(byte_scale=7.0))
+        path = tmp_path / "s.pfs"
+        fs.save(path)
+        assert SimulatedPFS.load(path).cost_model.byte_scale == 7.0
+
+
+class TestFsck:
+    def test_sound_store_clean(self, sound_store):
+        assert check_store(sound_store, "/s", "f") == []
+
+    def test_sound_isa_store_clean(self):
+        fs = SimulatedPFS()
+        data = gts_like((64, 64), seed=1)
+        cfg = mloc_isa(chunk_shape=(16, 16), n_bins=4, target_block_bytes=4096)
+        MLOCWriter(fs, "/i", cfg).write(data, variable="f")
+        assert check_store(fs, "/i", "f") == []
+
+    def test_missing_variable(self, sound_store):
+        issues = check_store(sound_store, "/s", "nope")
+        assert len(issues) == 1 and "missing" in issues[0].message
+
+    def test_corrupt_metadata(self, sound_store):
+        sound_store.write_file("/s/f/meta", b"garbage")
+        issues = check_store(sound_store, "/s", "f")
+        assert any("unreadable" in i.message for i in issues)
+
+    def test_truncated_data_file(self, sound_store):
+        fs = sound_store
+        raw = fs.session().open("/s/f/bin0003.data").read_all()
+        fs.write_file("/s/f/bin0003.data", raw[: len(raw) // 2])
+        issues = check_store(fs, "/s", "f")
+        assert any("bin 0003" in i.location for i in issues)
+        assert any(i.severity == "error" for i in issues)
+
+    def test_flipped_bytes_detected(self, sound_store):
+        fs = sound_store
+        raw = bytearray(fs.session().open("/s/f/bin0002.index").read_all())
+        raw[len(raw) // 2] ^= 0xFF
+        fs.write_file("/s/f/bin0002.index", bytes(raw))
+        issues = check_store(fs, "/s", "f")
+        assert issues  # zlib CRC or coverage must catch it
+
+    def test_missing_subfile(self, sound_store):
+        sound_store.delete("/s/f/bin0001.data")
+        issues = check_store(sound_store, "/s", "f")
+        assert any("subfile missing" in i.message for i in issues)
+
+
+class TestCLI:
+    def test_demo_info_query_roundtrip(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        assert main(["demo", snap, "--size", "128", "--bins", "8"]) == 0
+        assert main(["info", snap]) == 0
+        out = capsys.readouterr().out
+        assert "/demo/potential" in out
+
+        assert main([
+            "query", snap, "--root", "/demo", "--variable", "potential",
+            "--region", "0:64,0:64", "--output", "values", "--limit", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4096 results" in out
+
+    def test_query_with_value_constraint(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "query", snap, "--root", "/demo", "--variable", "potential",
+            "--vmin", "4.0", "--output", "positions",
+        ]) == 0
+        assert "results" in capsys.readouterr().out
+
+    def test_query_aggregate(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "query", snap, "--root", "/demo", "--variable", "potential",
+            "--region", "0:128,0:128", "--aggregate", "mean",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean =" in out
+
+    def test_fsck_clean_and_corrupt(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        assert main(["fsck", snap, "--root", "/demo", "--variable", "potential"]) == 0
+        capsys.readouterr()
+
+        fs = SimulatedPFS.load(snap)
+        fs.delete("/demo/potential/bin0001.data")
+        fs.save(snap)
+        assert main(["fsck", snap, "--root", "/demo", "--variable", "potential"]) == 1
+        assert "issue(s) found" in capsys.readouterr().out
+
+    def test_info_empty_snapshot(self, tmp_path, capsys):
+        snap = str(tmp_path / "empty.pfs")
+        SimulatedPFS().save(snap)
+        assert main(["info", snap]) == 1
+
+
+class TestCLIRelayout:
+    def test_relayout_roundtrip(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "relayout", snap, "--root", "/demo", "--variable", "potential",
+            "--target-root", "/demo-vsm", "--order", "VSM",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "migrated" in out and "(VSM)" in out
+        # The migrated store is sound and queryable.
+        assert main(["fsck", snap, "--root", "/demo-vsm", "--variable", "potential"]) == 0
+        capsys.readouterr()
+        assert main([
+            "query", snap, "--root", "/demo-vsm", "--variable", "potential",
+            "--region", "0:32,0:32",
+        ]) == 0
+        assert "1024 results" in capsys.readouterr().out
+
+    def test_relayout_rebinning(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        assert main([
+            "relayout", snap, "--root", "/demo", "--variable", "potential",
+            "--target-root", "/demo-16", "--order", "VMS", "--bins", "16",
+        ]) == 0
+        fs = SimulatedPFS.load(snap)
+        from repro.core import MLOCStore
+
+        migrated = MLOCStore.open(fs, "/demo-16", "potential")
+        assert migrated.meta.config.n_bins == 16
+
+
+class TestFsckCRC:
+    def test_raw_plane_corruption_caught_by_crc(self, sound_store):
+        """Low-mantissa planes are stored raw (no codec checksum); the
+        per-block CRC32 in the block table must catch bit rot there."""
+        fs = sound_store
+        raw = bytearray(fs.session().open("/s/f/bin0004.data").read_all())
+        raw[-10] ^= 0xFF  # tail of the file = raw mantissa planes
+        fs.write_file("/s/f/bin0004.data", bytes(raw))
+        issues = check_store(fs, "/s", "f")
+        assert any("CRC mismatch" in i.message for i in issues)
+
+    def test_index_crc(self, sound_store):
+        fs = sound_store
+        raw = bytearray(fs.session().open("/s/f/bin0000.index").read_all())
+        raw[0] ^= 0x01
+        fs.write_file("/s/f/bin0000.index", bytes(raw))
+        issues = check_store(fs, "/s", "f")
+        assert any(
+            "CRC mismatch" in i.message or "decode failed" in i.message
+            for i in issues
+        )

@@ -1,0 +1,122 @@
+"""Tests for the N-D Hilbert curve: bijectivity, continuity, locality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc.hilbert import hilbert_decode, hilbert_encode
+from repro.sfc.zorder import zorder_encode
+
+
+class TestKnownValues:
+    def test_2d_order1(self):
+        # The canonical first-order 2-D Hilbert curve visits a "U".
+        coords = hilbert_decode(np.arange(4, dtype=np.uint64), 2, 1)
+        steps = np.abs(np.diff(coords.astype(np.int64), axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+        assert len({tuple(c) for c in coords.tolist()}) == 4
+
+    def test_1d_is_identity(self):
+        idx = np.arange(32, dtype=np.uint64)
+        coords = hilbert_decode(idx, 1, 5)
+        assert np.array_equal(coords[:, 0], idx)
+
+
+@pytest.mark.parametrize("ndims,nbits", [(2, 1), (2, 5), (3, 3), (4, 2), (5, 2)])
+class TestCurveInvariants:
+    def test_bijective(self, ndims, nbits):
+        n = (1 << nbits) ** ndims
+        idx = np.arange(n, dtype=np.uint64)
+        coords = hilbert_decode(idx, ndims, nbits)
+        assert np.array_equal(hilbert_encode(coords, nbits), idx)
+        assert len({tuple(c) for c in coords.tolist()}) == n
+
+    def test_continuity(self, ndims, nbits):
+        """Consecutive curve points are grid neighbours — the defining
+        property of the Hilbert curve."""
+        n = (1 << nbits) ** ndims
+        coords = hilbert_decode(np.arange(n, dtype=np.uint64), ndims, nbits).astype(
+            np.int64
+        )
+        steps = np.abs(np.diff(coords, axis=0))
+        assert np.all(steps.sum(axis=1) == 1)
+
+    def test_coords_in_range(self, ndims, nbits):
+        n = (1 << nbits) ** ndims
+        coords = hilbert_decode(np.arange(n, dtype=np.uint64), ndims, nbits)
+        assert coords.min() == 0
+        assert coords.max() == (1 << nbits) - 1
+
+
+class TestLocality:
+    def test_hilbert_beats_zorder_on_window_spread(self):
+        """Moon et al.'s clustering property, the paper's motivation for
+        HSFC over other curves: the average number of contiguous curve
+        runs needed to cover a small query window is lower for Hilbert
+        than for Z-order."""
+        nbits = 5
+        side = 1 << nbits
+        rng = np.random.default_rng(3)
+
+        def mean_runs(encode):
+            runs = []
+            for _ in range(40):
+                x0, y0 = rng.integers(0, side - 8, size=2)
+                xs, ys = np.meshgrid(
+                    np.arange(x0, x0 + 8), np.arange(y0, y0 + 8), indexing="ij"
+                )
+                coords = np.stack([xs.reshape(-1), ys.reshape(-1)], axis=1)
+                keys = np.sort(encode(coords, nbits).astype(np.int64))
+                runs.append(1 + int((np.diff(keys) > 1).sum()))
+            return np.mean(runs)
+
+        assert mean_runs(hilbert_encode) < mean_runs(zorder_encode)
+
+
+class TestValidation:
+    def test_bit_budget(self):
+        with pytest.raises(ValueError, match="64-bit"):
+            hilbert_encode(np.zeros((1, 5), dtype=np.int64), 13)
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            hilbert_encode(np.array([[4, 0]]), 2)
+        with pytest.raises(ValueError, match="out of range"):
+            hilbert_encode(np.array([[-1, 0]]), 2)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            hilbert_decode(np.array([16], dtype=np.uint64), 2, 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            hilbert_encode(np.zeros(4, dtype=np.int64), 2)
+        with pytest.raises(ValueError, match="1-D"):
+            hilbert_decode(np.zeros((2, 2), dtype=np.uint64), 2, 2)
+
+    def test_empty_inputs(self):
+        assert hilbert_encode(np.zeros((0, 3), dtype=np.int64), 4).size == 0
+        assert hilbert_decode(np.empty(0, dtype=np.uint64), 3, 4).shape == (0, 3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_roundtrip_property(data):
+    ndims = data.draw(st.integers(min_value=1, max_value=6))
+    nbits = data.draw(st.integers(min_value=1, max_value=min(10, 64 // ndims)))
+    n = data.draw(st.integers(min_value=1, max_value=50))
+    coords = data.draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << nbits) - 1),
+                min_size=ndims,
+                max_size=ndims,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    arr = np.array(coords, dtype=np.int64)
+    back = hilbert_decode(hilbert_encode(arr, nbits), ndims, nbits)
+    assert np.array_equal(back.astype(np.int64), arr)

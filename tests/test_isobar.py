@@ -1,0 +1,75 @@
+"""ISOBAR-specific tests: plane selection mechanism and framing."""
+
+import numpy as np
+import pytest
+
+from repro.compression.isobar import (
+    IsobarCodec,
+    compress_planes,
+    decompress_planes,
+)
+
+
+class TestPlaneSelection:
+    def test_smooth_data_compresses_high_planes_only(self, rng):
+        """The ISOBAR mechanism: sign/exponent planes of smooth science
+        data deflate well; low mantissa planes are stored raw."""
+        v = np.cumsum(rng.normal(0, 1e-3, 40_000)) + 500.0
+        codec = IsobarCodec()
+        payload = codec.encode(v)
+        width = 8
+        modes = payload[:width]
+        assert modes[0] == 1  # top byte plane compressed
+        assert modes[7] == 0  # lowest mantissa plane raw
+        assert len(payload) < v.nbytes
+
+    def test_random_data_stays_raw(self, rng):
+        v = rng.uniform(-1e300, 1e300, 5_000)
+        payload = IsobarCodec().encode(v)
+        # Bounded expansion: header only (8 modes + 32 lengths).
+        assert len(payload) <= v.nbytes + 8 + 32 + 8
+
+    def test_threshold_extremes(self, rng):
+        v = np.cumsum(rng.normal(0, 1e-3, 10_000)) + 500.0
+        eager = IsobarCodec(threshold=1.0).encode(v)
+        never = IsobarCodec(threshold=1e-9).encode(v)
+        assert len(eager) < len(never)
+        # Both decode identically.
+        assert np.array_equal(
+            IsobarCodec(threshold=1.0).decode(eager, v.size),
+            IsobarCodec(threshold=1e-9).decode(never, v.size),
+        )
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            IsobarCodec(threshold=0.0)
+        with pytest.raises(ValueError):
+            IsobarCodec(threshold=1.5)
+
+
+class TestPlaneFraming:
+    def test_roundtrip_arbitrary_width(self, rng):
+        matrix = rng.integers(0, 256, (1000, 3), dtype=np.uint8)
+        payload = compress_planes(matrix)
+        assert np.array_equal(decompress_planes(payload, 1000, 3), matrix)
+
+    def test_rejects_non_uint8(self):
+        with pytest.raises(ValueError, match="uint8"):
+            compress_planes(np.zeros((4, 2), dtype=np.int32))
+
+    def test_truncated_payload(self):
+        with pytest.raises(ValueError, match="too short"):
+            decompress_planes(b"\x00", 4, 8)
+
+    def test_bad_plane_mode(self, rng):
+        matrix = rng.integers(0, 256, (16, 1), dtype=np.uint8)
+        payload = bytearray(compress_planes(matrix))
+        payload[0] = 9  # corrupt the mode byte
+        with pytest.raises(ValueError, match="unknown plane mode"):
+            decompress_planes(bytes(payload), 16, 1)
+
+    def test_wrong_count(self, rng):
+        matrix = rng.integers(0, 256, (16, 2), dtype=np.uint8)
+        payload = compress_planes(matrix)
+        with pytest.raises(ValueError, match="expected"):
+            decompress_planes(payload, 15, 2)

@@ -1,0 +1,97 @@
+"""Tests for the relayout migration tool."""
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, Query, mloc_col, mloc_isa, mloc_iso
+from repro.datasets import gts_like
+from repro.pfs import SimulatedPFS
+from repro.tools import check_store, relayout
+
+
+@pytest.fixture()
+def source():
+    fs = SimulatedPFS()
+    data = gts_like((128, 128), seed=6)
+    cfg = mloc_col(chunk_shape=(16, 16), n_bins=8, target_block_bytes=4096)
+    MLOCWriter(fs, "/src", cfg).write(data, variable="f")
+    return fs, data
+
+
+class TestRelayout:
+    def test_vms_to_vsm_identical_answers(self, source):
+        fs, data = source
+        new_cfg = mloc_col(
+            chunk_shape=(16, 16), n_bins=8, level_order="VSM", target_block_bytes=4096
+        )
+        report = relayout(fs, "/src", "f", "/dst", new_cfg)
+        assert not report.approximate
+        assert report.source_order == "VMS" and report.target_order == "VSM"
+        migrated = MLOCStore.open(fs, "/dst", "f")
+        flat = data.reshape(-1)
+        lo, hi = np.quantile(flat, [0.3, 0.6])
+        r = migrated.query(Query(value_range=(lo, hi), output="values"))
+        expect = np.flatnonzero((flat >= lo) & (flat <= hi))
+        assert np.array_equal(r.positions, expect)
+        assert np.array_equal(r.values, flat[expect])
+
+    def test_codec_migration(self, source):
+        fs, data = source
+        new_cfg = mloc_iso(chunk_shape=(16, 16), n_bins=8, target_block_bytes=4096)
+        relayout(fs, "/src", "f", "/iso", new_cfg)
+        migrated = MLOCStore.open(fs, "/iso", "f")
+        r = migrated.query(Query(region=((0, 64), (0, 64))))
+        assert np.array_equal(r.values, data[:64, :64].reshape(-1))
+
+    def test_rechunking(self, source):
+        fs, data = source
+        new_cfg = mloc_col(chunk_shape=(32, 32), n_bins=4, target_block_bytes=4096)
+        relayout(fs, "/src", "f", "/rechunk", new_cfg)
+        migrated = MLOCStore.open(fs, "/rechunk", "f")
+        assert migrated.grid.chunk_shape == (32, 32)
+        r = migrated.query(Query(region=((10, 50), (20, 90))))
+        assert np.array_equal(r.values, data[10:50, 20:90].reshape(-1))
+
+    def test_migrated_store_passes_fsck(self, source):
+        fs, data = source
+        new_cfg = mloc_col(
+            chunk_shape=(16, 16), n_bins=12, level_order="VSM", target_block_bytes=4096
+        )
+        relayout(fs, "/src", "f", "/checked", new_cfg)
+        assert check_store(fs, "/checked", "f") == []
+
+    def test_lossy_source_flagged(self):
+        fs = SimulatedPFS()
+        data = gts_like((64, 64), seed=1)
+        cfg = mloc_isa(chunk_shape=(16, 16), n_bins=4, target_block_bytes=4096)
+        MLOCWriter(fs, "/lossy", cfg).write(data, variable="f")
+        report = relayout(
+            fs,
+            "/lossy",
+            "f",
+            "/from-lossy",
+            mloc_col(chunk_shape=(16, 16), n_bins=4, target_block_bytes=4096),
+        )
+        assert report.approximate
+        migrated = MLOCStore.open(fs, "/from-lossy", "f")
+        r = migrated.query(Query(region=((0, 64), (0, 64))))
+        bound = 0.5 * 1e-3 * np.abs(data).max()
+        assert np.abs(r.values - data.reshape(-1)).max() <= bound * 1.01
+
+    def test_same_root_rejected(self, source):
+        fs, data = source
+        with pytest.raises(ValueError, match="must differ"):
+            relayout(fs, "/src", "f", "/src", mloc_col(chunk_shape=(16, 16)))
+
+    def test_source_untouched(self, source):
+        fs, data = source
+        before = {p: fs.size(p) for p in fs.list_files("/src/")}
+        relayout(
+            fs,
+            "/src",
+            "f",
+            "/dst2",
+            mloc_col(chunk_shape=(16, 16), n_bins=8, target_block_bytes=4096),
+        )
+        after = {p: fs.size(p) for p in fs.list_files("/src/")}
+        assert before == after

@@ -1,0 +1,93 @@
+"""Tests for block-to-rank assignment policies (Section III-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.scheduler import (
+    BlockRef,
+    assignment_file_counts,
+    column_order_assignment,
+    round_robin_assignment,
+)
+
+
+def _blocks(n_bins: int, n_chunks: int) -> list[BlockRef]:
+    return [
+        BlockRef(b, c, c * 10 + b) for b in range(n_bins) for c in range(n_chunks)
+    ]
+
+
+class TestColumnOrder:
+    def test_balanced_counts(self):
+        blocks = _blocks(4, 10)
+        assignment = column_order_assignment(blocks, 8)
+        sizes = [len(a) for a in assignment]
+        assert sum(sizes) == 40
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_contiguous_in_bin_major_order(self):
+        blocks = _blocks(4, 10)
+        assignment = column_order_assignment(blocks, 4)
+        # Rank 0 must hold exactly bin 0 (10 blocks per bin, 10 per rank).
+        assert {b.bin_id for b in assignment[0]} == {0}
+        assert {b.bin_id for b in assignment[3]} == {3}
+
+    def test_minimizes_files_vs_round_robin(self):
+        blocks = _blocks(8, 16)
+        col = assignment_file_counts(column_order_assignment(blocks, 8))
+        rr = assignment_file_counts(round_robin_assignment(blocks, 8))
+        # The paper's policy: column order touches strictly fewer bin
+        # files per rank than dealing blocks round robin.
+        assert col.sum() < rr.sum()
+        assert col.max() <= 2  # contiguous spans cross at most one boundary
+
+    def test_more_ranks_than_blocks(self):
+        blocks = _blocks(1, 3)
+        assignment = column_order_assignment(blocks, 8)
+        assert sum(len(a) for a in assignment) == 3
+        assert len(assignment) == 8
+
+    def test_empty_blocks(self):
+        assignment = column_order_assignment([], 4)
+        assert assignment == [[], [], [], []]
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            column_order_assignment([], 0)
+        with pytest.raises(ValueError):
+            round_robin_assignment([], -1)
+
+
+class TestRoundRobin:
+    def test_deals_in_turn(self):
+        blocks = _blocks(2, 4)
+        assignment = round_robin_assignment(blocks, 4)
+        sizes = [len(a) for a in assignment]
+        assert sizes == [2, 2, 2, 2]
+        # every rank sees both bins
+        assert all(len({b.bin_id for b in a}) == 2 for a in assignment)
+
+
+class TestBlockRefOrdering:
+    def test_sort_key_is_bin_then_position(self):
+        refs = [BlockRef(1, 0, 5), BlockRef(0, 9, 1), BlockRef(0, 2, 7)]
+        assert sorted(refs) == [BlockRef(0, 2, 7), BlockRef(0, 9, 1), BlockRef(1, 0, 5)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_bins=st.integers(min_value=1, max_value=12),
+    n_chunks=st.integers(min_value=1, max_value=20),
+    n_ranks=st.integers(min_value=1, max_value=16),
+)
+def test_partition_property(n_bins, n_chunks, n_ranks):
+    """Every policy yields an exact, balanced partition of the blocks."""
+    blocks = _blocks(n_bins, n_chunks)
+    for policy in (column_order_assignment, round_robin_assignment):
+        assignment = policy(blocks, n_ranks)
+        flat = [b for rank in assignment for b in rank]
+        assert sorted(flat) == sorted(blocks)
+        sizes = [len(a) for a in assignment]
+        assert max(sizes) - min(sizes) <= 1

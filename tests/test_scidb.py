@@ -1,0 +1,91 @@
+"""Tests for the SciDB-like baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scidb import SciDBStore
+from repro.datasets import gts_like, s3d_like
+from repro.pfs import SimulatedPFS
+
+
+@pytest.fixture(scope="module")
+def sc_setup():
+    fs = SimulatedPFS()
+    data = gts_like((128, 128), seed=2)
+    store = SciDBStore.build(
+        fs, "/sc", data, chunk_shape=(32, 32), overlap=2, startup_seconds=0.5
+    )
+    return fs, data, store
+
+
+class TestCorrectness:
+    def test_region_query_exact(self, sc_setup):
+        fs, data, store = sc_setup
+        flat = data.reshape(-1)
+        lo, hi = np.quantile(flat, [0.6, 0.7])
+        fs.clear_cache()
+        r = store.region_query((lo, hi))
+        assert np.array_equal(r.positions, np.flatnonzero((flat >= lo) & (flat <= hi)))
+
+    def test_value_query_exact(self, sc_setup):
+        fs, data, store = sc_setup
+        region = ((15, 70), (40, 110))
+        fs.clear_cache()
+        r = store.value_query(region)
+        assert r.n_results == 55 * 70
+        assert np.array_equal(r.values, data.reshape(-1)[r.positions])
+
+    def test_3d(self):
+        fs = SimulatedPFS()
+        data = s3d_like((32, 32, 32), seed=4)
+        store = SciDBStore.build(fs, "/s3", data, chunk_shape=(16, 16, 16), overlap=1)
+        r = store.value_query(((4, 20), (0, 16), (8, 30)))
+        sub = data[4:20, 0:16, 8:30]
+        assert r.n_results == sub.size
+        assert np.array_equal(r.values, data.reshape(-1)[r.positions])
+
+
+class TestCostMechanisms:
+    def test_overlap_replication_grows_storage(self, sc_setup):
+        """Table I mechanism: chunk-boundary replication makes the
+        stored array larger than the raw data."""
+        fs, data, store = sc_setup
+        stored = store.storage_bytes()["data"]
+        assert stored > data.nbytes
+        # (32+4)^2 / 32^2 = 1.27 upper bound for interior chunks
+        assert stored < 1.3 * data.nbytes
+
+    def test_more_overlap_more_storage(self):
+        fs = SimulatedPFS()
+        data = gts_like((64, 64), seed=7)
+        s0 = SciDBStore.build(fs, "/o0", data, chunk_shape=(16, 16), overlap=0)
+        s3 = SciDBStore.build(fs, "/o3", data, chunk_shape=(16, 16), overlap=3)
+        assert s0.storage_bytes()["data"] == data.nbytes
+        assert s3.storage_bytes()["data"] > s0.storage_bytes()["data"]
+
+    def test_region_query_scans_all_chunks(self, sc_setup):
+        fs, data, store = sc_setup
+        fs.clear_cache()
+        r = store.region_query((0.0, 0.0001))
+        assert r.stats["chunks_scanned"] == store.grid.n_chunks
+        assert r.stats["bytes_read"] == store.storage_bytes()["data"]
+
+    def test_value_query_reads_covering_chunks_only(self, sc_setup):
+        fs, data, store = sc_setup
+        fs.clear_cache()
+        r = store.value_query(((0, 32), (0, 32)))
+        assert r.stats["chunks_scanned"] == 1
+
+    def test_startup_floor(self, sc_setup):
+        fs, data, store = sc_setup
+        fs.clear_cache()
+        r = store.value_query(((0, 1), (0, 1)))
+        assert r.times.total >= store.startup_seconds
+
+    def test_executor_cost_scales_with_bytes(self, sc_setup):
+        fs, data, store = sc_setup
+        fs.clear_cache()
+        small = store.value_query(((0, 32), (0, 32)))
+        fs.clear_cache()
+        large = store.region_query((0.0, 1e9))
+        assert large.times.reconstruction > small.times.reconstruction

@@ -1,0 +1,116 @@
+"""Tests for the sequential-scan baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.seqscan import SeqScanStore, region_runs
+from repro.datasets import gts_like
+from repro.pfs import SimulatedPFS
+
+
+@pytest.fixture(scope="module")
+def scan_setup():
+    fs = SimulatedPFS()
+    data = gts_like((128, 128), seed=3)
+    store = SeqScanStore.build(fs, "/scan", data, n_ranks=4)
+    return fs, data, store
+
+
+class TestRegionRuns:
+    def test_inner_partial(self):
+        starts, length = region_runs((8, 8), ((2, 5), (3, 7)))
+        assert length == 4
+        assert starts.tolist() == [19, 27, 35]
+
+    def test_full_inner_axes_merge(self):
+        starts, length = region_runs((4, 4), ((1, 3), (0, 4)))
+        assert length == 8
+        assert starts.tolist() == [4]
+
+    def test_whole_array_single_run(self):
+        starts, length = region_runs((4, 4, 4), ((0, 4), (0, 4), (0, 4)))
+        assert length == 64
+        assert starts.tolist() == [0]
+
+    def test_partial_outer_axis_only(self):
+        starts, length = region_runs((8, 4), ((2, 6), (0, 4)))
+        assert length == 16
+        assert starts.tolist() == [8]
+
+    def test_3d_runs(self):
+        starts, length = region_runs((4, 4, 4), ((1, 2), (1, 3), (2, 4)))
+        assert length == 2
+        assert starts.tolist() == [1 * 16 + 1 * 4 + 2, 1 * 16 + 2 * 4 + 2]
+
+    def test_1d(self):
+        starts, length = region_runs((16,), ((5, 9),))
+        assert length == 4 and starts.tolist() == [5]
+
+
+class TestQueries:
+    def test_region_query_exact(self, scan_setup):
+        fs, data, store = scan_setup
+        flat = data.reshape(-1)
+        lo, hi = np.quantile(flat, [0.25, 0.35])
+        fs.clear_cache()
+        r = store.region_query((lo, hi))
+        assert np.array_equal(r.positions, np.flatnonzero((flat >= lo) & (flat <= hi)))
+        assert r.values is None
+
+    def test_region_query_reads_everything(self, scan_setup):
+        fs, data, store = scan_setup
+        fs.clear_cache()
+        r = store.region_query((0.0, 0.1))
+        assert r.stats["bytes_read"] == data.nbytes
+
+    def test_value_query_exact(self, scan_setup):
+        fs, data, store = scan_setup
+        region = ((10, 50), (30, 90))
+        fs.clear_cache()
+        r = store.value_query(region)
+        sub = data[10:50, 30:90]
+        assert r.n_results == sub.size
+        assert np.array_equal(r.values, data.reshape(-1)[r.positions])
+        assert np.allclose(np.sort(r.values), np.sort(sub.reshape(-1)))
+
+    def test_value_query_reads_only_region(self, scan_setup):
+        fs, data, store = scan_setup
+        fs.clear_cache()
+        r = store.value_query(((0, 16), (0, 128)))
+        assert r.stats["bytes_read"] == 16 * 128 * 8
+
+    def test_storage_accounting(self, scan_setup):
+        fs, data, store = scan_setup
+        assert store.storage_bytes() == {"data": data.nbytes, "index": 0}
+
+    def test_rank_invariance(self, scan_setup):
+        fs, data, store = scan_setup
+        flat = data.reshape(-1)
+        lo, hi = np.quantile(flat, [0.4, 0.5])
+        single = SeqScanStore(fs, "/scan", data.shape, n_ranks=1)
+        fs.clear_cache()
+        a = single.region_query((lo, hi))
+        fs.clear_cache()
+        b = store.region_query((lo, hi))
+        assert np.array_equal(a.positions, b.positions)
+        assert a.times.io >= b.times.io
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_region_runs_cover_exactly_property(data):
+    ndims = data.draw(st.integers(min_value=1, max_value=3))
+    shape = tuple(data.draw(st.integers(min_value=2, max_value=8)) for _ in range(ndims))
+    region = []
+    for extent in shape:
+        lo = data.draw(st.integers(min_value=0, max_value=extent - 1))
+        hi = data.draw(st.integers(min_value=lo + 1, max_value=extent))
+        region.append((lo, hi))
+    starts, length = region_runs(shape, tuple(region))
+    covered = np.concatenate([np.arange(s, s + length) for s in starts])
+    mask = np.zeros(shape, dtype=bool)
+    mask[tuple(slice(lo, hi) for lo, hi in region)] = True
+    expected = np.flatnonzero(mask.reshape(-1))
+    assert np.array_equal(np.sort(covered), expected)

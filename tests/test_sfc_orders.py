@@ -1,0 +1,121 @@
+"""Tests for Z-order, chunk-grid linearization, and hierarchical order."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc.hierarchical import (
+    hierarchical_levels,
+    hierarchical_order,
+    level_prefix_counts,
+)
+from repro.sfc.linearize import CURVES, chunk_curve_order
+from repro.sfc.zorder import zorder_decode, zorder_encode
+
+
+class TestZOrder:
+    def test_known_2d_interleave(self):
+        # (1, 1) at 1 bit -> index 3; (1, 0) -> 2 (axis 0 most significant).
+        coords = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        assert zorder_encode(coords, 1).tolist() == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("ndims,nbits", [(2, 4), (3, 3), (4, 2)])
+    def test_roundtrip(self, ndims, nbits):
+        n = (1 << nbits) ** ndims
+        idx = np.arange(n, dtype=np.uint64)
+        coords = zorder_decode(idx, ndims, nbits)
+        assert np.array_equal(zorder_encode(coords, nbits), idx)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zorder_encode(np.array([[2, 0]]), 1)
+        with pytest.raises(ValueError):
+            zorder_encode(np.zeros((1, 9), dtype=np.int64), 8)
+
+
+class TestChunkCurveOrder:
+    @pytest.mark.parametrize("curve", CURVES)
+    def test_is_permutation(self, curve):
+        order = chunk_curve_order((4, 8), curve)
+        assert sorted(order.order.tolist()) == list(range(32))
+
+    def test_rowmajor_is_identity(self):
+        order = chunk_curve_order((3, 5), "rowmajor")
+        assert np.array_equal(order.order, np.arange(15))
+
+    def test_inverse_consistency(self):
+        order = chunk_curve_order((8, 8), "hilbert")
+        ids = np.arange(64)
+        assert np.array_equal(order.chunks_at(order.positions_of(ids)), ids)
+
+    def test_non_power_of_two_grid(self):
+        order = chunk_curve_order((3, 5), "hilbert")
+        assert sorted(order.order.tolist()) == list(range(15))
+
+    def test_1d_grid_is_identity(self):
+        order = chunk_curve_order((7,), "hilbert")
+        assert np.array_equal(order.order, np.arange(7))
+
+    def test_hilbert_preserves_adjacency_pow2(self):
+        order = chunk_curve_order((8, 8), "hilbert")
+        coords = np.stack(np.divmod(order.order, 8), axis=1)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError, match="unknown curve"):
+            chunk_curve_order((4, 4), "peano")
+
+    def test_bad_grid(self):
+        with pytest.raises(ValueError):
+            chunk_curve_order((0, 4), "hilbert")
+        with pytest.raises(ValueError):
+            chunk_curve_order((), "hilbert")
+
+
+class TestHierarchical:
+    def test_level_counts_8x8(self):
+        levels = hierarchical_levels((8, 8))
+        # Level 0: origin; level 1: 2x2 lattice minus origin; level 2:
+        # 4x4 lattice minus coarser; level 3: the rest.
+        assert np.bincount(levels).tolist() == [1, 3, 12, 48]
+
+    def test_prefix_counts(self):
+        assert level_prefix_counts((8, 8)).tolist() == [1, 4, 16, 64]
+
+    def test_prefix_counts_3d(self):
+        assert level_prefix_counts((4, 4, 4)).tolist() == [1, 8, 64]
+
+    def test_order_groups_levels_contiguously(self):
+        order = hierarchical_order((8, 8))
+        levels = hierarchical_levels((8, 8))
+        ordered_levels = levels[order.order]
+        assert np.all(np.diff(ordered_levels) >= 0)
+
+    def test_prefix_is_uniform_lattice(self):
+        """Reading levels <= L yields exactly the 2^L-per-axis lattice —
+        the subset-based multiresolution guarantee."""
+        order = hierarchical_order((8, 8))
+        prefix = order.order[:16]  # levels 0..2 = 4x4 lattice
+        coords = np.stack(np.divmod(np.sort(prefix), 8), axis=1)
+        expected = np.array([(i * 2, j * 2) for i in range(4) for j in range(4)])
+        assert np.array_equal(coords, expected)
+
+    def test_requires_power_of_two_square(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            hierarchical_order((6, 6))
+        with pytest.raises(ValueError, match="equal extents"):
+            hierarchical_order((4, 8))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dims=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=3),
+    curve=st.sampled_from(CURVES),
+)
+def test_curve_order_permutation_property(dims, curve):
+    order = chunk_curve_order(tuple(dims), curve)
+    n = int(np.prod(dims))
+    assert sorted(order.order.tolist()) == list(range(n))
+    assert np.array_equal(order.positions_of(order.order), np.arange(n))

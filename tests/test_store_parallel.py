@@ -1,0 +1,144 @@
+"""Tests for parallel execution knobs: rank counts, schedulers,
+subset-based multiresolution, and store opening."""
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, Query, mloc_col
+from repro.datasets import gts_like
+from repro.pfs import SimulatedPFS
+
+
+@pytest.fixture(scope="module")
+def hier_store():
+    fs = SimulatedPFS()
+    data = gts_like((128, 128), seed=9)
+    cfg = mloc_col((16, 16), n_bins=8, curve="hierarchical", target_block_bytes=4096)
+    MLOCWriter(fs, "/h", cfg).write(data, variable="f")
+    return fs, data, MLOCStore.open(fs, "/h", "f", n_ranks=4)
+
+
+class TestRankCounts:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 8, 16])
+    def test_results_independent_of_ranks(self, col_store, gts_small, n_ranks):
+        fs, store = col_store
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, [0.4, 0.6])
+        ranked = store.with_ranks(n_ranks)
+        fs.clear_cache()
+        result = ranked.query(Query(value_range=(lo, hi), output="values"))
+        expect = np.flatnonzero((flat >= lo) & (flat <= hi))
+        assert np.array_equal(result.positions, expect)
+        assert result.stats["n_ranks"] == n_ranks
+
+    def test_parallel_io_not_worse_than_serial(self, col_store, gts_small):
+        fs, store = col_store
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, [0.1, 0.9])
+        fs.clear_cache()
+        serial = store.with_ranks(1).query(Query(value_range=(lo, hi), output="values"))
+        fs.clear_cache()
+        parallel = store.with_ranks(8).query(
+            Query(value_range=(lo, hi), output="values")
+        )
+        assert parallel.times.io <= serial.times.io * 1.05
+
+
+class TestSchedulers:
+    def test_round_robin_gives_same_answers(self, gts_small):
+        fs = SimulatedPFS()
+        cfg = mloc_col((32, 32), n_bins=8, target_block_bytes=8192)
+        MLOCWriter(fs, "/s", cfg).write(gts_small, variable="f")
+        col = MLOCStore.open(fs, "/s", "f", n_ranks=4, scheduler="column")
+        rr = MLOCStore.open(fs, "/s", "f", n_ranks=4, scheduler="round-robin")
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, [0.3, 0.7])
+        q = Query(value_range=(lo, hi), output="positions")
+        fs.clear_cache()
+        a = col.query(q)
+        fs.clear_cache()
+        b = rr.query(q)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_column_order_opens_fewer_files(self, gts_small):
+        """The paper's scheduling claim (Section III-D): column order
+        minimizes the files each process touches."""
+        fs = SimulatedPFS()
+        cfg = mloc_col((32, 32), n_bins=8, target_block_bytes=8192)
+        MLOCWriter(fs, "/s2", cfg).write(gts_small, variable="f")
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, [0.05, 0.95])
+        col = MLOCStore.open(fs, "/s2", "f", n_ranks=4, scheduler="column")
+        rr = MLOCStore.open(fs, "/s2", "f", n_ranks=4, scheduler="round-robin")
+        q = Query(value_range=(lo, hi), output="values")
+        fs.clear_cache()
+        a = col.query(q)
+        fs.clear_cache()
+        b = rr.query(q)
+        assert a.stats["files_opened"] < b.stats["files_opened"]
+
+    def test_unknown_scheduler(self, col_store):
+        fs, store = col_store
+        with pytest.raises(ValueError, match="scheduler"):
+            MLOCStore(fs, store.root, store.meta, scheduler="random")
+
+
+class TestSubsetMultiresolution:
+    def test_lower_resolution_reads_less(self, hier_store):
+        fs, data, store = hier_store
+        counts = []
+        results = []
+        for level in (0, 1, 2, None):
+            fs.clear_cache()
+            r = store.query(Query(resolution_level=level, output="values"))
+            counts.append(r.stats["bytes_read"])
+            results.append(r.n_results)
+        assert counts[0] < counts[1] < counts[2] < counts[3]
+        assert results[3] == data.size
+
+    def test_subset_is_spatially_uniform(self, hier_store):
+        fs, data, store = hier_store
+        r = store.query(Query(resolution_level=1, output="values"))
+        coords = r.coords(data.shape)
+        # Levels 0..1 of an 8x8 chunk grid = the 2x2 chunk lattice:
+        # chunks at chunk-coords multiples of 4 -> element coords in
+        # [0,16) and [64,80) per axis.
+        for axis in range(2):
+            blocks = np.unique(coords[:, axis] // 16)
+            assert set(blocks.tolist()) == {0, 4}
+
+    def test_values_exact_within_subset(self, hier_store):
+        fs, data, store = hier_store
+        r = store.query(Query(resolution_level=1, output="values"))
+        assert np.array_equal(r.values, data.reshape(-1)[r.positions])
+
+    def test_resolution_with_sc(self, hier_store):
+        fs, data, store = hier_store
+        r = store.query(
+            Query(region=((0, 64), (0, 64)), resolution_level=1, output="values")
+        )
+        coords = r.coords(data.shape)
+        assert coords.max() < 64
+
+
+class TestStoreOpen:
+    def test_open_missing_variable(self, col_store):
+        fs, store = col_store
+        with pytest.raises(FileNotFoundError):
+            MLOCStore.open(fs, "/store", "nope")
+
+    def test_open_exposes_metadata(self, col_store, gts_small):
+        fs, store = col_store
+        assert store.shape == gts_small.shape
+        assert store.n_elements == gts_small.size
+        assert store.variable == "field"
+
+    def test_storage_report(self, col_store):
+        fs, store = col_store
+        report = store.storage_report()
+        assert report.data_bytes > 0
+        assert report.index_bytes > 0
+        assert report.meta_bytes > 0
+        assert report.total_bytes == (
+            report.data_bytes + report.index_bytes + report.meta_bytes
+        )

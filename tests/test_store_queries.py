@@ -1,0 +1,235 @@
+"""Integration tests: MLOC store queries against NumPy ground truth.
+
+Every access pattern from Section II is checked on every MLOC variant:
+value-constrained region-only, spatially-constrained value retrieval,
+combined constraints, and PLoD multiresolution.  The lossless variants
+must match brute-force NumPy exactly; MLOC-ISA must respect the
+ISABELA error bound and may only misclassify points within the bound
+of the constraint edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Query
+
+
+def brute_force_vc(flat, lo, hi):
+    return np.flatnonzero((flat >= lo) & (flat <= hi))
+
+
+def region_positions(shape, region):
+    mask = np.zeros(shape, dtype=bool)
+    mask[tuple(slice(lo, hi) for lo, hi in region)] = True
+    return np.flatnonzero(mask.reshape(-1))
+
+
+@pytest.fixture(params=["col", "iso", "isa"])
+def variant(request, col_store, iso_store, isa_store):
+    fs, store = {"col": col_store, "iso": iso_store, "isa": isa_store}[request.param]
+    return request.param, fs, store
+
+
+class TestRegionOnlyQueries:
+    @pytest.mark.parametrize("quantiles", [(0.45, 0.55), (0.0, 0.3), (0.9, 1.0)])
+    def test_vc_positions(self, variant, gts_small, quantiles):
+        name, fs, store = variant
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, quantiles)
+        fs.clear_cache()
+        result = store.query(Query(value_range=(lo, hi), output="positions"))
+        expect = brute_force_vc(flat, lo, hi)
+        if name == "isa":
+            # Lossy: misclassification only within the error bound of
+            # the constraint edges.
+            sym = np.setxor1d(result.positions, expect)
+            if sym.size:
+                bound = 0.5 * 1e-3 * np.abs(flat).max()
+                near = np.minimum(np.abs(flat[sym] - lo), np.abs(flat[sym] - hi))
+                assert near.max() <= bound * 1.01
+        else:
+            assert np.array_equal(result.positions, expect)
+        assert result.values is None
+        assert result.times.total > 0
+
+    def test_narrow_vc_hits_few_bins(self, variant, gts_small):
+        name, fs, store = variant
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, [0.50, 0.51])
+        result = store.query(Query(value_range=(lo, hi), output="positions"))
+        assert result.stats["bins_accessed"] <= 3
+
+    def test_positions_sorted_unique(self, variant, gts_small):
+        _, fs, store = variant
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, [0.2, 0.6])
+        result = store.query(Query(value_range=(lo, hi), output="positions"))
+        assert np.all(np.diff(result.positions) > 0)
+
+
+class TestValueQueries:
+    @pytest.mark.parametrize(
+        "region", [((64, 160), (32, 200)), ((0, 32), (0, 32)), ((0, 256), (0, 256))]
+    )
+    def test_sc_values(self, variant, gts_small, region):
+        name, fs, store = variant
+        flat = gts_small.reshape(-1)
+        fs.clear_cache()
+        result = store.query(Query(region=region, output="values"))
+        expect_pos = region_positions(gts_small.shape, region)
+        assert np.array_equal(result.positions, expect_pos)
+        if name == "isa":
+            bound = 0.5 * 1e-3 * np.abs(flat).max()
+            assert np.abs(result.values - flat[expect_pos]).max() <= bound * 1.01
+        else:
+            assert np.array_equal(result.values, flat[expect_pos])
+
+    def test_unaligned_region(self, variant, gts_small):
+        """Regions not aligned to chunk boundaries exercise the
+        boundary-chunk filter."""
+        name, fs, store = variant
+        region = ((5, 39), (17, 203))
+        result = store.query(Query(region=region, output="values"))
+        expect_pos = region_positions(gts_small.shape, region)
+        assert np.array_equal(result.positions, expect_pos)
+
+    def test_single_point_region(self, variant, gts_small):
+        name, fs, store = variant
+        result = store.query(Query(region=((100, 101), (200, 201)), output="values"))
+        assert result.n_results == 1
+        assert result.positions[0] == 100 * 256 + 200
+        if name != "isa":
+            assert result.values[0] == gts_small[100, 200]
+
+
+class TestCombinedQueries:
+    def test_vc_and_sc(self, variant, gts_small):
+        name, fs, store = variant
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, [0.4, 0.6])
+        region = ((32, 160), (64, 224))
+        result = store.query(
+            Query(value_range=(lo, hi), region=region, output="values")
+        )
+        mask = np.zeros(gts_small.shape, dtype=bool)
+        mask[32:160, 64:224] = True
+        expect = np.flatnonzero(mask.reshape(-1) & (flat >= lo) & (flat <= hi))
+        if name == "isa":
+            assert abs(result.n_results - expect.size) <= 0.01 * expect.size + 50
+        else:
+            assert np.array_equal(result.positions, expect)
+            assert np.all((result.values >= lo) & (result.values <= hi))
+
+    def test_empty_result(self, variant, gts_small):
+        _, fs, store = variant
+        flat = gts_small.reshape(-1)
+        result = store.query(
+            Query(value_range=(flat.max() + 1, flat.max() + 2), output="positions")
+        )
+        # Only clamped end-bin candidates can appear; values must verify.
+        assert result.n_results == 0
+
+
+class TestAlignedFastPath:
+    def test_aligned_bins_skip_data_files(self, col_store, gts_small):
+        """Section III-D1: aligned bins under region-only output are
+        answered from the index files alone."""
+        fs, store = col_store
+        edges = store.meta.edges
+        lo, hi = float(edges[4]), float(edges[8])  # exactly aligned span
+        fs.clear_cache()
+        before = fs.session()
+        result = store.query(Query(value_range=(lo, hi), output="positions"))
+        assert result.stats["aligned_bins"] >= 3
+        # The paper's claim: fewer bytes than reading the data would cost.
+        data_bytes = sum(
+            fs.size(store.files.data_path(b)) for b in range(4, 8)
+        )
+        assert result.stats["bytes_read"] < data_bytes
+
+    def test_value_output_still_reads_data(self, col_store):
+        fs, store = col_store
+        edges = store.meta.edges
+        lo, hi = float(edges[4]), float(edges[8])
+        fs.clear_cache()
+        r_pos = store.query(Query(value_range=(lo, hi), output="positions"))
+        fs.clear_cache()
+        r_val = store.query(Query(value_range=(lo, hi), output="values"))
+        assert r_val.stats["bytes_read"] > r_pos.stats["bytes_read"]
+        assert np.array_equal(r_val.positions, r_pos.positions)
+
+
+class TestPLoDQueries:
+    def test_error_decreases_with_level(self, col_store, gts_small):
+        fs, store = col_store
+        flat = gts_small.reshape(-1)
+        region = ((0, 64), (0, 64))
+        errs = []
+        for level in (1, 2, 3, 7):
+            fs.clear_cache()
+            r = store.query(Query(region=region, output="values", plod_level=level))
+            errs.append(np.abs(r.values - flat[r.positions]).max())
+        assert errs[0] > errs[1] > errs[2] > errs[3] == 0.0
+
+    def test_io_grows_with_level(self, col_store):
+        fs, store = col_store
+        region = ((0, 128), (0, 128))
+        reads = []
+        for level in (1, 3, 5, 7):
+            fs.clear_cache()
+            r = store.query(Query(region=region, output="values", plod_level=level))
+            reads.append(r.stats["bytes_read"])
+        assert reads[0] < reads[1] < reads[2] < reads[3]
+
+    def test_plod_on_3d_store(self, col_store_3d, s3d_small):
+        fs, store = col_store_3d
+        flat = s3d_small.reshape(-1)
+        region = ((0, 32), (8, 40), (16, 48))
+        fs.clear_cache()
+        r = store.query(Query(region=region, output="values", plod_level=2))
+        rel = np.abs(r.values - flat[r.positions]) / np.abs(flat[r.positions])
+        assert rel.max() < 3e-4
+
+    def test_plod_ignored_on_full_value_store(self, iso_store, gts_small):
+        """VS-order stores keep whole values; plod_level must not
+        degrade results."""
+        fs, store = iso_store
+        flat = gts_small.reshape(-1)
+        r = store.query(
+            Query(region=((0, 32), (0, 32)), output="values", plod_level=2)
+        )
+        assert np.array_equal(r.values, flat[r.positions])
+
+
+class TestComponentTimes:
+    def test_all_components_reported(self, variant, gts_small):
+        name, fs, store = variant
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, [0.3, 0.5])
+        fs.clear_cache()
+        r = store.query(Query(value_range=(lo, hi), output="values"))
+        t = r.times
+        assert t.io > 0
+        assert t.decompression > 0
+        assert t.reconstruction >= 0
+        assert t.communication > 0
+        assert t.total == pytest.approx(
+            t.io + t.decompression + t.reconstruction + t.communication
+        )
+
+    def test_cold_vs_warm_cache(self, variant, gts_small):
+        _, fs, store = variant
+        flat = gts_small.reshape(-1)
+        lo, hi = np.quantile(flat, [0.3, 0.5])
+        fs.clear_cache()
+        cold = store.query(Query(value_range=(lo, hi), output="values"))
+        warm = store.query(Query(value_range=(lo, hi), output="values"))
+        assert warm.stats["bytes_read"] == 0
+        assert warm.times.io < cold.times.io
+
+    def test_result_coords_helper(self, col_store, gts_small):
+        fs, store = col_store
+        r = store.query(Query(region=((10, 12), (20, 23)), output="values"))
+        coords = r.coords(gts_small.shape)
+        assert coords.shape == (6, 2)
+        assert coords[:, 0].min() == 10 and coords[:, 1].max() == 22

@@ -1,0 +1,87 @@
+"""Tests for the stopwatch utilities and argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.timing import Stopwatch, TimerRegistry
+from repro.util.validation import (
+    check_dtype,
+    check_positive,
+    check_power_of_two,
+    check_shape_chunks,
+)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        with sw:
+            sum(range(1000))
+        assert sw.elapsed > first >= 0.0
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+
+class TestTimerRegistry:
+    def test_autocreate_and_elapsed(self):
+        reg = TimerRegistry()
+        assert reg.elapsed("never") == 0.0
+        with reg["io"]:
+            pass
+        assert reg.elapsed("io") >= 0.0
+        assert "io" in reg.as_dict()
+
+    def test_separate_timers(self):
+        reg = TimerRegistry()
+        with reg["a"]:
+            pass
+        assert reg.elapsed("b") == 0.0
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    @pytest.mark.parametrize("good", [1, 2, 4, 1024])
+    def test_power_of_two_accepts(self, good):
+        check_power_of_two("n", good)
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 1000])
+    def test_power_of_two_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_power_of_two("n", bad)
+
+    def test_check_dtype(self):
+        check_dtype("a", np.zeros(3), np.float64)
+        with pytest.raises(TypeError):
+            check_dtype("a", np.zeros(3, dtype=np.float32), np.float64)
+
+    def test_shape_chunks_exact_tiling(self):
+        check_shape_chunks((64, 128), (16, 32))
+        with pytest.raises(ValueError, match="not a multiple"):
+            check_shape_chunks((64, 100), (16, 32))
+        with pytest.raises(ValueError, match="rank"):
+            check_shape_chunks((64, 64), (16,))
+        with pytest.raises(ValueError, match="positive"):
+            check_shape_chunks((64,), (0,))

@@ -1,0 +1,111 @@
+"""Tests for query-trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, Query, mloc_col
+from repro.datasets import gts_like
+from repro.harness.trace import QueryTrace, ReplayReport, TracingStore, replay_trace
+from repro.pfs import SimulatedPFS
+
+
+@pytest.fixture(scope="module")
+def traced_setup():
+    fs = SimulatedPFS()
+    data = gts_like((128, 128), seed=9)
+    cfg = mloc_col(chunk_shape=(16, 16), n_bins=8, target_block_bytes=4096)
+    MLOCWriter(fs, "/t", cfg).write(data, variable="f")
+    store = MLOCStore.open(fs, "/t", "f", n_ranks=4)
+    return fs, data, store
+
+
+class TestQueryTraceSerialization:
+    def test_roundtrip(self, tmp_path):
+        trace = QueryTrace()
+        trace.append(Query(value_range=(1.0, 2.0), output="positions"))
+        trace.append(Query(region=((0, 8), (4, 12)), plod_level=2))
+        trace.append(Query(value_range=(0.5, 1.5), region=((0, 16), (0, 16))))
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        back = QueryTrace.load(path)
+        assert len(back) == 3
+        assert back.queries[0] == trace.queries[0]
+        assert back.queries[1] == trace.queries[1]
+        assert back.queries[2] == trace.queries[2]
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "queries": []}')
+        with pytest.raises(ValueError, match="trace version"):
+            QueryTrace.load(path)
+
+    def test_resolution_level_preserved(self, tmp_path):
+        trace = QueryTrace([Query(resolution_level=2)])
+        path = tmp_path / "t.json"
+        trace.save(path)
+        assert QueryTrace.load(path).queries[0].resolution_level == 2
+
+
+class TestTracingStore:
+    def test_records_and_delegates(self, traced_setup):
+        fs, data, store = traced_setup
+        traced = TracingStore(store)
+        flat = data.reshape(-1)
+        lo, hi = np.quantile(flat, [0.3, 0.5])
+        r1 = traced.query(Query(value_range=(lo, hi), output="positions"))
+        r2 = traced.query(Query(region=((0, 32), (0, 32))))
+        assert len(traced.trace) == 2
+        # Delegation of non-query attributes works.
+        assert traced.shape == data.shape
+        assert np.array_equal(
+            r1.positions, np.flatnonzero((flat >= lo) & (flat <= hi))
+        )
+        assert r2.n_results == 1024
+
+
+class TestReplay:
+    def test_replay_matches_direct(self, traced_setup):
+        fs, data, store = traced_setup
+        flat = data.reshape(-1)
+        lo, hi = np.quantile(flat, [0.2, 0.4])
+        trace = QueryTrace(
+            [
+                Query(value_range=(lo, hi), output="positions"),
+                Query(region=((16, 48), (0, 64))),
+            ]
+        )
+        report = replay_trace(store, trace)
+        assert isinstance(report, ReplayReport)
+        assert len(report.per_query) == 2
+        assert report.n_results[0] == int(((flat >= lo) & (flat <= hi)).sum())
+        assert report.n_results[1] == 32 * 64
+        assert report.total.total > 0
+        assert report.mean_seconds > 0
+
+    def test_warm_replay_cheaper(self, traced_setup):
+        fs, data, store = traced_setup
+        trace = QueryTrace([Query(region=((0, 64), (0, 64)))] * 3)
+        cold = replay_trace(store, trace, cold_cache=True)
+        warm = replay_trace(store, trace, cold_cache=False)
+        assert warm.total.io < cold.total.io
+
+    def test_cross_layout_replay(self, traced_setup, tmp_path):
+        """A trace captured against one order replays against another
+        with identical answers."""
+        fs, data, store = traced_setup
+        cfg = mloc_col(
+            chunk_shape=(16, 16), n_bins=8, level_order="VSM", target_block_bytes=4096
+        )
+        MLOCWriter(fs, "/t2", cfg).write(data, variable="f")
+        other = MLOCStore.open(fs, "/t2", "f", n_ranks=4)
+        flat = data.reshape(-1)
+        lo, hi = np.quantile(flat, [0.6, 0.8])
+        trace = QueryTrace([Query(value_range=(lo, hi), output="positions")])
+        a = replay_trace(store, trace)
+        b = replay_trace(other, trace)
+        assert a.n_results == b.n_results
+
+    def test_empty_trace(self, traced_setup):
+        fs, data, store = traced_setup
+        report = replay_trace(store, QueryTrace())
+        assert report.mean_seconds == 0.0

@@ -1,0 +1,83 @@
+"""Unit and property tests for the vectorized varint codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.varint import varint_decode_array, varint_encode_array
+
+
+class TestVarintBasics:
+    def test_empty(self):
+        assert varint_encode_array(np.empty(0, dtype=np.uint64)) == b""
+        out = varint_decode_array(b"")
+        assert out.size == 0
+
+    def test_zero(self):
+        assert varint_encode_array(np.array([0], dtype=np.uint64)) == b"\x00"
+
+    def test_single_byte_boundary(self):
+        # 127 fits in one byte; 128 needs two.
+        assert len(varint_encode_array(np.array([127], dtype=np.uint64))) == 1
+        assert len(varint_encode_array(np.array([128], dtype=np.uint64))) == 2
+
+    def test_known_encoding(self):
+        # LEB128 of 300 = 0xAC 0x02.
+        assert varint_encode_array(np.array([300], dtype=np.uint64)) == b"\xac\x02"
+
+    def test_max_uint64(self):
+        v = np.array([2**64 - 1], dtype=np.uint64)
+        payload = varint_encode_array(v)
+        assert len(payload) == 10
+        assert np.array_equal(varint_decode_array(payload, 1), v)
+
+    def test_mixed_magnitudes(self):
+        v = np.array([0, 1, 127, 128, 16383, 16384, 2**32, 2**63], dtype=np.uint64)
+        assert np.array_equal(varint_decode_array(varint_encode_array(v), v.size), v)
+
+    def test_order_preserved(self):
+        v = np.arange(1000, dtype=np.uint64) * 37
+        assert np.array_equal(varint_decode_array(varint_encode_array(v)), v)
+
+
+class TestVarintErrors:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            varint_encode_array(np.array([-1], dtype=np.int64))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            varint_encode_array(np.zeros((2, 2), dtype=np.uint64))
+
+    def test_truncated_stream(self):
+        payload = varint_encode_array(np.array([300], dtype=np.uint64))
+        with pytest.raises(ValueError, match="truncated"):
+            varint_decode_array(payload[:1])
+
+    def test_count_mismatch(self):
+        payload = varint_encode_array(np.array([1, 2, 3], dtype=np.uint64))
+        with pytest.raises(ValueError, match="expected 2 values"):
+            varint_decode_array(payload, 2)
+
+    def test_empty_with_nonzero_count(self):
+        with pytest.raises(ValueError, match="expected 5"):
+            varint_decode_array(b"", 5)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=0, max_size=200)
+)
+def test_roundtrip_property(values):
+    v = np.array(values, dtype=np.uint64)
+    assert np.array_equal(varint_decode_array(varint_encode_array(v), v.size), v)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=100)
+)
+def test_small_values_one_byte_each(values):
+    payload = varint_encode_array(np.array(values, dtype=np.uint64))
+    assert len(payload) == len(values)

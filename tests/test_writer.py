@@ -1,0 +1,141 @@
+"""Tests for the MLOC writer: layout invariants and storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, mloc_col, mloc_isa, mloc_iso
+from repro.core.config import MLOCConfig
+from repro.datasets import gts_like
+from repro.pfs import BinFileSet, SimulatedPFS
+
+
+@pytest.fixture(scope="module")
+def data() -> np.ndarray:
+    return gts_like((128, 128), seed=4)
+
+
+def write(data, config, fs=None):
+    fs = fs if fs is not None else SimulatedPFS()
+    report = MLOCWriter(fs, "/w", config).write(data, variable="f")
+    return fs, report
+
+
+class TestWriteReport:
+    def test_accounting_matches_fs(self, data):
+        fs, report = write(data, mloc_col((16, 16), n_bins=8, target_block_bytes=4096))
+        files = BinFileSet("/w/f", 8)
+        assert report.data_bytes == files.data_bytes(fs)
+        assert report.index_bytes == files.index_bytes(fs)
+        assert report.meta_bytes == fs.size(files.meta_path)
+        assert report.raw_bytes == data.nbytes
+        assert report.total_bytes == (
+            report.data_bytes + report.index_bytes + report.meta_bytes
+        )
+        assert 0 < report.data_ratio < 1.2
+        assert report.total_ratio < 1.5
+
+    def test_compression_orders_match_table1(self, data):
+        """Table I shape: ISA much smaller than COL/ISO; all MLOC
+        variants smaller than raw + index bounded."""
+        ratios = {}
+        for maker, name in [(mloc_col, "col"), (mloc_iso, "iso"), (mloc_isa, "isa")]:
+            _, report = write(data, maker((16, 16), n_bins=8, target_block_bytes=4096))
+            ratios[name] = report.data_ratio
+        assert ratios["isa"] < 0.5 * min(ratios["col"], ratios["iso"])
+        assert ratios["col"] < 1.0 and ratios["iso"] < 1.0
+
+
+class TestLayoutInvariants:
+    def test_one_file_pair_per_bin(self, data):
+        fs, _ = write(data, mloc_col((16, 16), n_bins=8, target_block_bytes=4096))
+        names = fs.list_files("/w/f/")
+        assert len([n for n in names if n.endswith(".data")]) == 8
+        assert len([n for n in names if n.endswith(".index")]) == 8
+        assert "/w/f/meta" in names
+
+    def test_counts_cover_everything(self, data):
+        fs, _ = write(data, mloc_col((16, 16), n_bins=8, target_block_bytes=4096))
+        store = MLOCStore.open(fs, "/w", "f")
+        assert int(store.meta.counts.sum()) == data.size
+        assert store.meta.counts.shape == (8, 64)
+
+    def test_block_tables_partition_cells(self, data):
+        fs, _ = write(data, mloc_col((16, 16), n_bins=4, target_block_bytes=4096))
+        store = MLOCStore.open(fs, "/w", "f")
+        n_cells = 7 * store.meta.n_chunks  # 7 byte groups (V-M-S)
+        for b in range(4):
+            table = store.meta.data_blocks[b]
+            assert table[0, 0] == 0
+            assert table[-1, 1] == n_cells
+            # contiguous, non-overlapping cell ranges
+            assert np.array_equal(table[1:, 0], table[:-1, 1])
+            # offsets consistent with payload lengths
+            assert np.array_equal(table[1:, 2], (table[:-1, 2] + table[:-1, 3]))
+            assert table[-1, 2] + table[-1, 3] == store.fs.size(
+                store.files.data_path(b)
+            )
+
+    def test_index_tables_partition_chunks(self, data):
+        fs, _ = write(data, mloc_iso((16, 16), n_bins=4, target_block_bytes=4096))
+        store = MLOCStore.open(fs, "/w", "f")
+        for b in range(4):
+            table = store.meta.index_blocks[b]
+            assert table[0, 0] == 0
+            assert table[-1, 1] == store.meta.n_chunks
+            assert np.array_equal(table[1:, 0], table[:-1, 1])
+
+    def test_block_sizes_near_target(self, data):
+        target = 4096
+        fs, _ = write(data, mloc_iso((16, 16), n_bins=4, target_block_bytes=target))
+        store = MLOCStore.open(fs, "/w", "f")
+        raw_lens = np.concatenate([t[:, 4] for t in store.meta.data_blocks])
+        # All blocks but the last of each stream end at/above the target,
+        # and none is wildly above it (one cell of slack).
+        assert raw_lens.max() < 4 * target
+
+    def test_smaller_blocks_more_rows(self, data):
+        fs_a, _ = write(data, mloc_iso((16, 16), n_bins=4, target_block_bytes=2048))
+        fs_b, _ = write(data, mloc_iso((16, 16), n_bins=4, target_block_bytes=16384))
+        a = MLOCStore.open(fs_a, "/w", "f")
+        b = MLOCStore.open(fs_b, "/w", "f")
+        rows_a = sum(t.shape[0] for t in a.meta.data_blocks)
+        rows_b = sum(t.shape[0] for t in b.meta.data_blocks)
+        assert rows_a > rows_b
+
+
+class TestCodecTypeChecking:
+    def test_plod_requires_byte_codec(self, data):
+        cfg = MLOCConfig(chunk_shape=(16, 16), level_order="VMS", codec="isobar")
+        with pytest.raises(TypeError, match="ByteCodec"):
+            write(data, cfg)
+
+    def test_vs_requires_float_codec(self, data):
+        cfg = MLOCConfig(chunk_shape=(16, 16), level_order="VS", codec="zlib-bytes")
+        with pytest.raises(TypeError, match="FloatCodec"):
+            write(data, cfg)
+
+
+class TestCurveVariants:
+    @pytest.mark.parametrize("curve", ["hilbert", "zorder", "rowmajor", "hierarchical"])
+    def test_all_curves_roundtrip(self, data, curve):
+        cfg = mloc_col((16, 16), n_bins=4, curve=curve, target_block_bytes=4096)
+        fs, _ = write(data, cfg)
+        store = MLOCStore.open(fs, "/w", "f")
+        from repro.core import Query
+
+        flat = data.reshape(-1)
+        lo, hi = np.quantile(flat, [0.3, 0.4])
+        r = store.query(Query(value_range=(lo, hi), output="positions"))
+        expect = np.flatnonzero((flat >= lo) & (flat <= hi))
+        assert np.array_equal(r.positions, expect)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self, data):
+        cfg = mloc_col((16, 16), n_bins=4, target_block_bytes=4096)
+        fs1, r1 = write(data, cfg)
+        fs2, r2 = write(data, cfg)
+        assert r1.data_bytes == r2.data_bytes
+        assert r1.index_bytes == r2.index_bytes
+        p = "/w/f/bin0000.data"
+        assert fs1.session().open(p).read_all() == fs2.session().open(p).read_all()
