@@ -1,0 +1,16 @@
+# Developer entry points.  `make verify` is the one-command gate every
+# change must pass (lint when ruff is installed + tier-1 tests).
+
+.PHONY: verify test lint bench
+
+verify:
+	sh scripts/verify.sh
+
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+lint:
+	ruff check src tests benchmarks
+
+bench:
+	PYTHONPATH=src python -m pytest benchmarks -q

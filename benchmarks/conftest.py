@@ -54,3 +54,12 @@ def attach_sim_info(benchmark, times, paper_value=None, **extra):
         benchmark.extra_info["paper_seconds"] = paper_value
     for key, value in extra.items():
         benchmark.extra_info[key] = value
+
+
+def attach_batch_info(benchmark, batch):
+    """Record a BatchResult's aggregate times and cache counters."""
+    attach_sim_info(benchmark, batch.times)
+    for key in ("n_queries", "blocks_planned", "blocks_decoded",
+                "cache_hits", "cache_misses"):
+        if key in batch.stats:
+            benchmark.extra_info[key] = batch.stats[key]

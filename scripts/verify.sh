@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# One-command verification gate: lint (if ruff is available) + tier-1
+# tests.  Usage: scripts/verify.sh  (or: make verify)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q

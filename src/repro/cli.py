@@ -9,6 +9,9 @@ against those snapshot files, giving the library a shell-level surface:
     python -m repro.cli fsck out.pfs --root /demo --variable potential
     python -m repro.cli query out.pfs --root /demo --variable potential \\
         --vmin 4.0 --region 100:200,0:128 --output values --plod 2
+    python -m repro.cli batch out.pfs --root /demo --variable potential \\
+        --cache-mb 64 --backend threads \\
+        --spec 'vmin=4.0;region=100:200,0:128' --spec 'vmin=4.5'
 
 Every command prints human-readable text and exits non-zero on failure
 (or when fsck finds issues).
@@ -67,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--plod", type=int, default=7, help="PLoD level 1..7")
     query.add_argument("--ranks", type=int, default=8)
+    _add_execution_options(query)
     query.add_argument(
         "--aggregate",
         choices=list(AGGREGATE_OPS),
@@ -74,6 +78,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduce instead of returning points",
     )
     query.add_argument("--limit", type=int, default=5, help="result rows to print")
+
+    batch = sub.add_parser(
+        "batch", help="run a batch of queries as one pipeline (query_many)"
+    )
+    batch.add_argument("snapshot")
+    batch.add_argument("--root", required=True)
+    batch.add_argument("--variable", required=True)
+    batch.add_argument(
+        "--spec",
+        action="append",
+        required=True,
+        metavar="SPEC",
+        help=(
+            "one query as ';'-separated key=value pairs "
+            "(vmin, vmax, region, output, plod), e.g. "
+            "'vmin=4.0;region=100:200,0:128;output=values;plod=2'; repeatable"
+        ),
+    )
+    batch.add_argument("--ranks", type=int, default=8)
+    _add_execution_options(batch)
 
     relayout_p = sub.add_parser(
         "relayout", help="migrate a store to a different level order"
@@ -89,6 +113,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_execution_options(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--backend",
+        choices=["serial", "threads"],
+        default="serial",
+        help="decode-phase backend (identical simulated seconds)",
+    )
+    sub_parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="thread-pool width for --backend threads (default: CPU count)",
+    )
+    sub_parser.add_argument(
+        "--cache-mb",
+        type=float,
+        default=0.0,
+        help="decoded-block LRU budget in MiB (0 = cold, the paper's discipline)",
+    )
+
+
+def _open_store(fs, args) -> MLOCStore:
+    return MLOCStore.open(
+        fs,
+        args.root,
+        args.variable,
+        n_ranks=args.ranks,
+        backend=args.backend,
+        n_threads=args.threads,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+    )
+
+
 def _parse_region(text: str | None):
     if text is None:
         return None
@@ -97,6 +154,39 @@ def _parse_region(text: str | None):
         lo, hi = axis.split(":")
         region.append((int(lo), int(hi)))
     return tuple(region)
+
+
+def _parse_query_spec(spec: str) -> Query:
+    """Parse one ``--spec`` string into a :class:`Query`.
+
+    Pairs are ';'-separated (regions need the comma), e.g.
+    ``vmin=4.0;region=100:200,0:128;output=values;plod=2``.
+    """
+    fields: dict[str, str] = {}
+    for pair in spec.split(";"):
+        pair = pair.strip()
+        if not pair:
+            continue
+        if "=" not in pair:
+            raise ValueError(f"bad query spec field {pair!r} (expected key=value)")
+        key, value = pair.split("=", 1)
+        fields[key.strip()] = value.strip()
+    known = {"vmin", "vmax", "region", "output", "plod"}
+    unknown = set(fields) - known
+    if unknown:
+        raise ValueError(f"unknown query spec keys {sorted(unknown)}")
+    value_range = None
+    if "vmin" in fields or "vmax" in fields:
+        value_range = (
+            float(fields["vmin"]) if "vmin" in fields else -np.inf,
+            float(fields["vmax"]) if "vmax" in fields else np.inf,
+        )
+    return Query(
+        value_range=value_range,
+        region=_parse_region(fields.get("region")),
+        output=fields.get("output", "values"),
+        plod_level=int(fields.get("plod", 7)),
+    )
 
 
 def _cmd_demo(args) -> int:
@@ -151,7 +241,7 @@ def _cmd_fsck(args) -> int:
 
 def _cmd_query(args) -> int:
     fs = SimulatedPFS.load(args.snapshot)
-    store = MLOCStore.open(fs, args.root, args.variable, n_ranks=args.ranks)
+    store = _open_store(fs, args)
     value_range = None
     if args.vmin is not None or args.vmax is not None:
         value_range = (
@@ -196,6 +286,40 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    fs = SimulatedPFS.load(args.snapshot)
+    store = _open_store(fs, args)
+    try:
+        queries = [_parse_query_spec(spec) for spec in args.spec]
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    batch = store.query_many(queries)
+    for i, result in enumerate(batch):
+        print(
+            f"query {i}: {result.n_results} results; "
+            f"response {result.times.total:.4f} s simulated "
+            f"(io {result.times.io:.4f}, "
+            f"decompression {result.times.decompression:.4f}); "
+            f"block hits/misses {result.stats['cache_hits']}"
+            f"/{result.stats['cache_misses']}"
+        )
+    print(
+        f"batch of {len(batch)}: {batch.stats['n_results']} results; "
+        f"aggregate response {batch.times.total:.4f} s simulated; "
+        f"{batch.stats['blocks_decoded']} blocks decoded for "
+        f"{batch.stats['cache_hits'] + batch.stats['cache_misses']} block requests"
+    )
+    if "cache" in batch.stats:
+        cache = batch.stats["cache"]
+        print(
+            f"cache: {cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['evictions']} evictions, "
+            f"{cache['current_bytes']}/{cache['capacity_bytes']} bytes"
+        )
+    return 0
+
+
 def _cmd_relayout(args) -> int:
     from dataclasses import replace as dc_replace
 
@@ -227,6 +351,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "fsck": _cmd_fsck,
     "query": _cmd_query,
+    "batch": _cmd_batch,
     "relayout": _cmd_relayout,
 }
 

@@ -20,14 +20,21 @@ from repro.core.advisor import (
 from repro.core.aggregate import AGGREGATE_OPS, AggregateResult, aggregate_query
 from repro.core.chunking import ChunkGrid, normalize_region, region_size
 from repro.core.compound import CompoundResult, VariableConstraint, compound_query
-from repro.core.config import LEVEL_ORDERS, MLOCConfig, mloc_col, mloc_isa, mloc_iso
+from repro.core.config import (
+    LEVEL_ORDERS,
+    ExecutionConfig,
+    MLOCConfig,
+    mloc_col,
+    mloc_isa,
+    mloc_iso,
+)
 from repro.core.dataset import MLOCDataset
 from repro.core.executor import QueryExecutor
 from repro.core.meta import StoreMeta
 from repro.core.multivar import MultiVarResult, multi_variable_query
 from repro.core.planner import QueryPlan, plan_query
 from repro.core.query import Query
-from repro.core.result import ComponentTimes, QueryResult
+from repro.core.result import BatchResult, ComponentTimes, QueryResult
 from repro.core.staging import InSituStager, StagingOverflow, StagingReport
 from repro.core.store import MLOCStore, StorageReport
 from repro.core.writer import MLOCWriter, WriteReport
@@ -36,9 +43,11 @@ __all__ = [
     "AGGREGATE_OPS",
     "AdvisorReport",
     "AggregateResult",
+    "BatchResult",
     "ChunkGrid",
     "CompoundResult",
     "ComponentTimes",
+    "ExecutionConfig",
     "InSituStager",
     "LEVEL_ORDERS",
     "MLOCConfig",

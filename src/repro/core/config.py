@@ -26,7 +26,14 @@ from typing import Any
 
 from repro.plod.byteplanes import N_GROUPS
 
-__all__ = ["MLOCConfig", "LEVEL_ORDERS", "mloc_col", "mloc_iso", "mloc_isa"]
+__all__ = [
+    "MLOCConfig",
+    "ExecutionConfig",
+    "LEVEL_ORDERS",
+    "mloc_col",
+    "mloc_iso",
+    "mloc_isa",
+]
 
 LEVEL_ORDERS = ("VMS", "VSM", "VS")
 
@@ -120,6 +127,50 @@ class MLOCConfig:
     def group_major(self) -> bool:
         """True when byte group is the major cell key (V-M-S order)."""
         return self.level_order == "VMS"
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Read-side execution options of an :class:`~repro.core.store.MLOCStore`.
+
+    Unlike :class:`MLOCConfig` — which is baked into the written layout
+    — these options only affect how queries are *served* and can differ
+    per store handle.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"`` (default) or ``"threads"``; the threaded backend
+        runs block decodes on a thread pool (zlib releases the GIL) and
+        produces identical results and simulated seconds.
+    n_threads:
+        Pool width for the ``"threads"`` backend; ``None`` = CPU count.
+    cache_bytes:
+        Byte budget of the shared decoded-block LRU; 0 disables caching
+        (the paper's cold-cache measurement discipline).
+    """
+
+    backend: str = "serial"
+    n_threads: int | None = None
+    cache_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "threads"):
+            raise ValueError(
+                f"backend must be 'serial' or 'threads', got {self.backend!r}"
+            )
+        if self.n_threads is not None and self.n_threads <= 0:
+            raise ValueError(f"n_threads must be positive, got {self.n_threads}")
+        if self.cache_bytes < 0:
+            raise ValueError(f"cache_bytes must be >= 0, got {self.cache_bytes}")
+
+    def store_options(self) -> dict[str, Any]:
+        """Keyword arguments for :meth:`MLOCStore.open`."""
+        return {
+            "backend": self.backend,
+            "n_threads": self.n_threads,
+            "cache_bytes": self.cache_bytes,
+        }
 
 
 def mloc_col(chunk_shape: tuple[int, ...], **overrides) -> MLOCConfig:

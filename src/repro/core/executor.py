@@ -21,15 +21,35 @@ CPU scaled by the cost model's ``cpu_scale`` (DESIGN.md §5).  Aligned
 bins under region-only output never touch the data subfiles — the
 index-only fast path of Section III-D1.
 
-All per-chunk work inside a rank is batched per bin: cell payloads are
-sliced out of decoded blocks as contiguous *runs* of consecutive cells
-and reassembled with single vectorized operations, so measured CPU
-reflects per-byte work rather than Python per-chunk overhead.
+Execution is phased so the simulated-time model stays deterministic
+while the real CPU work parallelizes:
+
+* **plan phase** (deterministic rank order): every rank walks its
+  blocks, charges simulated I/O to its own PFS session, and enqueues
+  one *decode job* per distinct compression block.  Jobs are
+  deduplicated through a :class:`~repro.core.executor._BlockFetcher`,
+  which consults the shared decoded-block LRU
+  (:class:`repro.pfs.blockcache.BlockCache`) when one is configured —
+  a hit skips both the simulated read and the modeled decode seconds;
+* **decode phase**: the pending jobs run either inline (``serial``
+  backend) or on a :class:`~concurrent.futures.ThreadPoolExecutor`
+  (``threads`` backend) — zlib/NumPy decodes release the GIL, so this
+  is true parallelism on the dominant real CPU cost.  Job *accounting*
+  was already fixed in the plan phase, so both backends produce
+  bit-identical results and identical simulated seconds;
+* **finish phase** (deterministic rank order): positions and values
+  are gathered out of the decoded blocks as contiguous runs with
+  single vectorized operations, filtered, and gathered through the
+  simulated communicator.  This phase is measured CPU
+  (``time.process_time``) and therefore deliberately not threaded.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -39,7 +59,7 @@ from repro.core.meta import StoreMeta
 from repro.core.planner import QueryPlan
 from repro.core.query import Query
 from repro.core.result import ComponentTimes, QueryResult
-from repro.index.binindex import decode_position_block
+from repro.index.binindex import decode_position_block_flat
 from repro.index.bitmap import Bitmap
 from repro.parallel.scheduler import (
     BlockRef,
@@ -47,13 +67,14 @@ from repro.parallel.scheduler import (
     round_robin_assignment,
 )
 from repro.parallel.simmpi import CommCostModel, SimCommunicator
+from repro.pfs.blockcache import BlockCache
 from repro.pfs.layout import BinFileSet, aggregate_parallel_time
 from repro.pfs.simfs import PFSSession, SimulatedPFS
 from repro.plod.byteplanes import GROUP_WIDTHS, assemble_from_groups
 from repro.sfc.linearize import CurveOrder
 from repro.util.timing import TimerRegistry
 
-__all__ = ["QueryExecutor", "RankOutput", "INDEX_DECODE_THROUGHPUT"]
+__all__ = ["QueryExecutor", "RankOutput", "BACKENDS", "INDEX_DECODE_THROUGHPUT"]
 
 #: Modeled decode rate of the per-bin position index (delta + varint +
 #: deflate), bytes of reconstructed positions (8 B each) per second,
@@ -64,6 +85,9 @@ INDEX_DECODE_THROUGHPUT = 240e6
 #: reassembling PLoD byte planes, bytes of raw data per second —
 #: memcpy-class work, calibrated like the codec throughputs.
 ASSEMBLY_THROUGHPUT = 600e6
+
+#: Real-execution backends for the decode phase.
+BACKENDS = ("serial", "threads")
 
 _SCHEDULERS = {
     "column": column_order_assignment,
@@ -97,8 +121,188 @@ class RankOutput:
         )
 
 
+class _DecodeJob:
+    """One deferred block decode; ``result`` is set by :meth:`run`."""
+
+    __slots__ = ("_fn", "result", "done")
+
+    def __init__(self, fn: Callable[[], object] | None = None, result: object = None):
+        self._fn = fn
+        self.result = result
+        self.done = fn is None
+
+    def run(self) -> None:
+        if not self.done:
+            self.result = self._fn()
+            self._fn = None
+            self.done = True
+
+
+class _HandleOpener:
+    """Session file handle, opened lazily unless seed-faithful ``eager``.
+
+    Without caching every planned block is read, so the handle is opened
+    immediately (charging the open exactly where the pre-cache executor
+    did).  With caching, the open is deferred to the first actual read:
+    if every block of the file is served from the cache, the rank never
+    touches the file and pays no metadata operation.
+    """
+
+    __slots__ = ("_session", "_path", "_handle")
+
+    def __init__(self, session: PFSSession, path: str, eager: bool):
+        self._session = session
+        self._path = path
+        self._handle = session.open(path) if eager else None
+
+    def get(self):
+        if self._handle is None:
+            self._handle = self._session.open(self._path)
+        return self._handle
+
+
+class _BlockFetcher:
+    """Per-query (or per-batch) read/decode coordinator.
+
+    Deduplicates decode work across ranks — and, when shared by
+    :meth:`~repro.core.store.MLOCStore.query_many`, across the queries
+    of a batch — and fronts the store's decoded-block LRU.  All calls
+    happen in the deterministic plan phase, so which rank pays for a
+    block's I/O and modeled decode time never depends on backend or
+    thread timing: the first requester in rank order pays, later
+    requesters record a hit.
+    """
+
+    def __init__(self, cache: BlockCache | None, generation: int, shared: bool = False):
+        self.cache = cache
+        self.generation = generation
+        self.shared = shared
+        self._jobs: dict[tuple, _DecodeJob] = {}
+        self._pending: list[tuple[tuple | None, _DecodeJob]] = []
+        self.hits = 0
+        self.misses = 0
+        self.hit_raw_bytes = 0
+        self.miss_raw_bytes = 0
+
+    @property
+    def caching(self) -> bool:
+        """Whether block identity is tracked (LRU and/or batch dedup)."""
+        return self.cache is not None or self.shared
+
+    def request(
+        self,
+        key: tuple,
+        read_payload: Callable[[], bytes],
+        decode: Callable[[bytes], object],
+        raw_bytes: int,
+    ) -> tuple[_DecodeJob, bool]:
+        """Return a job whose result is the decoded block, plus hit flag.
+
+        On a miss, ``read_payload`` runs immediately (charging simulated
+        I/O to the requesting rank's session) and the decode is deferred
+        to the decode phase.  On a hit nothing is charged.
+        """
+        if self.caching:
+            job = self._jobs.get(key)
+            if job is not None:
+                self.hits += 1
+                self.hit_raw_bytes += raw_bytes
+                return job, True
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    job = _DecodeJob(result=cached)
+                    self._jobs[key] = job
+                    self.hits += 1
+                    self.hit_raw_bytes += raw_bytes
+                    return job, True
+        payload = read_payload()
+        job = _DecodeJob(fn=lambda: decode(payload))
+        self.misses += 1
+        self.miss_raw_bytes += raw_bytes
+        if self.caching:
+            self._jobs[key] = job
+            self._pending.append((key, job))
+        else:
+            self._pending.append((None, job))
+        return job, False
+
+    def run(self, pool: ThreadPoolExecutor | None) -> int:
+        """Execute pending decode jobs; returns how many ran.
+
+        Cache insertion happens afterwards in plan order (never from the
+        worker threads), so LRU/eviction state — and therefore later
+        queries' hit patterns — is backend-independent.
+        """
+        pending, self._pending = self._pending, []
+        if pool is None:
+            for _, job in pending:
+                job.run()
+        else:
+            list(pool.map(lambda item: item[1].run(), pending))
+        if self.cache is not None:
+            for key, job in pending:
+                if key is not None:
+                    self.cache.put(key, job.result)
+        return len(pending)
+
+
+@dataclass
+class _ValueWork:
+    """Planned data-block work of one (rank, bin): jobs + cell geometry."""
+
+    n_elem: int
+    n_groups: int = 1
+    cells_per_group: list[np.ndarray] = field(default_factory=list)
+    cell_offsets: np.ndarray | None = None
+    row_starts: np.ndarray | None = None
+    jobs: dict[int, _DecodeJob] = field(default_factory=dict)
+
+
+@dataclass
+class _BinWork:
+    """Planned work of one (rank, bin)."""
+
+    bin_id: int
+    cpos: np.ndarray
+    chunk_ids: np.ndarray
+    aligned: bool
+    need_values: bool
+    #: (cpos_start, cpos_end, job -> flat positions) per index block.
+    index_parts: list[tuple[int, int, _DecodeJob]]
+    value_work: _ValueWork | None
+
+
+@dataclass
+class _RankWork:
+    """One rank's planned work plus its accounting context."""
+
+    session: PFSSession
+    timers: TimerRegistry
+    raw: dict[str, int]
+    bins: list[_BinWork]
+
+
 class QueryExecutor:
-    """Executes planned queries over one stored variable."""
+    """Executes planned queries over one stored variable.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` runs decode jobs inline; ``"threads"`` runs them on
+        a thread pool (zlib/NumPy release the GIL).  Both produce
+        bit-identical results and identical simulated seconds — the
+        backend only changes real wall-clock time.
+    n_threads:
+        Thread-pool width for the ``"threads"`` backend (default: CPU
+        count).
+    cache:
+        Optional shared :class:`~repro.pfs.blockcache.BlockCache` of
+        decoded blocks; hits skip simulated I/O and modeled decode time.
+    generation:
+        Fingerprint of the store metadata, namespacing cache keys so a
+        rewritten-and-reopened store never serves stale blocks.
+    """
 
     def __init__(
         self,
@@ -111,6 +315,10 @@ class QueryExecutor:
         n_ranks: int = 8,
         scheduler: str = "column",
         comm_cost: CommCostModel | None = None,
+        backend: str = "serial",
+        n_threads: int | None = None,
+        cache: BlockCache | None = None,
+        generation: int = 0,
     ) -> None:
         if scheduler not in _SCHEDULERS:
             raise ValueError(
@@ -118,6 +326,10 @@ class QueryExecutor:
             )
         if n_ranks <= 0:
             raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if n_threads is not None and n_threads <= 0:
+            raise ValueError(f"n_threads must be positive, got {n_threads}")
         self.fs = fs
         self.files = files
         self.meta = meta
@@ -125,6 +337,10 @@ class QueryExecutor:
         self.curve = curve
         self.n_ranks = n_ranks
         self.scheduler = scheduler
+        self.backend = backend
+        self.n_threads = n_threads
+        self.cache = cache
+        self.generation = generation
         if comm_cost is None:
             # Scale collective payload costs with the dataset
             # magnification so communication stays commensurate with
@@ -138,19 +354,38 @@ class QueryExecutor:
         self._codec = make_codec(meta.config.codec, **meta.config.codec_params)
 
     # ------------------------------------------------------------------
+    def new_fetcher(self, shared: bool = False) -> _BlockFetcher:
+        """A fetcher for one query (or, with ``shared=True``, a batch)."""
+        return _BlockFetcher(self.cache, self.generation, shared=shared)
+
+    # ------------------------------------------------------------------
     def execute(
         self,
         query: Query,
         plan: QueryPlan,
         position_filter: Bitmap | None = None,
+        fetcher: _BlockFetcher | None = None,
     ) -> QueryResult:
         """Run the parallel access program for one planned query."""
+        if fetcher is None:
+            fetcher = self.new_fetcher()
+        hits0, misses0 = fetcher.hits, fetcher.misses
+        hit_raw0 = fetcher.hit_raw_bytes
+
         blocks = plan.block_refs()
         assignment = _SCHEDULERS[self.scheduler](blocks, self.n_ranks)
 
-        rank_outputs = [
-            self._run_rank(rank_blocks, query, plan, position_filter)
+        # Plan phase: deterministic rank order, charges all simulated I/O
+        # and fixes which rank pays each block's modeled decode time.
+        rank_works = [
+            self._plan_rank(rank_blocks, query, plan, position_filter, fetcher)
             for rank_blocks in assignment
+        ]
+        # Decode phase: the only concurrent part (threads backend).
+        blocks_decoded = self._run_decodes(fetcher)
+        # Finish phase: measured CPU, deterministic rank order.
+        rank_outputs = [
+            self._finish_rank(work, query, plan, position_filter) for work in rank_works
         ]
 
         comm = SimCommunicator(self.n_ranks, self.comm_cost)
@@ -185,10 +420,15 @@ class QueryExecutor:
         )
         stats = {
             "n_ranks": self.n_ranks,
+            "backend": self.backend,
             "bins_accessed": int(plan.bin_ids.size),
             "aligned_bins": int(plan.aligned.sum()),
             "chunks_accessed": int(plan.cpos.size),
             "blocks_planned": len(blocks),
+            "blocks_decoded": blocks_decoded,
+            "cache_hits": fetcher.hits - hits0,
+            "cache_misses": fetcher.misses - misses0,
+            "cache_hit_raw_bytes": fetcher.hit_raw_bytes - hit_raw0,
             "bytes_read": int(sum(s.stats.bytes_read for s in sessions)),
             "files_opened": int(sum(s.stats.opens for s in sessions)),
             "seeks": int(sum(s.stats.seeks for s in sessions)),
@@ -197,18 +437,35 @@ class QueryExecutor:
         return QueryResult(positions=positions, values=values, times=times, stats=stats)
 
     # ------------------------------------------------------------------
-    def _run_rank(
+    def _run_decodes(self, fetcher: _BlockFetcher) -> int:
+        """Run the decode phase on the configured backend.
+
+        A pool is only spun up when it can actually overlap work: with
+        one effective worker (or fewer than two pending jobs) the
+        threaded backend decodes inline, avoiding pure dispatch
+        overhead on single-core machines.
+        """
+        n_pending = len(fetcher._pending)
+        workers = min(self.n_threads or os.cpu_count() or 1, n_pending)
+        if self.backend == "threads" and workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return fetcher.run(pool)
+        return fetcher.run(None)
+
+    # ------------------------------------------------------------------
+    def _plan_rank(
         self,
         rank_blocks: list[BlockRef],
         query: Query,
         plan: QueryPlan,
         position_filter: Bitmap | None,
-    ) -> RankOutput:
+        fetcher: _BlockFetcher,
+    ) -> _RankWork:
+        """Charge one rank's simulated I/O and enqueue its decode jobs."""
         timers = TimerRegistry()
         session = self.fs.session()
-        out_positions: list[np.ndarray] = []
-        out_values: list[np.ndarray] = []
-        raw_counters = {"data": 0, "index": 0}
+        raw = {"data": 0, "index": 0}
+        bins: list[_BinWork] = []
 
         # Group this rank's blocks by bin (they arrive bin-major).
         by_bin: dict[int, list[BlockRef]] = {}
@@ -223,23 +480,159 @@ class QueryExecutor:
             need_values = (
                 query.wants_values or not aligned or position_filter is not None
             )
-
-            positions, counts = self._read_positions(
-                session, bin_id, cpos, chunk_ids, timers, raw_counters
-            )
-            values: np.ndarray | None = None
+            index_parts = self._plan_positions(session, bin_id, cpos, fetcher, raw)
+            value_work = None
             if need_values:
-                values = self._read_values(
-                    session, bin_id, cpos, query.plod_level, timers, raw_counters
+                value_work = self._plan_values(
+                    session, bin_id, cpos, query.plod_level, fetcher, raw
                 )
+            bins.append(
+                _BinWork(
+                    bin_id=bin_id,
+                    cpos=cpos,
+                    chunk_ids=chunk_ids,
+                    aligned=aligned,
+                    need_values=need_values,
+                    index_parts=index_parts,
+                    value_work=value_work,
+                )
+            )
+        return _RankWork(session=session, timers=timers, raw=raw, bins=bins)
+
+    def _plan_positions(
+        self,
+        session: PFSSession,
+        bin_id: int,
+        cpos: np.ndarray,
+        fetcher: _BlockFetcher,
+        raw: dict[str, int],
+    ) -> list[tuple[int, int, _DecodeJob]]:
+        """Request the index blocks covering ``cpos``."""
+        table = self.meta.index_blocks[bin_id]
+        bin_counts = self.meta.counts[bin_id]
+        path = self.files.index_path(bin_id)
+        opener = _HandleOpener(session, path, eager=not fetcher.caching)
+        parts: list[tuple[int, int, _DecodeJob]] = []
+        for row_idx in _covering_rows(table[:, 0], cpos):
+            cpos_start, cpos_end, offset, comp_len = (
+                int(v) for v in table[row_idx][:4]
+            )
+            counts_slice = bin_counts[cpos_start:cpos_end]
+            raw_bytes = int(counts_slice.sum()) * 8
+            job, hit = fetcher.request(
+                (fetcher.generation, path, offset),
+                lambda offset=offset, comp_len=comp_len: opener.get().read(
+                    offset, comp_len
+                ),
+                lambda payload, counts_slice=counts_slice: decode_position_block_flat(
+                    payload, counts_slice
+                ),
+                raw_bytes,
+            )
+            if not hit:
+                raw["index"] += raw_bytes
+            parts.append((cpos_start, cpos_end, job))
+        return parts
+
+    def _plan_values(
+        self,
+        session: PFSSession,
+        bin_id: int,
+        cpos: np.ndarray,
+        plod_level: int,
+        fetcher: _BlockFetcher,
+        raw: dict[str, int],
+    ) -> _ValueWork:
+        """Request the data blocks covering the needed cells."""
+        config = self.meta.config
+        n_chunks = self.meta.n_chunks
+        counts = self.meta.counts[bin_id].astype(np.int64)
+        table = self.meta.data_blocks[bin_id]
+        path = self.files.data_path(bin_id)
+        opener = _HandleOpener(session, path, eager=not fetcher.caching)
+        n_elem = int(counts[cpos].sum())
+        if n_elem == 0:
+            return _ValueWork(n_elem=0)
+
+        n_groups = min(plod_level, config.n_groups) if config.plod_enabled else 1
+        cell_sizes = _cell_sizes(config, counts, n_chunks)
+        cell_offsets = np.zeros(cell_sizes.size + 1, dtype=np.int64)
+        np.cumsum(cell_sizes, out=cell_offsets[1:])
+        row_starts = table[:, 0]
+
+        # The cells needed, grouped per byte group (so each group's
+        # payload concatenates contiguously in cpos order).
+        if config.plod_enabled:
+            if config.group_major:  # V-M-S: cell = g * n_chunks + cpos
+                cells_per_group = [g * n_chunks + cpos for g in range(n_groups)]
+            else:  # V-S-M: cell = cpos * 7 + g
+                cells_per_group = [
+                    cpos * config.n_groups + g for g in range(n_groups)
+                ]
+        else:
+            cells_per_group = [cpos]
+
+        # Request each covering compression block exactly once.
+        all_cells = np.unique(np.concatenate(cells_per_group))
+        jobs: dict[int, _DecodeJob] = {}
+        codec = self._codec
+        for row_idx in _covering_rows(row_starts, all_cells):
+            offset, comp_len, raw_len = (int(v) for v in table[row_idx][2:5])
+            if config.plod_enabled:
+                decode = lambda payload, raw_len=raw_len: np.frombuffer(  # noqa: E731
+                    codec.decode(payload, raw_len), dtype=np.uint8
+                )
+            else:
+                decode = lambda payload, raw_len=raw_len: codec.decode(  # noqa: E731
+                    payload, raw_len // 8
+                )
+            job, hit = fetcher.request(
+                (fetcher.generation, path, offset),
+                lambda offset=offset, comp_len=comp_len: opener.get().read(
+                    offset, comp_len
+                ),
+                decode,
+                raw_len,
+            )
+            if not hit:
+                raw["data"] += raw_len
+            jobs[row_idx] = job
+
+        return _ValueWork(
+            n_elem=n_elem,
+            n_groups=n_groups,
+            cells_per_group=cells_per_group,
+            cell_offsets=cell_offsets,
+            row_starts=row_starts,
+            jobs=jobs,
+        )
+
+    # ------------------------------------------------------------------
+    def _finish_rank(
+        self,
+        work: _RankWork,
+        query: Query,
+        plan: QueryPlan,
+        position_filter: Bitmap | None,
+    ) -> RankOutput:
+        """Gather, filter and assemble one rank's results (measured CPU)."""
+        timers = work.timers
+        out_positions: list[np.ndarray] = []
+        out_values: list[np.ndarray] = []
+
+        for bw in work.bins:
+            positions, counts = self._gather_positions(bw, timers)
+            values: np.ndarray | None = None
+            if bw.need_values:
+                values = self._assemble_values(bw, timers)
 
             with timers["reconstruction"]:
                 mask: np.ndarray | None = None
-                if query.value_range is not None and not aligned:
+                if query.value_range is not None and not bw.aligned:
                     lo, hi = query.value_range
                     mask = (values >= lo) & (values <= hi)
                 if plan.region is not None:
-                    interior = plan.interior_of(cpos)
+                    interior = plan.interior_of(bw.cpos)
                     if not interior.all():
                         # Only elements of boundary chunks need the
                         # coordinate test; interior chunks pass whole.
@@ -272,123 +665,78 @@ class QueryExecutor:
             positions=positions,
             values=values,
             timers=timers,
-            session=session,
-            data_raw_bytes=raw_counters["data"],
-            index_raw_bytes=raw_counters["index"],
+            session=work.session,
+            data_raw_bytes=work.raw["data"],
+            index_raw_bytes=work.raw["index"],
         )
 
-    # ------------------------------------------------------------------
-    def _read_positions(
-        self,
-        session: PFSSession,
-        bin_id: int,
-        cpos: np.ndarray,
-        chunk_ids: np.ndarray,
-        timers: TimerRegistry,
-        raw_counters: dict[str, int],
+    def _gather_positions(
+        self, bw: _BinWork, timers: TimerRegistry
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Read+decode the index blocks covering ``cpos``.
+        """Slice the wanted chunks out of the decoded index blocks.
 
         Returns the concatenated global positions (in ``cpos`` order)
-        and the per-chunk element counts.
+        and the per-chunk element counts.  Wanted chunks are gathered as
+        maximal runs of consecutive chunk positions — one slice per run
+        instead of one Python-level slice per chunk.
         """
-        table = self.meta.index_blocks[bin_id]
-        bin_counts = self.meta.counts[bin_id]
-        handle = session.open(self.files.index_path(bin_id))
-        local_parts: list[np.ndarray] = []
-        for row_idx in _covering_rows(table[:, 0], cpos):
-            cpos_start, cpos_end, offset, comp_len = (
-                int(v) for v in table[row_idx][:4]
-            )
-            payload = handle.read(offset, comp_len)
-            wanted = cpos[(cpos >= cpos_start) & (cpos < cpos_end)]
-            per_chunk = decode_position_block(payload, bin_counts[cpos_start:cpos_end])
-            raw_counters["index"] += int(bin_counts[cpos_start:cpos_end].sum()) * 8
-            with timers["reconstruction"]:
-                local_parts.extend(per_chunk[int(cp) - cpos_start] for cp in wanted)
+        bin_counts = self.meta.counts[bw.bin_id]
         with timers["reconstruction"]:
-            counts = bin_counts[cpos].astype(np.int64)
+            local_parts: list[np.ndarray] = []
+            for cpos_start, cpos_end, job in bw.index_parts:
+                flat = job.result
+                counts_slice = bin_counts[cpos_start:cpos_end].astype(np.int64)
+                offsets = np.zeros(counts_slice.size + 1, dtype=np.int64)
+                np.cumsum(counts_slice, out=offsets[1:])
+                lo = int(np.searchsorted(bw.cpos, cpos_start, side="left"))
+                hi = int(np.searchsorted(bw.cpos, cpos_end, side="left"))
+                wanted = bw.cpos[lo:hi] - cpos_start
+                if wanted.size == 0:
+                    continue
+                breaks = np.flatnonzero(np.diff(wanted) != 1) + 1
+                starts = np.concatenate(([0], breaks))
+                ends = np.concatenate((breaks, [wanted.size]))
+                for s, e in zip(starts, ends):
+                    local_parts.append(
+                        flat[offsets[wanted[s]] : offsets[wanted[e - 1] + 1]]
+                    )
+            counts = bin_counts[bw.cpos].astype(np.int64)
             local_ids = (
-                np.concatenate(local_parts) if local_parts else np.empty(0, dtype=np.int64)
+                np.concatenate(local_parts)
+                if local_parts
+                else np.empty(0, dtype=np.int64)
             )
-            positions = self.grid.global_positions_batch(chunk_ids, local_ids, counts)
+            positions = self.grid.global_positions_batch(bw.chunk_ids, local_ids, counts)
         return positions, counts
 
-    def _read_values(
-        self,
-        session: PFSSession,
-        bin_id: int,
-        cpos: np.ndarray,
-        plod_level: int,
-        timers: TimerRegistry,
-        raw_counters: dict[str, int],
-    ) -> np.ndarray:
-        """Read+decode the data blocks covering the needed cells.
+    def _assemble_values(self, bw: _BinWork, timers: TimerRegistry) -> np.ndarray:
+        """Gather cells from decoded data blocks and assemble values.
 
-        Returns the (possibly PLoD-approximate) values of all requested
-        chunks concatenated in ``cpos`` order.
+        Cell gathering + PLoD byte-plane assembly belong to the
+        *decompression* component: they are part of recovering values
+        from the stored representation and scale with the bytes
+        fetched, whereas the paper's "reconstruction" (filtering +
+        final assembly of results) is independent of the PLoD level
+        (Fig. 8's flat reconstruction line).
         """
+        vw = bw.value_work
         config = self.meta.config
-        n_chunks = self.meta.n_chunks
-        counts = self.meta.counts[bin_id].astype(np.int64)
-        table = self.meta.data_blocks[bin_id]
-        handle = session.open(self.files.data_path(bin_id))
-        n_elem = int(counts[cpos].sum())
-        if n_elem == 0:
+        if vw is None or vw.n_elem == 0:
             return np.empty(0, dtype=np.float64)
-
-        n_groups = min(plod_level, config.n_groups) if config.plod_enabled else 1
-        cell_sizes = _cell_sizes(config, counts, n_chunks)
-        cell_offsets = np.zeros(cell_sizes.size + 1, dtype=np.int64)
-        np.cumsum(cell_sizes, out=cell_offsets[1:])
-        row_starts = table[:, 0]
-
-        # The cells needed, grouped per byte group (so each group's
-        # payload concatenates contiguously in cpos order).
-        if config.plod_enabled:
-            if config.group_major:  # V-M-S: cell = g * n_chunks + cpos
-                cells_per_group = [g * n_chunks + cpos for g in range(n_groups)]
-            else:  # V-S-M: cell = cpos * 7 + g
-                cells_per_group = [
-                    cpos * config.n_groups + g for g in range(n_groups)
-                ]
-        else:
-            cells_per_group = [cpos]
-
-        # Read and decode each covering compression block exactly once.
-        all_cells = np.unique(np.concatenate(cells_per_group))
-        decoded: dict[int, np.ndarray] = {}
-        for row_idx in _covering_rows(row_starts, all_cells):
-            cell_start, cell_end, offset, comp_len, raw_len = (
-                int(v) for v in table[row_idx][:5]
-            )
-            payload = handle.read(offset, comp_len)
-            raw_counters["data"] += raw_len
-            if config.plod_enabled:
-                raw = self._codec.decode(payload, raw_len)
-                decoded[row_idx] = np.frombuffer(raw, dtype=np.uint8)
-            else:
-                decoded[row_idx] = self._codec.decode(payload, raw_len // 8)
-
-        # Cell gathering + PLoD byte-plane assembly belong to the
-        # *decompression* component: they are part of recovering values
-        # from the stored representation and scale with the bytes
-        # fetched, whereas the paper's "reconstruction" (filtering +
-        # final assembly of results) is independent of the PLoD level
-        # (Fig. 8's flat reconstruction line).
+        decoded = {row_idx: job.result for row_idx, job in vw.jobs.items()}
         with timers["assembly"]:
             group_payloads = [
                 self._gather_cells(
                     decoded,
-                    row_starts,
-                    cell_offsets,
+                    vw.row_starts,
+                    vw.cell_offsets,
                     cells,
                     as_float=not config.plod_enabled,
                 )
-                for cells in cells_per_group
+                for cells in vw.cells_per_group
             ]
             if config.plod_enabled:
-                return assemble_from_groups(group_payloads, n_elem, n_groups)
+                return assemble_from_groups(group_payloads, vw.n_elem, vw.n_groups)
             return group_payloads[0]
 
     def _gather_cells(
@@ -435,4 +783,4 @@ def _covering_rows(row_starts: np.ndarray, cells: np.ndarray) -> list[int]:
     if cells.size == 0 or row_starts.size == 0:
         return []
     rows = np.searchsorted(row_starts, cells, side="right") - 1
-    return sorted(set(int(r) for r in rows))
+    return np.unique(rows).tolist()

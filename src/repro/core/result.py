@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ComponentTimes", "QueryResult"]
+__all__ = ["ComponentTimes", "QueryResult", "BatchResult"]
 
 
 @dataclass
@@ -85,3 +85,35 @@ class QueryResult:
         for d, s in enumerate(strides):
             coords[:, d], rem = np.divmod(rem, s)
         return coords
+
+
+@dataclass
+class BatchResult:
+    """The answer to one :meth:`~repro.core.store.MLOCStore.query_many`.
+
+    Attributes
+    ----------
+    results:
+        Per-query :class:`QueryResult`, in submission order.  Each
+        carries its own component times and cache counters.
+    times:
+        Aggregate component times: the sum over the batch (queries run
+        back to back in one service pipeline).
+    stats:
+        Batch-level counters: query count, total blocks planned vs
+        decoded (the gap is the batch's dedup + cache savings),
+        aggregate cache hits/misses, total bytes read.
+    """
+
+    results: list[QueryResult]
+    times: ComponentTimes
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, idx: int) -> QueryResult:
+        return self.results[idx]

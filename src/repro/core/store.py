@@ -9,6 +9,7 @@ and parallel executor.  Storage accounting for Table I is exposed via
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,12 +18,13 @@ from repro.binning.binner import BinScheme
 from repro.core.chunking import ChunkGrid
 from repro.core.executor import QueryExecutor
 from repro.core.meta import StoreMeta
-from repro.core.planner import plan_query
+from repro.core.planner import QueryPlan, plan_query
 from repro.core.query import Query
-from repro.core.result import QueryResult
+from repro.core.result import BatchResult, ComponentTimes, QueryResult
 from repro.core.writer import make_curve
 from repro.index.bitmap import Bitmap
 from repro.parallel.simmpi import CommCostModel
+from repro.pfs.blockcache import BlockCache
 from repro.pfs.layout import BinFileSet
 from repro.pfs.simfs import SimulatedPFS
 
@@ -54,6 +56,10 @@ class MLOCStore:
         n_ranks: int = 8,
         scheduler: str = "column",
         comm_cost: CommCostModel | None = None,
+        backend: str = "serial",
+        n_threads: int | None = None,
+        cache: BlockCache | None = None,
+        cache_bytes: int = 0,
     ) -> None:
         self.fs = fs
         self.root = root.rstrip("/")
@@ -62,6 +68,13 @@ class MLOCStore:
         self.curve = make_curve(meta.config, self.grid)
         self.scheme = BinScheme(meta.edges)
         self.files = BinFileSet(self.root, meta.config.n_bins)
+        if cache is None and cache_bytes > 0:
+            cache = BlockCache(cache_bytes)
+        self.cache = cache
+        # Fingerprint the metadata so decoded blocks cached by a
+        # previous layout of the same paths can never be served after a
+        # rewrite-and-reopen.
+        generation = zlib.crc32(meta.to_bytes()) if cache is not None else 0
         self.executor = QueryExecutor(
             fs,
             self.files,
@@ -71,6 +84,10 @@ class MLOCStore:
             n_ranks=n_ranks,
             scheduler=scheduler,
             comm_cost=comm_cost,
+            backend=backend,
+            n_threads=n_threads,
+            cache=cache,
+            generation=generation,
         )
 
     # ------------------------------------------------------------------
@@ -116,19 +133,64 @@ class MLOCStore:
             n_ranks=n_ranks,
             scheduler=self.executor.scheduler,
             comm_cost=self.executor.comm_cost,
+            backend=self.executor.backend,
+            n_threads=self.executor.n_threads,
+            cache=self.cache,
         )
 
     # ------------------------------------------------------------------
-    def query(self, query: Query, position_filter: Bitmap | None = None) -> QueryResult:
-        """Plan and execute one access request."""
-        plan = plan_query(
+    def _plan(self, query: Query) -> QueryPlan:
+        return plan_query(
             self.grid,
             self.curve,
             self.scheme,
             query,
             hierarchical=self.meta.config.curve == "hierarchical",
         )
-        return self.executor.execute(query, plan, position_filter=position_filter)
+
+    def query(self, query: Query, position_filter: Bitmap | None = None) -> QueryResult:
+        """Plan and execute one access request."""
+        return self.executor.execute(
+            query, self._plan(query), position_filter=position_filter
+        )
+
+    def query_many(self, queries: list[Query]) -> BatchResult:
+        """Plan and execute a batch of queries as one pipeline.
+
+        All queries are planned up front, then executed through one
+        shared block fetcher: a compression block covered by several
+        queries of the batch is read and decoded exactly once (the
+        first query in submission order pays its simulated I/O and
+        modeled decode seconds; later queries record cache hits), even
+        when the store has no persistent :class:`BlockCache`.  With a
+        cache, the batch additionally warms — and benefits from — the
+        cross-batch LRU.
+
+        Returns per-query results (each with its own component times
+        and counters) plus the batch aggregate.
+        """
+        plans = [self._plan(q) for q in queries]
+        fetcher = self.executor.new_fetcher(shared=True)
+        results = [
+            self.executor.execute(q, p, fetcher=fetcher)
+            for q, p in zip(queries, plans)
+        ]
+        times = ComponentTimes()
+        for r in results:
+            times = times + r.times
+        stats = {
+            "n_queries": len(results),
+            "blocks_planned": int(sum(r.stats["blocks_planned"] for r in results)),
+            "blocks_decoded": int(sum(r.stats["blocks_decoded"] for r in results)),
+            "cache_hits": int(sum(r.stats["cache_hits"] for r in results)),
+            "cache_misses": int(sum(r.stats["cache_misses"] for r in results)),
+            "bytes_read": int(sum(r.stats["bytes_read"] for r in results)),
+            "files_opened": int(sum(r.stats["files_opened"] for r in results)),
+            "n_results": int(sum(r.stats["n_results"] for r in results)),
+        }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats.as_dict()
+        return BatchResult(results=results, times=times, stats=stats)
 
     def fetch_positions(
         self,

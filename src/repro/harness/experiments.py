@@ -11,6 +11,7 @@ never drift apart.
 from __future__ import annotations
 
 import statistics
+import time
 
 from repro.core import ComponentTimes, Query
 from repro.harness.systems import ALL_SYSTEMS, SystemSuite
@@ -25,6 +26,7 @@ __all__ = [
     "fig6_rows",
     "fig7_rows",
     "fig8_rows",
+    "batch_pipeline_rows",
 ]
 
 _512G_SYSTEMS = ("mloc-col", "mloc-iso", "mloc-isa", "seqscan")
@@ -177,6 +179,48 @@ def fig7_rows(
             round(total.total / k, 2),
         ]
     return rows
+
+
+def batch_pipeline_rows(
+    suite: SystemSuite,
+    n_queries: int,
+    system: str = "mloc-col",
+    selectivity: float = 0.01,
+    plod_level: int = 7,
+):
+    """Batched ``query_many`` vs cold one-by-one on overlapping queries.
+
+    Runs an exploration-session workload (drifting boxes, mostly-shared
+    blocks) both ways and returns the comparison rows plus the
+    :class:`~repro.core.result.BatchResult` (whose stats carry the
+    cache hit/miss counters).  The aggregate io + decompression of the
+    batch must come out lower — each shared block is read and decoded
+    once instead of once per query.
+    """
+    regions = suite.workload.overlapping_region_constraints(selectivity, n_queries)
+    t0 = time.perf_counter()
+    cold = ComponentTimes()
+    for region in regions:
+        cold = cold + suite.value_query(system, region, plod_level=plod_level).times
+    cold_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch = suite.value_query_batch(system, regions, plod_level=plod_level)
+    batch_wall = time.perf_counter() - t0
+    rows = {
+        "cold one-by-one": [
+            round(cold.io, 3),
+            round(cold.decompression, 3),
+            round(cold.io + cold.decompression, 3),
+            round(cold_wall, 3),
+        ],
+        "batched query_many": [
+            round(batch.times.io, 3),
+            round(batch.times.decompression, 3),
+            round(batch.times.io + batch.times.decompression, 3),
+            round(batch_wall, 3),
+        ],
+    }
+    return rows, batch
 
 
 def fig8_rows(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.baselines import FastBitStore, SciDBStore, SeqScanStore
 from repro.core import MLOCStore, MLOCWriter, Query, mloc_col, mloc_isa, mloc_iso
-from repro.core.result import ComponentTimes, QueryResult
+from repro.core.result import BatchResult, ComponentTimes, QueryResult
 from repro.harness.scales import DatasetSpec
 from repro.harness.workloads import WorkloadGenerator
 from repro.pfs import PFSCostModel, SimulatedPFS
@@ -116,6 +116,36 @@ class SystemSuite:
                 Query(region=tuple(region), output="values", plod_level=plod_level)
             )
         return store.value_query(tuple(region))
+
+    def value_query_batch(
+        self, system: str, regions, plod_level: int = 7
+    ) -> BatchResult:
+        """A batch of spatial value retrievals run as one pipeline.
+
+        MLOC systems go through :meth:`MLOCStore.query_many` (one cache
+        clear at batch start, shared block fetcher — a block covered by
+        several queries of the batch is decoded once).  Baselines have
+        no batch path; their queries run back to back on a warm file
+        cache, the closest equivalent service discipline.
+        """
+        store = self.store(system)
+        self.fs.clear_cache()
+        if system in MLOC_SYSTEMS:
+            return store.query_many(
+                [
+                    Query(region=tuple(r), output="values", plod_level=plod_level)
+                    for r in regions
+                ]
+            )
+        results = [store.value_query(tuple(r)) for r in regions]
+        times = ComponentTimes()
+        for r in results:
+            times = times + r.times
+        return BatchResult(
+            results=results,
+            times=times,
+            stats={"n_queries": len(results)},
+        )
 
     def storage_bytes(self, system: str) -> dict[str, int]:
         """``{"data": ..., "index": ...}`` accounting for Table I."""

@@ -79,3 +79,40 @@ class WorkloadGenerator:
                 region.append((lo, lo + width))
             out.append(tuple(region))
         return out
+
+    def overlapping_region_constraints(
+        self, selectivity: float, n: int, drift: float = 0.25
+    ) -> list[RegionConstraint]:
+        """``n`` boxes of ~``selectivity`` volume each, sharing most chunks.
+
+        Models an exploration session (pan/zoom around a feature): the
+        first box is placed at a random position and each subsequent box
+        shifts by at most ``drift`` of its side length per axis.
+        Consecutive queries therefore cover mostly the same compression
+        blocks — the access pattern the decoded-block cache and
+        :meth:`~repro.core.store.MLOCStore.query_many` batching exploit.
+        """
+        if not (0 < selectivity <= 1):
+            raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+        if not (0 <= drift <= 1):
+            raise ValueError(f"drift must be in [0, 1], got {drift}")
+        rng = np.random.default_rng(self.seed + 2)
+        ndims = len(self.shape)
+        side = selectivity ** (1.0 / ndims)
+        widths = [
+            min(max(1, int(round(side * extent))), extent) for extent in self.shape
+        ]
+        lows = [
+            int(rng.integers(0, extent - width + 1))
+            for extent, width in zip(self.shape, widths)
+        ]
+        out: list[RegionConstraint] = []
+        for _ in range(n):
+            out.append(
+                tuple((lo, lo + w) for lo, w in zip(lows, widths))
+            )
+            for d, (extent, width) in enumerate(zip(self.shape, widths)):
+                max_step = max(1, int(round(drift * width)))
+                step = int(rng.integers(-max_step, max_step + 1))
+                lows[d] = int(np.clip(lows[d] + step, 0, extent - width))
+        return out

@@ -22,7 +22,11 @@ import numpy as np
 
 from repro.util.varint import varint_decode_array, varint_encode_array
 
-__all__ = ["encode_position_block", "decode_position_block"]
+__all__ = [
+    "encode_position_block",
+    "decode_position_block",
+    "decode_position_block_flat",
+]
 
 
 def encode_position_block(positions_per_chunk: list[np.ndarray], level: int = 6) -> bytes:
@@ -51,6 +55,40 @@ def encode_position_block(positions_per_chunk: list[np.ndarray], level: int = 6)
     return zlib.compress(stream, level)
 
 
+def decode_position_block_flat(payload: bytes, counts: np.ndarray) -> np.ndarray:
+    """Decode an index block into one flat position array.
+
+    The returned int64 array concatenates every chunk's positions in
+    block order; chunk boundaries are recovered from ``counts`` (the
+    caller slices runs of chunks out with a cumulative-sum offset
+    table).  This is the vectorized primitive used by the query
+    executor — no per-chunk Python objects are materialized.
+
+    Parameters
+    ----------
+    payload:
+        Bytes produced by :func:`encode_position_block`.
+    counts:
+        Element count of each chunk in the block, in order (from the
+        store metadata).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    stream = zlib.decompress(payload)
+    deltas = varint_decode_array(stream, total).astype(np.int64)
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Per-chunk cumulative sums in one vectorized pass: a chunk's first
+    # delta is absolute, so subtracting the running prefix before each
+    # chunk start from the global cumsum restores the positions.
+    cs = np.cumsum(deltas)
+    starts = np.zeros(counts.size, dtype=np.int64)
+    starts[1:] = np.cumsum(counts)[:-1]
+    prefixes = np.where(starts > 0, cs[starts - 1], 0)
+    prefix_stream = np.repeat(prefixes, counts)
+    return cs - prefix_stream
+
+
 def decode_position_block(payload: bytes, counts: np.ndarray) -> list[np.ndarray]:
     """Decode an index block back into per-chunk position arrays.
 
@@ -67,21 +105,7 @@ def decode_position_block(payload: bytes, counts: np.ndarray) -> list[np.ndarray
     list of int64 arrays, one per chunk (possibly empty).
     """
     counts = np.asarray(counts, dtype=np.int64)
-    total = int(counts.sum())
-    stream = zlib.decompress(payload)
-    deltas = varint_decode_array(stream, total).astype(np.int64)
-    if total == 0:
-        return [np.empty(0, dtype=np.int64) for _ in counts]
-    # Per-chunk cumulative sums in one vectorized pass: a chunk's first
-    # delta is absolute, so subtracting the running prefix before each
-    # chunk start from the global cumsum restores the positions.
-    cs = np.cumsum(deltas)
-    starts = np.zeros(counts.size, dtype=np.int64)
-    starts[1:] = np.cumsum(counts)[:-1]
-    prefixes = np.where(starts > 0, cs[starts - 1], 0)
-    prefix_stream = np.repeat(prefixes, counts)
-    positions = cs - prefix_stream
-
+    positions = decode_position_block_flat(payload, counts)
     out: list[np.ndarray] = []
     cursor = 0
     for c in counts:

@@ -7,12 +7,15 @@ that attributes simulated seconds to file opens, seeks, and per-OST byte
 transfers.  See DESIGN.md §2 for the substitution argument.
 """
 
+from repro.pfs.blockcache import BlockCache, CacheStats
 from repro.pfs.costmodel import IOStats, PFSCostModel
 from repro.pfs.layout import BinFileSet, aggregate_parallel_time, dataset_files
 from repro.pfs.simfs import FileStat, PFSSession, SimFileHandle, SimulatedPFS
 
 __all__ = [
     "BinFileSet",
+    "BlockCache",
+    "CacheStats",
     "FileStat",
     "IOStats",
     "PFSCostModel",

@@ -1,0 +1,162 @@
+"""Decoded-block LRU cache shared across queries.
+
+The paper's evaluation clears the OS file cache between query rounds,
+but its FastBit discussion notes how different the picture looks once
+an index is *warm*; any long-running exploration service keeps recently
+decoded blocks around.  This module provides that layer for the
+reproduction: a byte-budgeted LRU of **decoded** compression blocks
+(index-position arrays and data-cell payloads), shared across queries
+through :class:`~repro.core.store.MLOCStore`.
+
+Modeled-time rule (DESIGN.md §5): a cache hit skips both the simulated
+I/O of the block's extent (no open/seek/transfer is charged to the
+rank's PFS session) and the modeled decompression seconds (the block's
+raw bytes are not added to the rank's decode counters).  Reconstruction
+work on the decoded bytes is still performed and measured — a warm
+cache does not make filtering free.
+
+Keys are ``(generation, path, offset)`` where ``generation`` fingerprints
+the store metadata: reopening a rewritten store yields a new generation,
+so stale blocks of the old layout can never be served (they age out of
+the LRU).  :meth:`BlockCache.invalidate` drops entries eagerly.
+
+The cache is thread-safe (the threaded query backend decodes blocks
+concurrently), but insertions are performed by the executor in
+deterministic plan order so that eviction order — and therefore every
+later query's hit pattern — is identical under the serial and threaded
+backends.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one :class:`BlockCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    #: Raw (decoded) bytes served from the cache instead of the PFS.
+    hit_bytes: int = 0
+    current_bytes: int = 0
+    capacity_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "hit_bytes": self.hit_bytes,
+            "current_bytes": self.current_bytes,
+            "capacity_bytes": self.capacity_bytes,
+        }
+
+
+def _entry_nbytes(value: object) -> int:
+    """Budgeted size of a cached decoded block."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    raise TypeError(f"uncacheable block payload of type {type(value).__name__}")
+
+
+class BlockCache:
+    """Byte-budgeted LRU of decoded blocks, keyed by ``(gen, path, offset)``.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Budget for the *decoded* payload bytes held at once.  An entry
+        larger than the whole budget is never stored (it would only
+        thrash the rest of the cache for a guaranteed re-miss).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple[object, int]]" = OrderedDict()
+        self.stats = CacheStats(capacity_bytes=self.capacity_bytes)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[tuple]:
+        """Current keys in LRU order (least recently used first)."""
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> object | None:
+        """Return the cached decoded block, or ``None`` (counts a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.hit_bytes += entry[1]
+            return entry[0]
+
+    def put(self, key: tuple, value: object) -> bool:
+        """Insert a decoded block; returns False if it exceeds the budget."""
+        nbytes = _entry_nbytes(value)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.stats.current_bytes -= old[1]
+            if nbytes > self.capacity_bytes:
+                return False
+            self._entries[key] = (value, nbytes)
+            self.stats.current_bytes += nbytes
+            self.stats.insertions += 1
+            while self.stats.current_bytes > self.capacity_bytes:
+                _, (_, evicted_nbytes) = self._entries.popitem(last=False)
+                self.stats.current_bytes -= evicted_nbytes
+                self.stats.evictions += 1
+            return True
+
+    # ------------------------------------------------------------------
+    def invalidate(self, path_prefix: str | None = None) -> int:
+        """Drop entries whose path starts with ``path_prefix`` (all if None).
+
+        Returns the number of entries dropped.  Generation fingerprints
+        already prevent *stale* hits after a store rewrite; eager
+        invalidation just returns the budget immediately.
+        """
+        with self._lock:
+            if path_prefix is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self.stats.current_bytes = 0
+                return dropped
+            doomed = [
+                k for k in self._entries if str(k[1]).startswith(path_prefix)
+            ]
+            for k in doomed:
+                _, nbytes = self._entries.pop(k)
+                self.stats.current_bytes -= nbytes
+            return len(doomed)

@@ -1,0 +1,118 @@
+"""``MLOCStore.query_many``: per-query answers, block dedup, aggregates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BatchResult, MLOCStore, MLOCWriter, Query, mloc_col
+from repro.datasets import gts_like
+from repro.pfs import SimulatedPFS
+
+
+@pytest.fixture(scope="module")
+def fs():
+    fs = SimulatedPFS()
+    config = mloc_col(chunk_shape=(32, 32), n_bins=8, target_block_bytes=8 * 1024)
+    MLOCWriter(fs, "/store", config).write(gts_like((128, 128), seed=11), variable="field")
+    return fs
+
+
+OVERLAPPING = [
+    Query(region=((0, 96), (0, 96)), output="values"),
+    Query(region=((16, 112), (0, 96)), output="values"),
+    Query(region=((0, 96), (16, 112)), output="values"),
+]
+
+
+def test_batch_matches_individual_queries(fs):
+    store = MLOCStore.open(fs, "/store", "field")
+    fs.clear_cache()
+    batch = store.query_many(OVERLAPPING)
+    assert isinstance(batch, BatchResult)
+    assert len(batch) == len(OVERLAPPING)
+    for i, query in enumerate(OVERLAPPING):
+        fs.clear_cache()
+        expected = MLOCStore.open(fs, "/store", "field").query(query)
+        assert np.array_equal(batch[i].positions, expected.positions)
+        assert np.array_equal(batch[i].values, expected.values)
+
+
+def test_batch_decodes_shared_blocks_once(fs):
+    store = MLOCStore.open(fs, "/store", "field")
+    fs.clear_cache()
+    batch = store.query_many(OVERLAPPING)
+    # The boxes overlap heavily: later queries must hit blocks the
+    # first query already fetched, even with no persistent cache.
+    assert store.cache is None
+    assert batch.stats["cache_hits"] > 0
+    assert batch.stats["blocks_decoded"] < (
+        batch.stats["cache_hits"] + batch.stats["cache_misses"]
+    )
+    # First query pays cold; a repeat of query 0 inside the batch
+    # would be all hits — check the third query benefits already.
+    assert batch[2].stats["cache_hits"] > 0
+
+
+def test_batch_cheaper_than_cold_singles(fs):
+    store = MLOCStore.open(fs, "/store", "field")
+    fs.clear_cache()
+    batch = store.query_many(OVERLAPPING)
+    cold_io = cold_dec = 0.0
+    for query in OVERLAPPING:
+        fs.clear_cache()
+        r = MLOCStore.open(fs, "/store", "field").query(query)
+        cold_io += r.times.io
+        cold_dec += r.times.decompression
+    assert batch.times.io < cold_io
+    assert batch.times.decompression < cold_dec
+
+
+def test_batch_aggregate_times_are_sums(fs):
+    store = MLOCStore.open(fs, "/store", "field")
+    fs.clear_cache()
+    batch = store.query_many(OVERLAPPING)
+    for component in ("io", "decompression", "reconstruction", "communication"):
+        assert getattr(batch.times, component) == pytest.approx(
+            sum(getattr(r.times, component) for r in batch)
+        )
+    assert batch.stats["n_queries"] == len(OVERLAPPING)
+    assert batch.stats["n_results"] == sum(r.n_results for r in batch)
+
+
+def test_batch_with_persistent_cache_reports_cache_stats(fs):
+    store = MLOCStore.open(fs, "/store", "field", cache_bytes=32 << 20)
+    fs.clear_cache()
+    first = store.query_many(OVERLAPPING)
+    assert "cache" in first.stats
+    fs.clear_cache()
+    again = store.query_many(OVERLAPPING)
+    # Second batch is served entirely from the store-level LRU.
+    assert again.stats["cache_misses"] == 0
+    assert again.stats["bytes_read"] == 0
+    for a, b in zip(first, again):
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.values, b.values)
+
+
+def test_empty_and_single_batches(fs):
+    store = MLOCStore.open(fs, "/store", "field")
+    empty = store.query_many([])
+    assert len(empty) == 0 and empty.times.total == 0.0
+    single = store.query_many([OVERLAPPING[0]])
+    assert len(single) == 1
+    assert list(iter(single))[0] is single[0]
+
+
+def test_mixed_output_batch(fs):
+    store = MLOCStore.open(fs, "/store", "field")
+    fs.clear_cache()
+    batch = store.query_many(
+        [
+            Query(value_range=(0.0, 5.0), output="positions"),
+            Query(value_range=(0.0, 5.0), output="values"),
+        ]
+    )
+    assert batch[0].values is None
+    assert batch[1].values is not None
+    assert np.array_equal(batch[0].positions, batch[1].positions)
