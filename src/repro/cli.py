@@ -45,6 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--size", type=int, default=512, help="square field size")
     demo.add_argument("--bins", type=int, default=32, help="value bins")
     demo.add_argument("--seed", type=int, default=7)
+    _add_write_options(demo)
 
     info = sub.add_parser("info", help="list datasets in a snapshot")
     info.add_argument("snapshot")
@@ -110,7 +111,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--order", choices=["VMS", "VSM", "VS"], default="VSM"
     )
     relayout_p.add_argument("--bins", type=int, default=None)
+    _add_write_options(relayout_p)
     return parser
+
+
+def _add_write_options(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--write-backend",
+        choices=["serial", "threads"],
+        default="serial",
+        help="write-pipeline backend (bit-identical output either way)",
+    )
+    sub_parser.add_argument(
+        "--write-workers",
+        type=int,
+        default=None,
+        help="thread-pool width for --write-backend threads (default: CPU count)",
+    )
 
 
 def _add_execution_options(sub_parser) -> None:
@@ -198,7 +215,13 @@ def _cmd_demo(args) -> int:
         chunk_shape=(max(args.size // 16, 1), max(args.size // 16, 1)),
         n_bins=args.bins,
     )
-    report = MLOCWriter(fs, "/demo", config).write(field, variable="potential")
+    report = MLOCWriter(
+        fs,
+        "/demo",
+        config,
+        write_backend=args.write_backend,
+        write_workers=args.write_workers,
+    ).write(field, variable="potential")
     fs.save(args.snapshot)
     print(
         f"wrote /demo/potential: {args.size}x{args.size} field, "
@@ -334,7 +357,13 @@ def _cmd_relayout(args) -> int:
     if "M" in args.order and source.meta.config.level_order == "VS":
         print("note: switching a whole-value store to a PLoD order uses zlib-bytes")
     report = relayout(
-        fs, args.root, args.variable, args.target_root, new_config
+        fs,
+        args.root,
+        args.variable,
+        args.target_root,
+        new_config,
+        write_backend=args.write_backend,
+        write_workers=args.write_workers,
     )
     fs.save(args.snapshot)
     print(

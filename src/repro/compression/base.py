@@ -13,6 +13,21 @@ units.  Two interfaces exist because the units differ by configuration:
 
 The registry maps codec names (as used by :class:`repro.core.MLOCConfig`)
 to constructors so configurations are serializable.
+
+Concurrency contract
+--------------------
+The parallel writer offloads ``encode`` calls to a thread pool, so
+every registered codec must satisfy two rules:
+
+* ``encode`` is **deterministic**: identical input produces identical
+  payload bytes regardless of instance, thread, or call history — the
+  writer's bit-identical-output guarantee (DESIGN.md §6) rests on it.
+* ``encode`` is safe under **per-worker instances**: the pool builds
+  one codec per worker thread via :func:`make_codec`, so instance
+  state needs no cross-thread locking.  Codecs that additionally keep
+  mutable caches (ISABELA's design matrices) must still guard them,
+  because a single instance may also be shared (the read executor
+  decodes on a pool with one codec).
 """
 
 from __future__ import annotations
@@ -41,8 +56,13 @@ class ByteCodec(ABC):
     decode_throughput: float = 300e6
 
     @abstractmethod
-    def encode(self, data: bytes) -> bytes:
-        """Compress ``data`` into a self-framed payload."""
+    def encode(self, data) -> bytes:
+        """Compress ``data`` into a self-framed payload.
+
+        ``data`` is any C-contiguous bytes-like buffer — ``bytes``, a
+        ``memoryview``, or a 1-D ``uint8`` array — so the writer can
+        hand over concatenated views without an intermediate copy.
+        """
 
     @abstractmethod
     def decode(self, payload: bytes, raw_len: int) -> bytes:

@@ -28,6 +28,7 @@ highest decompression component in Fig. 6 while winning on I/O.
 from __future__ import annotations
 
 import struct
+import threading
 import zlib
 
 import numpy as np
@@ -104,20 +105,26 @@ class IsabelaCodec(FloatCodec):
         #: evaluates *all* windows with one (n_windows, n_coeffs) @
         #: (n_coeffs, w) matmul instead of per-window spline calls —
         #: the same trick the reference ISABELA implementation uses.
+        #: The cache is the codec's only mutable state; a lock guards
+        #: population so one instance can serve concurrent encode or
+        #: decode calls (the parallel writer additionally builds
+        #: per-worker instances, making contention here negligible).
         self._design: dict[int, np.ndarray] = {}
+        self._design_lock = threading.Lock()
 
     def _design_matrix(self, w: int) -> np.ndarray:
         """Basis matrix B with ``B[i, j] = B_j(x_i)`` for length ``w``."""
-        if w not in self._design:
-            x = np.linspace(0.0, 1.0, w)
-            basis = np.empty((w, self.n_coeffs), dtype=np.float64)
-            unit = np.zeros(self.n_coeffs, dtype=np.float64)
-            for j in range(self.n_coeffs):
-                unit[j] = 1.0
-                basis[:, j] = splev(x, (self._knots, unit, _SPLINE_DEGREE))
-                unit[j] = 0.0
-            self._design[w] = basis
-        return self._design[w]
+        with self._design_lock:
+            if w not in self._design:
+                x = np.linspace(0.0, 1.0, w)
+                basis = np.empty((w, self.n_coeffs), dtype=np.float64)
+                unit = np.zeros(self.n_coeffs, dtype=np.float64)
+                for j in range(self.n_coeffs):
+                    unit[j] = 1.0
+                    basis[:, j] = splev(x, (self._knots, unit, _SPLINE_DEGREE))
+                    unit[j] = 0.0
+                self._design[w] = basis
+            return self._design[w]
 
     # ------------------------------------------------------------------
     def error_bound(self, values: np.ndarray) -> float:

@@ -95,7 +95,12 @@ def decompress_planes(payload: bytes, count: int, width: int) -> np.ndarray:
 
 @register_codec("isobar")
 class IsobarCodec(FloatCodec):
-    """Byte-plane-selective lossless float compressor."""
+    """Byte-plane-selective lossless float compressor.
+
+    Holds no mutable state — :func:`compress_planes` and
+    :func:`decompress_planes` are pure functions — so instances are
+    thread-safe and encoding is deterministic across writer backends.
+    """
 
     lossless = True
     decode_throughput = 600e6  # most planes pass through untouched

@@ -16,12 +16,12 @@ __all__ = ["NullByteCodec", "NullFloatCodec"]
 
 @register_codec("null-bytes")
 class NullByteCodec(ByteCodec):
-    """Identity byte codec."""
+    """Identity byte codec (stateless, thread-safe)."""
 
     lossless = True
     decode_throughput = 8e9  # memcpy
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data) -> bytes:
         return bytes(data)
 
     def decode(self, payload: bytes, raw_len: int) -> bytes:

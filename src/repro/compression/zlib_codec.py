@@ -26,7 +26,12 @@ _MODE_ZLIB = 1
 
 @register_codec("zlib-bytes")
 class ZlibByteCodec(ByteCodec):
-    """Deflate with a raw-passthrough mode flag."""
+    """Deflate with a raw-passthrough mode flag.
+
+    Stateless per call (``zlib.compress``/``decompress`` build their
+    own stream objects), hence thread-safe and deterministic — the
+    parallel writer can share or clone instances freely.
+    """
 
     lossless = True
     decode_throughput = 350e6  # inflate on compressible planes, memcpy on raw
@@ -36,11 +41,14 @@ class ZlibByteCodec(ByteCodec):
             raise ValueError(f"zlib level must be in [0, 9], got {level}")
         self.level = level
 
-    def encode(self, data: bytes) -> bytes:
-        compressed = zlib.compress(bytes(data), self.level)
-        if len(compressed) < len(data):
+    def encode(self, data) -> bytes:
+        # ``data`` may be any contiguous buffer (bytes, uint8 view);
+        # zlib consumes it without a copy, and only the incompressible
+        # fallback needs the materialized bytes.
+        compressed = zlib.compress(data, self.level)
+        if len(compressed) < memoryview(data).nbytes:
             return bytes([_MODE_ZLIB]) + compressed
-        return bytes([_MODE_RAW]) + bytes(data)
+        return bytes([_MODE_RAW]) + (data if isinstance(data, bytes) else bytes(data))
 
     def decode(self, payload: bytes, raw_len: int) -> bytes:
         if len(payload) == 0:

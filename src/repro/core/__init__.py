@@ -22,6 +22,7 @@ from repro.core.chunking import ChunkGrid, normalize_region, region_size
 from repro.core.compound import CompoundResult, VariableConstraint, compound_query
 from repro.core.config import (
     LEVEL_ORDERS,
+    WRITE_BACKENDS,
     ExecutionConfig,
     MLOCConfig,
     mloc_col,
@@ -65,6 +66,7 @@ __all__ = [
     "StorageReport",
     "StoreMeta",
     "VariableConstraint",
+    "WRITE_BACKENDS",
     "WorkloadProfile",
     "WriteReport",
     "aggregate_query",

@@ -30,12 +30,17 @@ __all__ = [
     "MLOCConfig",
     "ExecutionConfig",
     "LEVEL_ORDERS",
+    "WRITE_BACKENDS",
     "mloc_col",
     "mloc_iso",
     "mloc_isa",
 ]
 
 LEVEL_ORDERS = ("VMS", "VSM", "VS")
+
+#: Write-pipeline backends of :class:`~repro.core.writer.MLOCWriter`;
+#: both produce bit-identical subfiles and metadata.
+WRITE_BACKENDS = ("serial", "threads")
 
 _CURVES = ("hilbert", "zorder", "rowmajor", "hierarchical")
 
@@ -131,11 +136,13 @@ class MLOCConfig:
 
 @dataclass(frozen=True)
 class ExecutionConfig:
-    """Read-side execution options of an :class:`~repro.core.store.MLOCStore`.
+    """Execution options: how stores are served and written.
 
     Unlike :class:`MLOCConfig` — which is baked into the written layout
-    — these options only affect how queries are *served* and can differ
-    per store handle.
+    — these options never change a stored byte: the read-side knobs
+    only affect how queries are *served* (identical results and
+    simulated seconds), and the write-side knobs only affect how the
+    encode pipeline *runs* (bit-identical subfiles and metadata).
 
     Attributes
     ----------
@@ -148,11 +155,21 @@ class ExecutionConfig:
     cache_bytes:
         Byte budget of the shared decoded-block LRU; 0 disables caching
         (the paper's cold-cache measurement discipline).
+    write_backend:
+        ``"serial"`` (default) or ``"threads"``; mirrors ``backend``
+        for :class:`~repro.core.writer.MLOCWriter` — the threaded
+        writer fans per-chunk encoding and block compression out on a
+        pool while committing blocks in serial cell order.
+    write_workers:
+        Pool width for ``write_backend="threads"``; ``None`` = CPU
+        count.
     """
 
     backend: str = "serial"
     n_threads: int | None = None
     cache_bytes: int = 0
+    write_backend: str = "serial"
+    write_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "threads"):
@@ -163,6 +180,14 @@ class ExecutionConfig:
             raise ValueError(f"n_threads must be positive, got {self.n_threads}")
         if self.cache_bytes < 0:
             raise ValueError(f"cache_bytes must be >= 0, got {self.cache_bytes}")
+        if self.write_backend not in WRITE_BACKENDS:
+            raise ValueError(
+                f"write_backend must be one of {WRITE_BACKENDS}, got {self.write_backend!r}"
+            )
+        if self.write_workers is not None and self.write_workers <= 0:
+            raise ValueError(
+                f"write_workers must be positive, got {self.write_workers}"
+            )
 
     def store_options(self) -> dict[str, Any]:
         """Keyword arguments for :meth:`MLOCStore.open`."""
@@ -170,6 +195,13 @@ class ExecutionConfig:
             "backend": self.backend,
             "n_threads": self.n_threads,
             "cache_bytes": self.cache_bytes,
+        }
+
+    def writer_options(self) -> dict[str, Any]:
+        """Keyword arguments for :class:`~repro.core.writer.MLOCWriter`."""
+        return {
+            "write_backend": self.write_backend,
+            "write_workers": self.write_workers,
         }
 
 

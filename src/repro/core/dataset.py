@@ -33,12 +33,20 @@ class MLOCDataset:
         config: MLOCConfig,
         *,
         n_ranks: int = 8,
+        write_backend: str = "serial",
+        write_workers: int | None = None,
     ) -> None:
         self.fs = fs
         self.root = root.rstrip("/")
         self.config = config
         self.n_ranks = n_ranks
-        self._writer = MLOCWriter(fs, self.root, config)
+        self._writer = MLOCWriter(
+            fs,
+            self.root,
+            config,
+            write_backend=write_backend,
+            write_workers=write_workers,
+        )
         self._stores: dict[str, MLOCStore] = {}
 
     # ------------------------------------------------------------------

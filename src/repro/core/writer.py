@@ -21,12 +21,38 @@ compressed blocks are staged in memory per (bin, group) stream and the
 subfiles are materialized at the end, because the V-M-S order requires
 all of byte-group g's cells to precede group g+1's in the file while
 generation is chunk-major.
+
+The pass is organized as three pipeline stages so the CPU-dominated
+work can parallelize without changing a single output byte
+(DESIGN.md §6, the bit-identical-output rule):
+
+* **chunk stage** — per-chunk binning (``assign``), stable scatter
+  (``per_bin_segments``) and PLoD byte-group splitting.  Pure
+  functions of (data, cpos); under the ``"threads"`` write backend
+  they run out of order on a pool with a bounded look-ahead window.
+* **ordered commit stage** — always serial, always in curve (cell)
+  order: chunk results are consumed in exactly the serial order and
+  appended to each bin's streams, so compression-block *boundaries*
+  are decided by the same deterministic raw-size accumulation as the
+  serial writer.
+* **compression stage** — when a stream cuts a block, the raw buffer
+  is handed to the codec: inline under the ``"serial"`` backend, as a
+  pool job under ``"threads"`` (zlib releases the GIL; ISOBAR/ISABELA
+  are numpy/scipy-heavy).  Codec ``encode`` is required to be
+  deterministic (see :mod:`repro.compression.base`), so payloads —
+  and therefore subfiles, block tables, CRCs and metadata — are
+  bit-identical across backends and worker counts.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import zlib
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -37,7 +63,7 @@ from repro.binning.boundaries import (
 )
 from repro.compression.base import ByteCodec, FloatCodec, make_codec
 from repro.core.chunking import ChunkGrid
-from repro.core.config import MLOCConfig
+from repro.core.config import WRITE_BACKENDS, MLOCConfig
 from repro.core.meta import StoreMeta
 from repro.index.binindex import encode_position_block
 from repro.pfs.layout import BinFileSet
@@ -79,20 +105,104 @@ class WriteReport:
         return self.total_bytes / self.raw_bytes
 
 
+class _SerialBackend:
+    """Inline execution: one codec instance, no pool, no futures."""
+
+    def __init__(self, codec: ByteCodec | FloatCodec) -> None:
+        self._codec = codec
+
+    def chunk_results(self, fn: Callable[[int], tuple], n_chunks: int) -> Iterator[tuple]:
+        for cpos in range(n_chunks):
+            yield fn(cpos)
+
+    def encode_data(self, raw: np.ndarray) -> bytes:
+        return self._codec.encode(raw)
+
+    def encode_index(self, parts: list[np.ndarray], level: int) -> bytes:
+        return encode_position_block(parts, level)
+
+    def resolve(self, payload: bytes) -> bytes:
+        return payload
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadedBackend:
+    """Pool execution with deterministic ordering.
+
+    Chunk-stage jobs run out of order behind a bounded look-ahead
+    window but are *consumed* in serial cell order; compression jobs
+    are submitted in stream order and resolved in table order, so the
+    committed bytes never depend on scheduling.  Each worker thread
+    lazily builds its own codec instance (ISABELA keeps a mutable
+    design-matrix cache; per-worker instances make sharing a non-issue
+    for any registered codec).
+    """
+
+    def __init__(self, config: MLOCConfig, workers: int) -> None:
+        self.workers = workers
+        self._config = config
+        self._tls = threading.local()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="mloc-write"
+        )
+
+    def _codec(self) -> ByteCodec | FloatCodec:
+        codec = getattr(self._tls, "codec", None)
+        if codec is None:
+            codec = make_codec(self._config.codec, **self._config.codec_params)
+            self._tls.codec = codec
+        return codec
+
+    def _encode_with_worker_codec(self, raw: np.ndarray) -> bytes:
+        return self._codec().encode(raw)
+
+    def chunk_results(self, fn: Callable[[int], tuple], n_chunks: int) -> Iterator[tuple]:
+        # Bounded look-ahead keeps at most ~2 windows of chunk results
+        # (plus their byte planes) alive while the commit stage drains
+        # them in order.
+        window = max(2 * self.workers, 2)
+        pending: deque[Future] = deque()
+        submitted = 0
+        for _ in range(n_chunks):
+            while submitted < n_chunks and len(pending) < window:
+                pending.append(self._pool.submit(fn, submitted))
+                submitted += 1
+            yield pending.popleft().result()
+
+    def encode_data(self, raw: np.ndarray) -> Future:
+        return self._pool.submit(self._encode_with_worker_codec, raw)
+
+    def encode_index(self, parts: list[np.ndarray], level: int) -> Future:
+        return self._pool.submit(encode_position_block, parts, level)
+
+    def resolve(self, payload: Future) -> bytes:
+        return payload.result()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
 class _DataStream:
     """Accumulates consecutive cells of one (bin, group-stream) into
-    compression blocks of approximately the configured raw size."""
+    compression blocks of approximately the configured raw size.
 
-    def __init__(self, codec, is_float: bool, target_bytes: int) -> None:
-        self.codec = codec
+    Block *boundaries* are decided here by serial raw-size
+    accumulation; block *payloads* come from the backend's ``encode``
+    hook and may be futures resolved at commit time.
+    """
+
+    def __init__(self, encode, is_float: bool, target_bytes: int) -> None:
+        self.encode = encode
         self.is_float = is_float
         self.target = target_bytes
         self._parts: list[np.ndarray] = []
         self._raw = 0
         self._cell_start: int | None = None
         self._next_cell: int | None = None
-        #: (cell_start, cell_end, payload, raw_len) tuples.
-        self.blocks: list[tuple[int, int, bytes, int]] = []
+        #: (cell_start, cell_end, payload-or-future, raw_len) tuples.
+        self.blocks: list[tuple[int, int, object, int]] = []
 
     def add(self, cell: int, part: np.ndarray) -> None:
         if self._cell_start is None:
@@ -111,19 +221,15 @@ class _DataStream:
     def flush(self) -> None:
         if self._cell_start is None:
             return
-        if self.is_float:
-            raw = (
-                np.concatenate(self._parts)
-                if self._parts
-                else np.empty(0, dtype=np.float64)
-            )
-            payload = self.codec.encode(raw)
-            raw_len = raw.nbytes
+        # One concatenate over the accumulated views for both the float
+        # and the byte-plane path — parts are contiguous slices, so the
+        # per-part Python-level copies of a join are skipped and codecs
+        # consume the buffer directly.
+        if self._parts:
+            raw = self._parts[0] if len(self._parts) == 1 else np.concatenate(self._parts)
         else:
-            raw = b"".join(p.tobytes() for p in self._parts)
-            payload = self.codec.encode(raw)
-            raw_len = len(raw)
-        self.blocks.append((self._cell_start, self._next_cell, payload, raw_len))
+            raw = np.empty(0, dtype=np.float64 if self.is_float else np.uint8)
+        self.blocks.append((self._cell_start, self._next_cell, self.encode(raw), raw.nbytes))
         self._parts = []
         self._raw = 0
         self._cell_start = None
@@ -133,15 +239,16 @@ class _DataStream:
 class _IndexStream:
     """Accumulates per-chunk position arrays into index blocks."""
 
-    def __init__(self, target_bytes: int, zlib_level: int = 6) -> None:
+    def __init__(self, encode, target_bytes: int, zlib_level: int = 6) -> None:
+        self.encode = encode
         self.target = target_bytes
         self.level = zlib_level
         self._parts: list[np.ndarray] = []
         self._raw = 0
         self._cpos_start: int | None = None
         self._next_cpos: int | None = None
-        #: (cpos_start, cpos_end, payload) tuples.
-        self.blocks: list[tuple[int, int, bytes]] = []
+        #: (cpos_start, cpos_end, payload-or-future) tuples.
+        self.blocks: list[tuple[int, int, object]] = []
 
     def add(self, cpos: int, local_ids: np.ndarray) -> None:
         if self._cpos_start is None:
@@ -159,8 +266,9 @@ class _IndexStream:
     def flush(self) -> None:
         if self._cpos_start is None:
             return
-        payload = encode_position_block(self._parts, self.level)
-        self.blocks.append((self._cpos_start, self._next_cpos, payload))
+        self.blocks.append(
+            (self._cpos_start, self._next_cpos, self.encode(self._parts, self.level))
+        )
         self._parts = []
         self._raw = 0
         self._cpos_start = None
@@ -168,23 +276,72 @@ class _IndexStream:
 
 
 class MLOCWriter:
-    """Encodes arrays into MLOC's multi-level on-disk layout."""
+    """Encodes arrays into MLOC's multi-level on-disk layout.
 
-    def __init__(self, fs: SimulatedPFS, root: str, config: MLOCConfig) -> None:
+    Parameters
+    ----------
+    write_backend:
+        ``"serial"`` (default) runs the whole pipeline inline;
+        ``"threads"`` fans the chunk stage and block compression out on
+        a thread pool.  Both backends produce **bit-identical**
+        subfiles and metadata (enforced by
+        ``tests/test_writer_parallel.py``); only real wall-clock
+        differs.
+    write_workers:
+        Pool width for the ``"threads"`` backend; ``None`` = CPU
+        count.  On a single-core machine an unsized pool would be pure
+        overhead, so the writer falls back to inline execution unless a
+        width > 1 is requested explicitly.
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedPFS,
+        root: str,
+        config: MLOCConfig,
+        *,
+        write_backend: str = "serial",
+        write_workers: int | None = None,
+    ) -> None:
+        if write_backend not in WRITE_BACKENDS:
+            raise ValueError(
+                f"write_backend must be one of {WRITE_BACKENDS}, got {write_backend!r}"
+            )
+        if write_workers is not None and write_workers <= 0:
+            raise ValueError(f"write_workers must be positive, got {write_workers}")
         self.fs = fs
         self.root = root.rstrip("/")
         self.config = config
+        self.write_backend = write_backend
+        self.write_workers = write_workers
 
     def variable_root(self, variable: str) -> str:
         """Directory of one variable's subfiles under this writer's root."""
         return f"{self.root}/{variable}"
 
+    # ------------------------------------------------------------------
     def write(self, data: np.ndarray, variable: str = "var") -> WriteReport:
         """Run the full pipeline on ``data`` and persist every subfile."""
-        config = self.config
         data = np.ascontiguousarray(data, dtype=np.float64)
-        grid = ChunkGrid(data.shape, config.chunk_shape)
-        curve = make_curve(config, grid)
+        grid = ChunkGrid(data.shape, self.config.chunk_shape)
+        curve = make_curve(self.config, grid)
+        codec = self._check_codec()
+        scheme = self._estimate_bins(data)
+        backend = self._make_backend(codec)
+        try:
+            data_streams, index_streams, counts = self._encode(
+                data, grid, curve, scheme, backend
+            )
+            return self._commit(
+                data, variable, scheme, counts, data_streams, index_streams, backend
+            )
+        finally:
+            backend.close()
+
+    # ------------------------------------------------------------------
+    def _check_codec(self) -> ByteCodec | FloatCodec:
+        """Instantiate the codec and verify it matches the level order."""
+        config = self.config
         codec = make_codec(config.codec, **config.codec_params)
         if config.plod_enabled and not isinstance(codec, ByteCodec):
             raise TypeError(
@@ -196,10 +353,22 @@ class MLOCWriter:
                 f"level order {config.level_order!r} keeps whole values and needs a "
                 f"FloatCodec; {config.codec!r} is a {type(codec).__name__}"
             )
+        return codec
 
-        scheme = self._estimate_bins(data)
+    def _make_backend(self, codec: ByteCodec | FloatCodec):
+        if self.write_backend == "threads":
+            workers = self.write_workers or os.cpu_count() or 1
+            if workers > 1:
+                return _ThreadedBackend(self.config, workers)
+        return _SerialBackend(codec)
+
+    # ------------------------------------------------------------------
+    def _encode(self, data, grid, curve, scheme, backend):
+        """Chunk fan-out + ordered commit into per-(bin, group) streams."""
+        config = self.config
         n_bins, n_chunks = config.n_bins, grid.n_chunks
         n_groups = config.n_groups
+        plod = config.plod_enabled
         counts = np.zeros((n_bins, n_chunks), dtype=np.uint32)
 
         # One stream per (bin, group) for group-major (V-M-S) nesting;
@@ -207,37 +376,53 @@ class MLOCWriter:
         streams_per_bin = n_groups if config.group_major else 1
         data_streams = [
             [
-                _DataStream(codec, not config.plod_enabled, config.target_block_bytes)
+                _DataStream(backend.encode_data, not plod, config.target_block_bytes)
                 for _ in range(streams_per_bin)
             ]
             for _ in range(n_bins)
         ]
-        index_streams = [_IndexStream(config.target_block_bytes) for _ in range(n_bins)]
+        index_streams = [
+            _IndexStream(backend.encode_index, config.target_block_bytes)
+            for _ in range(n_bins)
+        ]
 
-        widths = GROUP_WIDTHS if config.plod_enabled else (8,)
-        for cpos in range(n_chunks):
+        def chunk_stage(cpos: int) -> tuple:
             chunk_id = int(curve.order[cpos])
             vals = data[grid.chunk_slices(chunk_id)].reshape(-1)
             bids = scheme.assign(vals)
             perm, sorted_vals, offsets = per_bin_segments(vals, bids, n_bins)
+            planes = split_byte_groups(sorted_vals) if plod else [sorted_vals]
+            return perm, offsets, planes
+
+        widths = GROUP_WIDTHS if plod else (8,)
+        results = backend.chunk_results(chunk_stage, n_chunks)
+        for cpos, (perm, offsets, planes) in enumerate(results):
             counts[:, cpos] = np.diff(offsets).astype(np.uint32)
-            planes = (
-                split_byte_groups(sorted_vals) if config.plod_enabled else [sorted_vals]
-            )
             for b in range(n_bins):
                 lo, hi = int(offsets[b]), int(offsets[b + 1])
                 index_streams[b].add(cpos, perm[lo:hi])
                 for g in range(n_groups):
                     w = widths[g]
-                    part = planes[g][lo * w : hi * w] if config.plod_enabled else planes[0][lo:hi]
+                    part = planes[g][lo * w : hi * w] if plod else planes[0][lo:hi]
                     if config.group_major:
-                        cell = g * n_chunks + cpos
-                        data_streams[b][g].add(cell, part)
+                        data_streams[b][g].add(g * n_chunks + cpos, part)
                     else:
-                        cell = cpos * n_groups + g
-                        data_streams[b][0].add(cell, part)
+                        data_streams[b][0].add(cpos * n_groups + g, part)
+        return data_streams, index_streams, counts
 
-        # Materialize subfiles.
+    # ------------------------------------------------------------------
+    def _commit(
+        self, data, variable, scheme, counts, data_streams, index_streams, backend
+    ) -> WriteReport:
+        """Materialize subfiles and metadata in deterministic order."""
+        n_bins = self.config.n_bins
+        # Cut every stream's final block first so the remaining
+        # compression jobs overlap with the commit walk below.
+        for b in range(n_bins):
+            for stream in data_streams[b]:
+                stream.flush()
+            index_streams[b].flush()
+
         files = BinFileSet(self.variable_root(variable), n_bins)
         data_block_tables: list[np.ndarray] = []
         index_block_tables: list[np.ndarray] = []
@@ -246,8 +431,8 @@ class MLOCWriter:
             chunks_of_file: list[bytes] = []
             offset = 0
             for stream in data_streams[b]:
-                stream.flush()
-                for cell_start, cell_end, payload, raw_len in stream.blocks:
+                for cell_start, cell_end, pending, raw_len in stream.blocks:
+                    payload = backend.resolve(pending)
                     rows.append(
                         (
                             cell_start,
@@ -263,11 +448,11 @@ class MLOCWriter:
             self.fs.write_file(files.data_path(b), b"".join(chunks_of_file))
             data_block_tables.append(np.array(rows, dtype=np.int64).reshape(-1, 6))
 
-            index_streams[b].flush()
             rows = []
             chunks_of_file = []
             offset = 0
-            for cpos_start, cpos_end, payload in index_streams[b].blocks:
+            for cpos_start, cpos_end, pending in index_streams[b].blocks:
+                payload = backend.resolve(pending)
                 rows.append(
                     (cpos_start, cpos_end, offset, len(payload), zlib.crc32(payload))
                 )
@@ -279,7 +464,7 @@ class MLOCWriter:
         meta = StoreMeta(
             variable=variable,
             shape=data.shape,
-            config=config,
+            config=self.config,
             edges=scheme.edges,
             counts=counts,
             data_blocks=data_block_tables,
@@ -296,18 +481,25 @@ class MLOCWriter:
             meta_bytes=self.fs.size(files.meta_path),
         )
 
+    # ------------------------------------------------------------------
     def _estimate_bins(self, data: np.ndarray) -> BinScheme:
-        """Bin boundaries from a random sample (§IV-A1)."""
+        """Bin boundaries: sampled quantiles, or true-range equal width.
+
+        Equal-frequency edges come from a random sample (§IV-A1).
+        Equal-width edges use the *full-array* min/max — two cheap
+        single passes — because sample extremes systematically
+        under-cover the data and would silently clamp every outlier
+        into the two end bins.
+        """
         config = self.config
-        rng = np.random.default_rng(config.seed)
         flat = data.reshape(-1)
+        if config.binning == "equal-width":
+            edges = equal_width_boundaries(
+                float(flat.min()), float(flat.max()), config.n_bins
+            )
+            return BinScheme(edges)
+        rng = np.random.default_rng(config.seed)
         n_sample = max(int(flat.size * config.sample_fraction), config.n_bins * 8)
         n_sample = min(n_sample, flat.size)
         sample = flat[rng.integers(0, flat.size, size=n_sample)]
-        if config.binning == "equal-width":
-            edges = equal_width_boundaries(
-                float(sample.min()), float(sample.max()), config.n_bins
-            )
-        else:
-            edges = equal_frequency_boundaries(sample, config.n_bins)
-        return BinScheme(edges)
+        return BinScheme(equal_frequency_boundaries(sample, config.n_bins))

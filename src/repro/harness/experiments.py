@@ -13,9 +13,10 @@ from __future__ import annotations
 import statistics
 import time
 
-from repro.core import ComponentTimes, Query
+from repro.core import ComponentTimes, MLOCWriter, Query
 from repro.harness.systems import ALL_SYSTEMS, SystemSuite
 from repro.harness.tables import PAPER
+from repro.pfs import SimulatedPFS
 
 __all__ = [
     "table1_rows",
@@ -27,6 +28,7 @@ __all__ = [
     "fig7_rows",
     "fig8_rows",
     "batch_pipeline_rows",
+    "writer_backend_rows",
 ]
 
 _512G_SYSTEMS = ("mloc-col", "mloc-iso", "mloc-isa", "seqscan")
@@ -221,6 +223,44 @@ def batch_pipeline_rows(
         ],
     }
     return rows, batch
+
+
+def writer_backend_rows(
+    data,
+    config,
+    *,
+    workers: int | None = None,
+    rounds: int = 2,
+):
+    """Serial vs threaded write pipeline on one array.
+
+    Writes ``data`` under ``config`` once per backend into fresh
+    :class:`SimulatedPFS` instances (best-of-``rounds`` wall-clock,
+    the noise-robust statistic the perf smoke suite uses throughout),
+    verifies the produced subfiles *and* metadata are byte-identical,
+    and returns ``(rows, identical)`` with ``rows`` mapping each
+    backend's label to ``[wall_seconds]``.
+    """
+    walls: dict[str, float] = {}
+    snapshots: dict[str, dict[str, bytes]] = {}
+    for label, backend in (("serial writer", "serial"), ("threaded writer", "threads")):
+        best = float("inf")
+        for _ in range(max(rounds, 1)):
+            fs = SimulatedPFS()
+            writer = MLOCWriter(
+                fs, "/bench", config, write_backend=backend, write_workers=workers
+            )
+            t0 = time.perf_counter()
+            writer.write(data, variable="field")
+            best = min(best, time.perf_counter() - t0)
+        walls[label] = best
+        snapshots[label] = {
+            path: bytes(fs.session().open(path).read_all())
+            for path in fs.list_files("/bench/")
+        }
+    identical = snapshots["serial writer"] == snapshots["threaded writer"]
+    rows = {label: [round(wall, 4)] for label, wall in walls.items()}
+    return rows, identical
 
 
 def fig8_rows(

@@ -35,11 +35,26 @@ _SCIDB_OVERLAP = 2
 
 
 class SystemSuite:
-    """Lazily-built collection of systems over one dataset."""
+    """Lazily-built collection of systems over one dataset.
 
-    def __init__(self, spec: DatasetSpec, n_ranks: int = 8) -> None:
+    ``write_backend``/``write_workers`` choose the MLOC writer's
+    execution backend when the suite builds its stores; because writer
+    backends are bit-identical, they change build wall-clock only,
+    never a stored byte or a downstream measurement.
+    """
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        n_ranks: int = 8,
+        *,
+        write_backend: str = "serial",
+        write_workers: int | None = None,
+    ) -> None:
         self.spec = spec
         self.n_ranks = n_ranks
+        self.write_backend = write_backend
+        self.write_workers = write_workers
         self.fs = SimulatedPFS(PFSCostModel(byte_scale=spec.byte_scale))
         self.data = spec.generate()
         self.flat = self.data.reshape(-1)
@@ -77,7 +92,13 @@ class SystemSuite:
                 n_bins=spec.n_bins,
                 target_block_bytes=self.block_bytes,
             )
-            MLOCWriter(self.fs, root, config).write(self.data, variable="field")
+            MLOCWriter(
+                self.fs,
+                root,
+                config,
+                write_backend=self.write_backend,
+                write_workers=self.write_workers,
+            ).write(self.data, variable="field")
             return MLOCStore.open(self.fs, root, "field", n_ranks=self.n_ranks)
         if system == "seqscan":
             return SeqScanStore.build(self.fs, f"{root}/data", self.data, n_ranks=self.n_ranks)
@@ -197,9 +218,25 @@ def _average(fn, system, constraints) -> tuple[ComponentTimes, float]:
 _SUITES: dict[tuple[str, int, int], SystemSuite] = {}
 
 
-def get_suite(spec: DatasetSpec, n_ranks: int = 8) -> SystemSuite:
-    """Process-wide cache of built suites (shared across benchmarks)."""
+def get_suite(
+    spec: DatasetSpec,
+    n_ranks: int = 8,
+    *,
+    write_backend: str = "serial",
+    write_workers: int | None = None,
+) -> SystemSuite:
+    """Process-wide cache of built suites (shared across benchmarks).
+
+    The write options are not part of the cache key: writer backends
+    are bit-identical, so a suite built serially is byte-for-byte the
+    suite a threaded build would have produced.
+    """
     key = (spec.name, spec.n_elements, n_ranks)
     if key not in _SUITES:
-        _SUITES[key] = SystemSuite(spec, n_ranks=n_ranks)
+        _SUITES[key] = SystemSuite(
+            spec,
+            n_ranks=n_ranks,
+            write_backend=write_backend,
+            write_workers=write_workers,
+        )
     return _SUITES[key]

@@ -48,6 +48,8 @@ def relayout(
     new_config: MLOCConfig,
     *,
     n_ranks: int = 8,
+    write_backend: str = "serial",
+    write_workers: int | None = None,
 ) -> RelayoutReport:
     """Re-encode ``source_root/variable`` under ``new_config``.
 
@@ -62,6 +64,11 @@ def relayout(
         so a failed migration never damages the original).
     new_config:
         The target layout configuration.
+    write_backend, write_workers:
+        Write-pipeline execution options (see
+        :class:`~repro.core.writer.MLOCWriter`); migrations are
+        compression-dominated, so the threaded backend pays off first
+        here.  The migrated bytes are identical either way.
     """
     if source_root.rstrip("/") == target_root.rstrip("/"):
         raise ValueError("target_root must differ from source_root")
@@ -77,7 +84,13 @@ def relayout(
     data[full.positions] = full.values
     data = data.reshape(source.shape)
 
-    writer = MLOCWriter(fs, target_root, new_config)
+    writer = MLOCWriter(
+        fs,
+        target_root,
+        new_config,
+        write_backend=write_backend,
+        write_workers=write_workers,
+    )
     write_report = writer.write(data, variable=variable)
 
     from repro.compression.base import make_codec
