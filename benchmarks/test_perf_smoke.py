@@ -20,7 +20,11 @@ from benchmarks.conftest import N_QUERIES, attach_batch_info
 from repro.core import MLOCStore, Query, mloc_col
 from repro.datasets import gts_like
 from repro.harness import format_rows, record_result
-from repro.harness.experiments import batch_pipeline_rows, writer_backend_rows
+from repro.harness.experiments import (
+    batch_pipeline_rows,
+    planning_rows,
+    writer_backend_rows,
+)
 from repro.index.binindex import decode_position_block_flat, encode_position_block
 from repro.sfc.hilbert import hilbert_decode, hilbert_encode
 from repro.util.varint import varint_decode_array, varint_encode_array
@@ -209,6 +213,59 @@ def test_writer_backend_wall_clock(capsys):
         "serial_s": serial_s,
         "threads_s": threads_s,
         "speedup": round(serial_s / max(threads_s, 1e-9), 3),
+    }
+
+
+def test_planning_speed(suite_gts_8g, capsys):
+    """Vectorized plan scheduling vs the seed object path, plus the
+    plan-cache hit cost on a real store.
+
+    Asserts the ISSUE's acceptance bars: identical per-rank
+    assignments, >= 5x plan-phase speedup on a 100-bin x 1k-chunk
+    work-list, and a cache-hit re-plan that costs a small fraction of
+    planning from scratch."""
+    rows, info = planning_rows(n_bins=100, n_chunks=1000, n_ranks=8)
+    assert info["identical"], "array path diverged from the seed assignments"
+    assert info["speedup"] >= 5.0, f"plan speedup {info['speedup']:.1f}x < 5x"
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                "Plan scheduling: object path vs columnar path "
+                f"({info['n_blocks']} blocks, {info['n_ranks']} ranks)",
+                ["path", "plan_s", "blocks_per_s"],
+                rows,
+            )
+        )
+    # Plan-cache hit cost on a real store: a repeat of the same query
+    # shape must skip planning almost entirely.
+    suite = suite_gts_8g
+    base = suite.store("mloc-col")
+    store = MLOCStore(
+        suite.fs, base.root, base.meta, n_ranks=suite.n_ranks, plan_cache=16
+    )
+    region = suite.workload.overlapping_region_constraints(0.01, 1)[0]
+    q = Query(region=region, output="values")
+    ctx = store.context
+    fresh_s = _best_of(lambda: ctx.plan_uncached(q))
+    ctx.plan(q)  # warm the LRU
+    hit_s = _best_of(lambda: ctx.plan(q))
+    assert hit_s < fresh_s / 5, (
+        f"cache hit ({hit_s:.6f}s) should be far cheaper than planning "
+        f"({fresh_s:.6f}s)"
+    )
+    r1 = store.query(q)
+    r2 = store.query(q)
+    assert r2.stats["plan_cache_hits"] == 1
+    assert np.array_equal(r1.positions, r2.positions)
+    RESULTS["planning"] = {
+        "rows": rows,
+        "identical": info["identical"],
+        "speedup": round(info["speedup"], 2),
+        "n_blocks": info["n_blocks"],
+        "plan_fresh_s": round(fresh_s, 6),
+        "plan_cache_hit_s": round(hit_s, 6),
+        "cache_hit_speedup": round(fresh_s / max(hit_s, 1e-9), 1),
     }
 
 

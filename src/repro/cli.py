@@ -149,6 +149,12 @@ def _add_execution_options(sub_parser) -> None:
         default=0.0,
         help="decoded-block LRU budget in MiB (0 = cold, the paper's discipline)",
     )
+    sub_parser.add_argument(
+        "--plan-cache",
+        type=int,
+        default=0,
+        help="query-plan LRU capacity in plans (0 = plan every query)",
+    )
 
 
 def _open_store(fs, args) -> MLOCStore:
@@ -160,6 +166,7 @@ def _open_store(fs, args) -> MLOCStore:
         backend=args.backend,
         n_threads=args.threads,
         cache_bytes=int(args.cache_mb * (1 << 20)),
+        plan_cache=args.plan_cache,
     )
 
 

@@ -33,7 +33,7 @@ from repro.core.dataset import MLOCDataset
 from repro.core.executor import QueryExecutor
 from repro.core.meta import StoreMeta
 from repro.core.multivar import MultiVarResult, multi_variable_query
-from repro.core.planner import QueryPlan, plan_query
+from repro.core.planner import PlanCache, PlanContext, QueryPlan, plan_query
 from repro.core.query import Query
 from repro.core.result import BatchResult, ComponentTimes, QueryResult
 from repro.core.staging import InSituStager, StagingOverflow, StagingReport
@@ -59,6 +59,8 @@ __all__ = [
     "Query",
     "QueryClass",
     "QueryExecutor",
+    "PlanCache",
+    "PlanContext",
     "QueryPlan",
     "QueryResult",
     "StagingOverflow",

@@ -131,12 +131,21 @@ class ChunkGrid:
 
     def chunk_within_region(self, chunk_id: int, region: Region) -> bool:
         """True if the chunk lies entirely inside the region (no filtering)."""
+        return bool(
+            self.chunks_within_region(np.array([chunk_id], dtype=np.int64), region)[0]
+        )
+
+    def chunks_within_region(self, chunk_ids: np.ndarray, region: Region) -> np.ndarray:
+        """Vectorized interiority: per chunk, True if it lies entirely
+        inside the region (its elements need no coordinate filtering)."""
         region = normalize_region(region, self.shape)
-        coords = self.chunk_coords(np.array([chunk_id]))[0]
-        for (lo, hi), c, w in zip(region, coords, self.chunk_shape):
-            if not (lo <= c * w and (c + 1) * w <= hi):
-                return False
-        return True
+        ids = np.asarray(chunk_ids, dtype=np.int64)
+        coords = self.chunk_coords(ids)
+        mask = np.ones(ids.shape, dtype=bool)
+        for d, ((lo, hi), w) in enumerate(zip(region, self.chunk_shape)):
+            origin = coords[..., d] * w
+            mask &= (origin >= lo) & (origin + w <= hi)
+        return mask
 
     # ------------------------------------------------------------------
     # Positions

@@ -155,6 +155,11 @@ class ExecutionConfig:
     cache_bytes:
         Byte budget of the shared decoded-block LRU; 0 disables caching
         (the paper's cold-cache measurement discipline).
+    plan_cache:
+        Capacity (in plans) of the per-store query-plan LRU; 0 disables
+        it.  Planning is deterministic, so a cached plan is exactly the
+        plan a fresh call would produce — the knob trades a little
+        memory for skipping the plan phase on repeated query shapes.
     write_backend:
         ``"serial"`` (default) or ``"threads"``; mirrors ``backend``
         for :class:`~repro.core.writer.MLOCWriter` — the threaded
@@ -168,6 +173,7 @@ class ExecutionConfig:
     backend: str = "serial"
     n_threads: int | None = None
     cache_bytes: int = 0
+    plan_cache: int = 0
     write_backend: str = "serial"
     write_workers: int | None = None
 
@@ -180,6 +186,8 @@ class ExecutionConfig:
             raise ValueError(f"n_threads must be positive, got {self.n_threads}")
         if self.cache_bytes < 0:
             raise ValueError(f"cache_bytes must be >= 0, got {self.cache_bytes}")
+        if self.plan_cache < 0:
+            raise ValueError(f"plan_cache must be >= 0, got {self.plan_cache}")
         if self.write_backend not in WRITE_BACKENDS:
             raise ValueError(
                 f"write_backend must be one of {WRITE_BACKENDS}, got {self.write_backend!r}"
@@ -195,6 +203,7 @@ class ExecutionConfig:
             "backend": self.backend,
             "n_threads": self.n_threads,
             "cache_bytes": self.cache_bytes,
+            "plan_cache": self.plan_cache,
         }
 
     def writer_options(self) -> dict[str, Any]:

@@ -56,13 +56,13 @@ import numpy as np
 from repro.compression.base import make_codec
 from repro.core.chunking import ChunkGrid
 from repro.core.meta import StoreMeta
-from repro.core.planner import QueryPlan
+from repro.core.planner import PlanContext, QueryPlan, cell_sizes
 from repro.core.query import Query
 from repro.core.result import ComponentTimes, QueryResult
 from repro.index.binindex import decode_position_block_flat
 from repro.index.bitmap import Bitmap
 from repro.parallel.scheduler import (
-    BlockRef,
+    BlockList,
     column_order_assignment,
     round_robin_assignment,
 )
@@ -70,7 +70,7 @@ from repro.parallel.simmpi import CommCostModel, SimCommunicator
 from repro.pfs.blockcache import BlockCache
 from repro.pfs.layout import BinFileSet, aggregate_parallel_time
 from repro.pfs.simfs import PFSSession, SimulatedPFS
-from repro.plod.byteplanes import GROUP_WIDTHS, assemble_from_groups
+from repro.plod.byteplanes import assemble_from_groups
 from repro.sfc.linearize import CurveOrder
 from repro.util.timing import TimerRegistry
 
@@ -189,6 +189,10 @@ class _BlockFetcher:
         """Whether block identity is tracked (LRU and/or batch dedup)."""
         return self.cache is not None or self.shared
 
+    def pending_count(self) -> int:
+        """Decode jobs enqueued by the plan phase but not yet run."""
+        return len(self._pending)
+
     def request(
         self,
         key: tuple,
@@ -302,6 +306,10 @@ class QueryExecutor:
     generation:
         Fingerprint of the store metadata, namespacing cache keys so a
         rewritten-and-reopened store never serves stale blocks.
+    context:
+        Optional shared :class:`~repro.core.planner.PlanContext` with
+        the precomputed per-bin planning tables; built from the
+        metadata when omitted (one-off executors).
     """
 
     def __init__(
@@ -319,6 +327,7 @@ class QueryExecutor:
         n_threads: int | None = None,
         cache: BlockCache | None = None,
         generation: int = 0,
+        context: PlanContext | None = None,
     ) -> None:
         if scheduler not in _SCHEDULERS:
             raise ValueError(
@@ -341,6 +350,9 @@ class QueryExecutor:
         self.n_threads = n_threads
         self.cache = cache
         self.generation = generation
+        self.context = (
+            context if context is not None else PlanContext.for_store(meta, grid, curve)
+        )
         if comm_cost is None:
             # Scale collective payload costs with the dataset
             # magnification so communication stays commensurate with
@@ -372,7 +384,7 @@ class QueryExecutor:
         hits0, misses0 = fetcher.hits, fetcher.misses
         hit_raw0 = fetcher.hit_raw_bytes
 
-        blocks = plan.block_refs()
+        blocks = plan.block_list()
         assignment = _SCHEDULERS[self.scheduler](blocks, self.n_ranks)
 
         # Plan phase: deterministic rank order, charges all simulated I/O
@@ -445,7 +457,7 @@ class QueryExecutor:
         threaded backend decodes inline, avoiding pure dispatch
         overhead on single-core machines.
         """
-        n_pending = len(fetcher._pending)
+        n_pending = fetcher.pending_count()
         workers = min(self.n_threads or os.cpu_count() or 1, n_pending)
         if self.backend == "threads" and workers > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -455,7 +467,7 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     def _plan_rank(
         self,
-        rank_blocks: list[BlockRef],
+        rank_blocks: BlockList,
         query: Query,
         plan: QueryPlan,
         position_filter: Bitmap | None,
@@ -467,15 +479,9 @@ class QueryExecutor:
         raw = {"data": 0, "index": 0}
         bins: list[_BinWork] = []
 
-        # Group this rank's blocks by bin (they arrive bin-major).
-        by_bin: dict[int, list[BlockRef]] = {}
-        for ref in rank_blocks:
-            by_bin.setdefault(ref.bin_id, []).append(ref)
-
-        for bin_id, refs in by_bin.items():
-            refs.sort(key=lambda r: r.chunk_pos)
-            cpos = np.array([r.chunk_pos for r in refs], dtype=np.int64)
-            chunk_ids = np.array([r.chunk_id for r in refs], dtype=np.int64)
+        # The rank's blocks arrive bin-major and cpos-sorted within each
+        # bin, so each bin is one contiguous segment of the arrays.
+        for bin_id, cpos, chunk_ids in rank_blocks.bin_segments():
             aligned = plan.is_aligned(bin_id)
             need_values = (
                 query.wants_values or not aligned or position_filter is not None
@@ -509,11 +515,11 @@ class QueryExecutor:
     ) -> list[tuple[int, int, _DecodeJob]]:
         """Request the index blocks covering ``cpos``."""
         table = self.meta.index_blocks[bin_id]
-        bin_counts = self.meta.counts[bin_id]
+        bin_counts = self.context.counts64[bin_id]
         path = self.files.index_path(bin_id)
         opener = _HandleOpener(session, path, eager=not fetcher.caching)
         parts: list[tuple[int, int, _DecodeJob]] = []
-        for row_idx in _covering_rows(table[:, 0], cpos):
+        for row_idx in _covering_rows(self.context.index_row_starts[bin_id], cpos):
             cpos_start, cpos_end, offset, comp_len = (
                 int(v) for v in table[row_idx][:4]
             )
@@ -546,7 +552,7 @@ class QueryExecutor:
         """Request the data blocks covering the needed cells."""
         config = self.meta.config
         n_chunks = self.meta.n_chunks
-        counts = self.meta.counts[bin_id].astype(np.int64)
+        counts = self.context.counts64[bin_id]
         table = self.meta.data_blocks[bin_id]
         path = self.files.data_path(bin_id)
         opener = _HandleOpener(session, path, eager=not fetcher.caching)
@@ -555,10 +561,8 @@ class QueryExecutor:
             return _ValueWork(n_elem=0)
 
         n_groups = min(plod_level, config.n_groups) if config.plod_enabled else 1
-        cell_sizes = _cell_sizes(config, counts, n_chunks)
-        cell_offsets = np.zeros(cell_sizes.size + 1, dtype=np.int64)
-        np.cumsum(cell_sizes, out=cell_offsets[1:])
-        row_starts = table[:, 0]
+        cell_offsets = self.context.cell_offsets[bin_id]
+        row_starts = self.context.data_row_starts[bin_id]
 
         # The cells needed, grouped per byte group (so each group's
         # payload concatenates contiguously in cpos order).
@@ -680,17 +684,19 @@ class QueryExecutor:
         maximal runs of consecutive chunk positions — one slice per run
         instead of one Python-level slice per chunk.
         """
-        bin_counts = self.meta.counts[bw.bin_id]
+        bin_counts = self.context.counts64[bw.bin_id]
+        # Cumulative element counts over the whole bin: the offset of a
+        # chunk inside a decoded block is pos_offsets[cpos] minus the
+        # block's base (precomputed once per store, DESIGN.md §7).
+        pos_offsets = self.context.pos_offsets[bw.bin_id]
         with timers["reconstruction"]:
             local_parts: list[np.ndarray] = []
             for cpos_start, cpos_end, job in bw.index_parts:
                 flat = job.result
-                counts_slice = bin_counts[cpos_start:cpos_end].astype(np.int64)
-                offsets = np.zeros(counts_slice.size + 1, dtype=np.int64)
-                np.cumsum(counts_slice, out=offsets[1:])
+                base = int(pos_offsets[cpos_start])
                 lo = int(np.searchsorted(bw.cpos, cpos_start, side="left"))
                 hi = int(np.searchsorted(bw.cpos, cpos_end, side="left"))
-                wanted = bw.cpos[lo:hi] - cpos_start
+                wanted = bw.cpos[lo:hi]
                 if wanted.size == 0:
                     continue
                 breaks = np.flatnonzero(np.diff(wanted) != 1) + 1
@@ -698,9 +704,12 @@ class QueryExecutor:
                 ends = np.concatenate((breaks, [wanted.size]))
                 for s, e in zip(starts, ends):
                     local_parts.append(
-                        flat[offsets[wanted[s]] : offsets[wanted[e - 1] + 1]]
+                        flat[
+                            int(pos_offsets[wanted[s]]) - base :
+                            int(pos_offsets[wanted[e - 1] + 1]) - base
+                        ]
                     )
-            counts = bin_counts[bw.cpos].astype(np.int64)
+            counts = bin_counts[bw.cpos]
             local_ids = (
                 np.concatenate(local_parts)
                 if local_parts
@@ -766,16 +775,9 @@ class QueryExecutor:
         return np.concatenate(parts)
 
 
-def _cell_sizes(config, counts: np.ndarray, n_chunks: int) -> np.ndarray:
-    """Byte size of every cell of a bin, in file cell order."""
-    counts = counts.astype(np.int64)
-    if not config.plod_enabled:
-        return counts * 8
-    widths = np.array(GROUP_WIDTHS, dtype=np.int64)
-    if config.group_major:  # cell = g * n_chunks + cpos
-        return (widths[:, None] * counts[None, :]).reshape(-1)
-    # cell = cpos * n_groups + g
-    return (counts[:, None] * widths[None, :]).reshape(-1)
+# Cell-size computation lives in the planner (PlanContext precomputes
+# per-bin cumsums at store open); the name is kept for importers.
+_cell_sizes = cell_sizes
 
 
 def _covering_rows(row_starts: np.ndarray, cells: np.ndarray) -> list[int]:

@@ -7,27 +7,45 @@ those are *aligned*, i.e. guaranteed to contain only qualifying values),
 which chunks intersect the spatial constraint (and which lie fully
 inside it, needing no position filtering), and materializes the
 per-(bin, chunk) work items handed to the scheduler.
+
+The planning phase is an end-to-end array pipeline: the work-list is a
+columnar :class:`~repro.parallel.scheduler.BlockList` (no per-block
+Python objects), chunk interiority is one vectorized kernel, and the
+per-query constants — per-bin cell-offset tables, int64 count views,
+block-table row starts — are precomputed once per store in a
+:class:`PlanContext`, which also fronts an optional :class:`PlanCache`
+LRU so repeated query shapes skip planning entirely.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.binning.binner import BinScheme
 from repro.core.chunking import ChunkGrid, normalize_region
 from repro.core.query import Query
-from repro.parallel.scheduler import BlockRef
+from repro.parallel.scheduler import BlockList, BlockRef
+from repro.plod.byteplanes import GROUP_WIDTHS
 from repro.sfc.hierarchical import level_prefix_counts
 from repro.sfc.linearize import CurveOrder
 
-__all__ = ["QueryPlan", "plan_query"]
+if TYPE_CHECKING:
+    from repro.core.meta import StoreMeta
+
+__all__ = ["QueryPlan", "PlanCache", "PlanContext", "plan_query", "cell_sizes"]
 
 
 @dataclass
 class QueryPlan:
-    """The planner's decisions for one query."""
+    """The planner's decisions for one query.
+
+    Plans may be shared through a :class:`PlanCache`; treat instances
+    handed out by :meth:`PlanContext.plan` as immutable.
+    """
 
     #: Ids of the bins that can contain qualifying values, sorted.
     bin_ids: np.ndarray
@@ -43,29 +61,232 @@ class QueryPlan:
     region: tuple[tuple[int, int], ...] | None
 
     def is_aligned(self, bin_id: int) -> bool:
-        idx = np.searchsorted(self.bin_ids, bin_id)
+        idx = int(np.searchsorted(self.bin_ids, bin_id))
+        if idx >= self.bin_ids.size or self.bin_ids[idx] != bin_id:
+            raise ValueError(f"bin {bin_id} is not part of this plan")
         return bool(self.aligned[idx])
 
     def chunk_is_interior(self, cpos: int) -> bool:
-        idx = np.searchsorted(self.cpos, cpos)
+        idx = int(np.searchsorted(self.cpos, cpos))
+        if idx >= self.cpos.size or self.cpos[idx] != cpos:
+            raise ValueError(f"chunk position {cpos} is not part of this plan")
         return bool(self.interior[idx])
 
     def interior_of(self, cpos: np.ndarray) -> np.ndarray:
         """Vectorized interior flags for an array of chunk positions."""
-        idx = np.searchsorted(self.cpos, np.asarray(cpos, dtype=np.int64))
-        return self.interior[idx]
+        cpos = np.asarray(cpos, dtype=np.int64)
+        if self.cpos.size == 0:
+            if cpos.size:
+                raise ValueError(
+                    f"chunk positions {cpos.tolist()} are not part of this plan"
+                )
+            return np.empty(0, dtype=bool)
+        idx = np.searchsorted(self.cpos, cpos)
+        clipped = np.minimum(idx, self.cpos.size - 1)
+        unknown = self.cpos[clipped] != cpos
+        if unknown.any():
+            raise ValueError(
+                f"chunk positions {cpos[unknown].tolist()} are not part of this plan"
+            )
+        return self.interior[clipped]
+
+    def block_list(self) -> BlockList:
+        """The (bin, chunk) work items as a columnar array work-list.
+
+        Bins and chunk positions are each sorted ascending, so the
+        repeat/tile product is already bin-major ordered — exactly the
+        order the column scheduler wants.
+        """
+        n_chunks = self.cpos.size
+        n_bins = self.bin_ids.size
+        return BlockList(
+            bin_ids=np.repeat(self.bin_ids.astype(np.int64), n_chunks),
+            cpos=np.tile(self.cpos, n_bins),
+            chunk_ids=np.tile(self.chunk_ids, n_bins),
+        )
 
     def block_refs(self) -> list[BlockRef]:
-        """Materialize the (bin, chunk) work items for the scheduler."""
-        refs: list[BlockRef] = []
-        for b in self.bin_ids:
-            for cp, cid in zip(self.cpos, self.chunk_ids):
-                refs.append(BlockRef(int(b), int(cp), int(cid)))
-        return refs
+        """The work items as objects (tools/tests; hot paths use
+        :meth:`block_list`)."""
+        return self.block_list().to_refs()
 
     @property
     def n_blocks(self) -> int:
         return int(self.bin_ids.size) * int(self.cpos.size)
+
+
+def cell_sizes(config, counts: np.ndarray, n_chunks: int) -> np.ndarray:
+    """Byte size of every cell of a bin, in file cell order."""
+    counts = counts.astype(np.int64)
+    if not config.plod_enabled:
+        return counts * 8
+    widths = np.array(GROUP_WIDTHS, dtype=np.int64)
+    if config.group_major:  # cell = g * n_chunks + cpos
+        return (widths[:, None] * counts[None, :]).reshape(-1)
+    # cell = cpos * n_groups + g
+    return (counts[:, None] * widths[None, :]).reshape(-1)
+
+
+class PlanCache:
+    """Small LRU of query plans keyed by a query fingerprint.
+
+    Planning is deterministic, so serving a cached plan can never
+    change results — it only skips the planning work.  Cached plans
+    are shared between queries and must not be mutated.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"plan cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key: tuple) -> QueryPlan | None:
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: tuple, plan: QueryPlan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+
+
+class PlanContext:
+    """Store-resident planning context, built once per opened store.
+
+    Precomputes everything per-query planning and rank-work assembly
+    would otherwise rebuild from the raw metadata on every call:
+
+    * ``counts64`` — the per-(bin, chunk) element counts as int64;
+    * ``pos_offsets`` — per bin, the cumulative element count over
+      chunk positions (prefix sums used to slice decoded index blocks);
+    * ``cell_offsets`` — per bin, the cumulative byte offset of every
+      layout cell (prefix sums over :func:`cell_sizes`);
+    * ``index_row_starts`` / ``data_row_starts`` — the first column of
+      each bin's block tables, contiguous for ``searchsorted``;
+    * the hierarchical-curve level prefix table, when applicable.
+
+    With ``plan_cache > 0`` the context also keeps a :class:`PlanCache`
+    so repeated query shapes — the hot case for a serving workload —
+    skip planning entirely.
+    """
+
+    def __init__(
+        self,
+        grid: ChunkGrid,
+        curve: CurveOrder,
+        scheme: BinScheme | None = None,
+        meta: "StoreMeta | None" = None,
+        *,
+        hierarchical: bool = False,
+        plan_cache: int = 0,
+    ) -> None:
+        if plan_cache < 0:
+            raise ValueError(f"plan_cache must be >= 0, got {plan_cache}")
+        self.grid = grid
+        self.curve = curve
+        self.scheme = scheme
+        self.hierarchical = hierarchical
+        self.level_prefixes = (
+            level_prefix_counts(grid.grid_shape) if hierarchical else None
+        )
+        self.cache = PlanCache(plan_cache) if plan_cache > 0 else None
+        self.counts64: np.ndarray | None = None
+        self.pos_offsets: np.ndarray | None = None
+        self.cell_offsets: list[np.ndarray] = []
+        self.index_row_starts: list[np.ndarray] = []
+        self.data_row_starts: list[np.ndarray] = []
+        if meta is not None:
+            self.counts64 = meta.counts.astype(np.int64)
+            n_bins, n_chunks = self.counts64.shape
+            self.pos_offsets = np.zeros((n_bins, n_chunks + 1), dtype=np.int64)
+            np.cumsum(self.counts64, axis=1, out=self.pos_offsets[:, 1:])
+            for bin_id in range(n_bins):
+                sizes = cell_sizes(meta.config, self.counts64[bin_id], n_chunks)
+                offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+                np.cumsum(sizes, out=offsets[1:])
+                self.cell_offsets.append(offsets)
+                self.index_row_starts.append(
+                    np.ascontiguousarray(meta.index_blocks[bin_id][:, 0])
+                )
+                self.data_row_starts.append(
+                    np.ascontiguousarray(meta.data_blocks[bin_id][:, 0])
+                )
+
+    @classmethod
+    def for_store(
+        cls,
+        meta: "StoreMeta",
+        grid: ChunkGrid,
+        curve: CurveOrder,
+        scheme: BinScheme | None = None,
+        *,
+        plan_cache: int = 0,
+    ) -> "PlanContext":
+        return cls(
+            grid,
+            curve,
+            scheme,
+            meta,
+            hierarchical=meta.config.curve == "hierarchical",
+            plan_cache=plan_cache,
+        )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, query: Query) -> tuple:
+        """Cache key: everything a plan (or its execution shape) can
+        depend on — value range, normalized region, levels, output."""
+        region = (
+            None
+            if query.region is None
+            else normalize_region(query.region, self.grid.shape)
+        )
+        return (
+            query.value_range,
+            region,
+            query.plod_level,
+            query.resolution_level,
+            query.output,
+        )
+
+    def plan(self, query: Query) -> QueryPlan:
+        """Plan a query, through the LRU when one is configured.
+
+        The returned plan may be shared with other queries — treat it
+        as immutable (use :meth:`plan_uncached` for a private copy).
+        """
+        if self.cache is None:
+            return self.plan_uncached(query)
+        key = self.fingerprint(query)
+        plan = self.cache.get(key)
+        if plan is None:
+            plan = self.plan_uncached(query)
+            self.cache.put(key, plan)
+        return plan
+
+    def plan_uncached(self, query: Query) -> QueryPlan:
+        """Always plan from scratch; the result is caller-owned."""
+        if self.scheme is None:
+            raise ValueError("PlanContext was built without a bin scheme")
+        return plan_query(
+            self.grid,
+            self.curve,
+            self.scheme,
+            query,
+            hierarchical=self.hierarchical,
+            prefixes=self.level_prefixes,
+        )
 
 
 def plan_query(
@@ -75,6 +296,7 @@ def plan_query(
     query: Query,
     *,
     hierarchical: bool = False,
+    prefixes: np.ndarray | None = None,
 ) -> QueryPlan:
     """Plan a query against one stored variable.
 
@@ -87,6 +309,9 @@ def plan_query(
     hierarchical:
         Whether the store uses the hierarchical (subset-multiresolution)
         curve; required for ``query.resolution_level``.
+    prefixes:
+        Optional precomputed hierarchical level prefix table (from a
+        :class:`PlanContext`); derived from the grid when omitted.
     """
     # --- Value constraint -> bins -------------------------------------
     if query.value_range is not None:
@@ -102,10 +327,7 @@ def plan_query(
     if query.region is not None:
         region = normalize_region(query.region, grid.shape)
         chunk_ids = grid.chunks_overlapping(region)
-        interior = np.array(
-            [grid.chunk_within_region(int(cid), region) for cid in chunk_ids],
-            dtype=bool,
-        )
+        interior = grid.chunks_within_region(chunk_ids, region)
     else:
         region = None
         chunk_ids = np.arange(grid.n_chunks, dtype=np.int64)
@@ -120,7 +342,8 @@ def plan_query(
                 "resolution_level requires a store written with the "
                 "'hierarchical' curve (subset-based multiresolution)"
             )
-        prefixes = level_prefix_counts(grid.grid_shape)
+        if prefixes is None:
+            prefixes = level_prefix_counts(grid.grid_shape)
         level = min(query.resolution_level, prefixes.size - 1)
         keep = cpos < prefixes[level]
         cpos, chunk_ids, interior = cpos[keep], chunk_ids[keep], interior[keep]

@@ -18,7 +18,7 @@ from repro.binning.binner import BinScheme
 from repro.core.chunking import ChunkGrid
 from repro.core.executor import QueryExecutor
 from repro.core.meta import StoreMeta
-from repro.core.planner import QueryPlan, plan_query
+from repro.core.planner import PlanContext, QueryPlan
 from repro.core.query import Query
 from repro.core.result import BatchResult, ComponentTimes, QueryResult
 from repro.core.writer import make_curve
@@ -60,6 +60,7 @@ class MLOCStore:
         n_threads: int | None = None,
         cache: BlockCache | None = None,
         cache_bytes: int = 0,
+        plan_cache: int = 0,
     ) -> None:
         self.fs = fs
         self.root = root.rstrip("/")
@@ -71,6 +72,13 @@ class MLOCStore:
         if cache is None and cache_bytes > 0:
             cache = BlockCache(cache_bytes)
         self.cache = cache
+        self.plan_cache_size = int(plan_cache)
+        # Store-resident planning context: per-bin prefix sums and
+        # block-table row starts computed once at open, plus (when
+        # enabled) the LRU of finished plans keyed by query fingerprint.
+        self.context = PlanContext.for_store(
+            meta, self.grid, self.curve, self.scheme, plan_cache=self.plan_cache_size
+        )
         # Fingerprint the metadata so decoded blocks cached by a
         # previous layout of the same paths can never be served after a
         # rewrite-and-reopen.
@@ -88,6 +96,7 @@ class MLOCStore:
             n_threads=n_threads,
             cache=cache,
             generation=generation,
+            context=self.context,
         )
 
     # ------------------------------------------------------------------
@@ -136,23 +145,36 @@ class MLOCStore:
             backend=self.executor.backend,
             n_threads=self.executor.n_threads,
             cache=self.cache,
+            plan_cache=self.plan_cache_size,
         )
 
     # ------------------------------------------------------------------
-    def _plan(self, query: Query) -> QueryPlan:
-        return plan_query(
-            self.grid,
-            self.curve,
-            self.scheme,
-            query,
-            hierarchical=self.meta.config.curve == "hierarchical",
-        )
+    def _plan(self, query: Query) -> tuple[QueryPlan, dict[str, int]]:
+        """Plan through the context, reporting per-query cache counters.
+
+        Planning is deterministic, so serving a cached plan can never
+        change results — only skip the plan-phase work (DESIGN.md §6).
+        """
+        cache = self.context.cache
+        if cache is None:
+            return self.context.plan(query), {
+                "plan_cache_hits": 0,
+                "plan_cache_misses": 0,
+            }
+        hits_before = cache.hits
+        plan = self.context.plan(query)
+        hit = cache.hits > hits_before
+        return plan, {
+            "plan_cache_hits": int(hit),
+            "plan_cache_misses": int(not hit),
+        }
 
     def query(self, query: Query, position_filter: Bitmap | None = None) -> QueryResult:
         """Plan and execute one access request."""
-        return self.executor.execute(
-            query, self._plan(query), position_filter=position_filter
-        )
+        plan, plan_stats = self._plan(query)
+        result = self.executor.execute(query, plan, position_filter=position_filter)
+        result.stats.update(plan_stats)
+        return result
 
     def query_many(self, queries: list[Query]) -> BatchResult:
         """Plan and execute a batch of queries as one pipeline.
@@ -169,12 +191,13 @@ class MLOCStore:
         Returns per-query results (each with its own component times
         and counters) plus the batch aggregate.
         """
-        plans = [self._plan(q) for q in queries]
+        planned = [self._plan(q) for q in queries]
         fetcher = self.executor.new_fetcher(shared=True)
-        results = [
-            self.executor.execute(q, p, fetcher=fetcher)
-            for q, p in zip(queries, plans)
-        ]
+        results = []
+        for q, (plan, plan_stats) in zip(queries, planned):
+            result = self.executor.execute(q, plan, fetcher=fetcher)
+            result.stats.update(plan_stats)
+            results.append(result)
         times = ComponentTimes()
         for r in results:
             times = times + r.times
@@ -186,7 +209,12 @@ class MLOCStore:
             "cache_misses": int(sum(r.stats["cache_misses"] for r in results)),
             "bytes_read": int(sum(r.stats["bytes_read"] for r in results)),
             "files_opened": int(sum(r.stats["files_opened"] for r in results)),
+            "seeks": int(sum(r.stats["seeks"] for r in results)),
             "n_results": int(sum(r.stats["n_results"] for r in results)),
+            "plan_cache_hits": int(sum(r.stats["plan_cache_hits"] for r in results)),
+            "plan_cache_misses": int(
+                sum(r.stats["plan_cache_misses"] for r in results)
+            ),
         }
         if self.cache is not None:
             stats["cache"] = self.cache.stats.as_dict()
@@ -216,13 +244,9 @@ class MLOCStore:
             output="values",
             plod_level=plod_level if plod_level is not None else 7,
         )
-        plan = plan_query(
-            self.grid,
-            self.curve,
-            self.scheme,
-            query,
-            hierarchical=self.meta.config.curve == "hierarchical",
-        )
+        # Uncached on purpose: the plan is narrowed in place below, and
+        # cached plans are shared between queries.
+        plan = self.context.plan_uncached(query)
         if positions.size:
             hit_chunks = np.unique(self.grid.chunk_of_positions(positions))
             keep = np.isin(plan.chunk_ids, hit_chunks)

@@ -29,6 +29,7 @@ __all__ = [
     "fig8_rows",
     "batch_pipeline_rows",
     "writer_backend_rows",
+    "planning_rows",
 ]
 
 _512G_SYSTEMS = ("mloc-col", "mloc-iso", "mloc-isa", "seqscan")
@@ -261,6 +262,92 @@ def writer_backend_rows(
     identical = snapshots["serial writer"] == snapshots["threaded writer"]
     rows = {label: [round(wall, 4)] for label, wall in walls.items()}
     return rows, identical
+
+
+def planning_rows(
+    n_bins: int = 100,
+    n_chunks: int = 1000,
+    n_ranks: int = 8,
+    rounds: int = 5,
+):
+    """Object-path vs array-path plan scheduling on a synthetic plan.
+
+    Builds an ``n_bins x n_chunks`` work-list (the ISSUE's reference
+    scale), runs the seed's per-block-object pipeline (nested-loop
+    ``BlockRef`` construction, ``sorted()``, near-equal list spans)
+    against the columnar pipeline (``QueryPlan.block_list`` +
+    ``column_order_assignment``), verifies the per-rank assignments are
+    block-for-block identical, and returns ``(rows, info)`` where
+    ``rows`` maps each path to ``[plan_seconds, blocks_per_second]``
+    and ``info`` carries ``identical``, ``speedup`` and the work-list
+    size.  Best-of-``rounds`` wall clock, like every perf-smoke cell.
+    """
+    import numpy as np
+
+    from repro.core.planner import QueryPlan
+    from repro.parallel.scheduler import BlockRef, column_order_assignment
+
+    rng = np.random.default_rng(11)
+    cpos = np.sort(rng.choice(4 * n_chunks, size=n_chunks, replace=False)).astype(
+        np.int64
+    )
+    plan = QueryPlan(
+        bin_ids=np.arange(n_bins, dtype=np.int64),
+        aligned=np.ones(n_bins, dtype=bool),
+        cpos=cpos,
+        chunk_ids=rng.permutation(n_chunks).astype(np.int64),
+        interior=np.ones(n_chunks, dtype=bool),
+        region=None,
+    )
+    n_blocks = plan.n_blocks
+
+    def seed_path():
+        # The pre-columnar pipeline, verbatim: one Python object per
+        # block, a total sort, then near-equal contiguous list spans.
+        blocks = [
+            BlockRef(int(b), int(cp), int(cid))
+            for b in plan.bin_ids
+            for cp, cid in zip(plan.cpos, plan.chunk_ids)
+        ]
+        ordered = sorted(blocks)
+        base, extra = divmod(len(ordered), n_ranks)
+        out, start = [], 0
+        for rank in range(n_ranks):
+            size = base + (1 if rank < extra else 0)
+            out.append(ordered[start : start + size])
+            start += size
+        return out
+
+    def array_path():
+        return column_order_assignment(plan.block_list(), n_ranks)
+
+    def best_of(fn):
+        best = float("inf")
+        for _ in range(max(rounds, 1)):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    seed_assignment = seed_path()
+    array_assignment = array_path()
+    identical = all(
+        seed_rank == rank_list.to_refs()
+        for seed_rank, rank_list in zip(seed_assignment, array_assignment)
+    )
+    seed_s = best_of(seed_path)
+    array_s = best_of(array_path)
+    rows = {
+        "object path (seed)": [round(seed_s, 5), int(n_blocks / seed_s)],
+        "array path": [round(array_s, 5), int(n_blocks / array_s)],
+    }
+    info = {
+        "identical": identical,
+        "speedup": seed_s / array_s,
+        "n_blocks": n_blocks,
+        "n_ranks": n_ranks,
+    }
+    return rows, info
 
 
 def fig8_rows(

@@ -6,6 +6,7 @@ assignment policy of Section III-D.
 """
 
 from repro.parallel.scheduler import (
+    BlockList,
     BlockRef,
     assignment_file_counts,
     column_order_assignment,
@@ -14,6 +15,7 @@ from repro.parallel.scheduler import (
 from repro.parallel.simmpi import CommCostModel, SimCommunicator, payload_nbytes, spmd
 
 __all__ = [
+    "BlockList",
     "BlockRef",
     "CommCostModel",
     "SimCommunicator",

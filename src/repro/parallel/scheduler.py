@@ -6,17 +6,26 @@ many blocks as possible from a single bin before moving to the next —
 so that each process touches the fewest bin files and file contention
 is minimized.  A round-robin policy is provided for the scheduling
 ablation benchmark.
+
+Work-lists are columnar: a :class:`BlockList` carries the planned
+(bin, chunk) work items as three parallel int64 arrays, and both
+policies operate on it with one ``lexsort`` plus span slicing — no
+per-block Python objects.  :class:`BlockRef` remains as the object
+view of a single work item (tools, tests, debugging); passing a
+sequence of refs to a policy returns per-rank ref lists with exactly
+the assignments the columnar path produces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 __all__ = [
     "BlockRef",
+    "BlockList",
     "column_order_assignment",
     "round_robin_assignment",
     "assignment_file_counts",
@@ -42,9 +51,102 @@ class BlockRef:
     chunk_id: int
 
 
-def column_order_assignment(
-    blocks: Sequence[BlockRef], n_ranks: int
-) -> list[list[BlockRef]]:
+@dataclass(frozen=True)
+class BlockList:
+    """A columnar block work-list: parallel int64 arrays, one row per
+    (bin, chunk) work item.
+
+    Row ``i`` is the block of chunk ``chunk_ids[i]`` (at on-disk curve
+    position ``cpos[i]``) inside bin ``bin_ids[i]`` — exactly what a
+    :class:`BlockRef` holds, without the object.
+    """
+
+    bin_ids: np.ndarray
+    cpos: np.ndarray
+    chunk_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("bin_ids", "cpos", "chunk_ids"):
+            object.__setattr__(
+                self, name, np.asarray(getattr(self, name), dtype=np.int64)
+            )
+        if not (self.bin_ids.size == self.cpos.size == self.chunk_ids.size):
+            raise ValueError(
+                f"column lengths differ: {self.bin_ids.size}, "
+                f"{self.cpos.size}, {self.chunk_ids.size}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.bin_ids.size)
+
+    @classmethod
+    def from_refs(cls, refs: Sequence[BlockRef]) -> "BlockList":
+        return cls(
+            bin_ids=np.fromiter((r.bin_id for r in refs), dtype=np.int64, count=len(refs)),
+            cpos=np.fromiter((r.chunk_pos for r in refs), dtype=np.int64, count=len(refs)),
+            chunk_ids=np.fromiter((r.chunk_id for r in refs), dtype=np.int64, count=len(refs)),
+        )
+
+    def to_refs(self) -> list[BlockRef]:
+        return [
+            BlockRef(int(b), int(cp), int(cid))
+            for b, cp, cid in zip(self.bin_ids, self.cpos, self.chunk_ids)
+        ]
+
+    def take(self, indices: np.ndarray) -> "BlockList":
+        return BlockList(
+            bin_ids=self.bin_ids[indices],
+            cpos=self.cpos[indices],
+            chunk_ids=self.chunk_ids[indices],
+        )
+
+    def span(self, start: int, stop: int) -> "BlockList":
+        return BlockList(
+            bin_ids=self.bin_ids[start:stop],
+            cpos=self.cpos[start:stop],
+            chunk_ids=self.chunk_ids[start:stop],
+        )
+
+    def lexsorted(self) -> "BlockList":
+        """Rows sorted by (bin, on-disk position, chunk id)."""
+        order = np.lexsort((self.chunk_ids, self.cpos, self.bin_ids))
+        return self.take(order)
+
+    def bin_segments(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(bin_id, cpos, chunk_ids)`` per contiguous bin run.
+
+        The list must be bin-major (as every assignment policy
+        produces); each bin's rows then form one contiguous segment,
+        recovered here from the run boundaries without any dict
+        regrouping.
+        """
+        if not len(self):
+            return
+        bounds = np.flatnonzero(np.diff(self.bin_ids)) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [self.bin_ids.size]))
+        for s, e in zip(starts, ends):
+            yield int(self.bin_ids[s]), self.cpos[s:e], self.chunk_ids[s:e]
+
+
+def _as_block_list(blocks) -> tuple[BlockList, bool]:
+    """Normalize policy input; second value = caller passed ref objects."""
+    if isinstance(blocks, BlockList):
+        return blocks, False
+    return BlockList.from_refs(blocks), True
+
+
+def _span_bounds(n: int, n_parts: int) -> np.ndarray:
+    """Start offsets of ``n_parts`` near-equal contiguous spans of ``n``."""
+    base, extra = divmod(n, n_parts)
+    sizes = np.full(n_parts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(n_parts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def column_order_assignment(blocks, n_ranks: int):
     """Assign blocks to ranks in column (bin-major) order.
 
     Blocks are sorted by (bin, on-disk position) and split into
@@ -52,45 +154,44 @@ def column_order_assignment(
     bin-major order means a rank's span crosses the fewest possible bin
     boundaries, i.e. it opens the fewest files — the paper's stated
     policy for minimizing I/O contention.
+
+    Accepts a :class:`BlockList` (returning per-rank ``BlockList``
+    spans) or a sequence of :class:`BlockRef` (returning per-rank ref
+    lists with identical assignments).
     """
     if n_ranks <= 0:
         raise ValueError(f"n_ranks must be positive, got {n_ranks}")
-    ordered = sorted(blocks)
-    return [list(span) for span in _near_equal_spans(ordered, n_ranks)]
+    work, as_refs = _as_block_list(blocks)
+    ordered = work.lexsorted()
+    bounds = _span_bounds(len(ordered), n_ranks)
+    spans = [ordered.span(int(bounds[i]), int(bounds[i + 1])) for i in range(n_ranks)]
+    return [span.to_refs() for span in spans] if as_refs else spans
 
 
-def round_robin_assignment(
-    blocks: Sequence[BlockRef], n_ranks: int
-) -> list[list[BlockRef]]:
+def round_robin_assignment(blocks, n_ranks: int):
     """Deal blocks to ranks round-robin (the ablation's strawman).
 
     Counts stay balanced but every rank touches nearly every bin file,
     maximizing opens and cross-rank contention on the same files.
+    Accepts the same inputs as :func:`column_order_assignment`.
     """
     if n_ranks <= 0:
         raise ValueError(f"n_ranks must be positive, got {n_ranks}")
-    ordered = sorted(blocks)
-    out: list[list[BlockRef]] = [[] for _ in range(n_ranks)]
-    for i, block in enumerate(ordered):
-        out[i % n_ranks].append(block)
-    return out
+    work, as_refs = _as_block_list(blocks)
+    ordered = work.lexsorted()
+    spans = [
+        ordered.take(np.arange(rank, len(ordered), n_ranks, dtype=np.int64))
+        for rank in range(n_ranks)
+    ]
+    return [span.to_refs() for span in spans] if as_refs else spans
 
 
-def _near_equal_spans(items: list, n_parts: int) -> list[list]:
-    n = len(items)
-    base, extra = divmod(n, n_parts)
-    spans = []
-    start = 0
-    for part in range(n_parts):
-        size = base + (1 if part < extra else 0)
-        spans.append(items[start : start + size])
-        start += size
-    return spans
-
-
-def assignment_file_counts(assignment: list[list[BlockRef]]) -> np.ndarray:
+def assignment_file_counts(assignment) -> np.ndarray:
     """Distinct bins (files) touched by each rank — the contention metric."""
-    return np.array(
-        [len({b.bin_id for b in rank_blocks}) for rank_blocks in assignment],
-        dtype=np.int64,
-    )
+    counts = []
+    for rank_blocks in assignment:
+        if isinstance(rank_blocks, BlockList):
+            counts.append(int(np.unique(rank_blocks.bin_ids).size))
+        else:
+            counts.append(len({b.bin_id for b in rank_blocks}))
+    return np.array(counts, dtype=np.int64)

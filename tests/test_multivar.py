@@ -94,6 +94,15 @@ class TestFetchPositions:
         fs, temp, humidity, t, h = two_vars
         result = h.fetch_positions(Bitmap(h.n_elements))
         assert result.positions.size == 0
+        assert result.values is not None and result.values.size == 0
+        # Nothing set -> no chunk visited, no byte read, no block decoded.
+        assert result.stats["blocks_planned"] == 0
+        assert result.stats["blocks_decoded"] == 0
+        assert result.stats["chunks_accessed"] == 0
+        assert result.stats["bytes_read"] == 0
+        assert result.stats["seeks"] == 0
+        assert result.times.io == 0.0
+        assert result.times.decompression == 0.0
 
     def test_fetch_wrong_length_bitmap(self, two_vars):
         _, _, _, _, h = two_vars

@@ -1,0 +1,308 @@
+"""Plan-equivalence suite: the vectorized planning/scheduling pipeline
+must reproduce the seed's object pipeline block-for-block.
+
+The columnar work-list, the lexsort-based assignment policies, the
+store-resident :class:`PlanContext`, and the plan cache are pure
+performance work — DESIGN.md's plan-equivalence rule says none of them
+may change which blocks a rank receives, in what order, or any result
+byte or simulated second.  This file pins that rule against embedded
+copies of the seed's reference implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.binning.binner import BinScheme
+from repro.core import MLOCStore, MLOCWriter, Query, mloc_col, mloc_iso
+from repro.core.chunking import ChunkGrid
+from repro.core.planner import PlanCache, PlanContext, QueryPlan, plan_query
+from repro.core.writer import make_curve
+from repro.datasets import gts_like
+from repro.parallel.scheduler import (
+    BlockList,
+    BlockRef,
+    column_order_assignment,
+    round_robin_assignment,
+)
+from repro.pfs import SimulatedPFS
+
+# ----------------------------------------------------------------------
+# Seed reference implementations (verbatim semantics of the pre-columnar
+# pipeline; kept here as the equivalence oracle).
+# ----------------------------------------------------------------------
+
+
+def _seed_block_refs(plan: QueryPlan) -> list[BlockRef]:
+    return [
+        BlockRef(int(b), int(cp), int(cid))
+        for b in plan.bin_ids
+        for cp, cid in zip(plan.cpos, plan.chunk_ids)
+    ]
+
+
+def _seed_column_order(blocks: list[BlockRef], n_ranks: int) -> list[list[BlockRef]]:
+    ordered = sorted(blocks)
+    base, extra = divmod(len(ordered), n_ranks)
+    out, start = [], 0
+    for rank in range(n_ranks):
+        size = base + (1 if rank < extra else 0)
+        out.append(ordered[start : start + size])
+        start += size
+    return out
+
+
+def _seed_round_robin(blocks: list[BlockRef], n_ranks: int) -> list[list[BlockRef]]:
+    ordered = sorted(blocks)
+    out: list[list[BlockRef]] = [[] for _ in range(n_ranks)]
+    for i, block in enumerate(ordered):
+        out[i % n_ranks].append(block)
+    return out
+
+
+def _synthetic_plan(n_bins: int, n_chunks: int, seed: int) -> QueryPlan:
+    rng = np.random.default_rng(seed)
+    cpos = np.sort(
+        rng.choice(4 * n_chunks, size=n_chunks, replace=False)
+    ).astype(np.int64)
+    return QueryPlan(
+        bin_ids=np.sort(rng.choice(64, size=n_bins, replace=False)).astype(np.int64),
+        aligned=rng.random(n_bins) < 0.5,
+        cpos=cpos,
+        chunk_ids=rng.permutation(n_chunks).astype(np.int64),
+        interior=rng.random(n_chunks) < 0.5,
+        region=None,
+    )
+
+
+def _assert_assignment_equal(seed_assignment, array_assignment):
+    assert len(seed_assignment) == len(array_assignment)
+    for seed_rank, rank_list in zip(seed_assignment, array_assignment):
+        assert isinstance(rank_list, BlockList)
+        assert seed_rank == rank_list.to_refs()
+
+
+# ----------------------------------------------------------------------
+# Scheduler equivalence on synthetic work-lists
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 4, 7, 8, 16])
+    @pytest.mark.parametrize("shape", [(1, 1), (3, 17), (16, 50), (5, 64)])
+    def test_column_order_matches_seed(self, shape, n_ranks):
+        plan = _synthetic_plan(*shape, seed=shape[0] * 100 + n_ranks)
+        seed = _seed_column_order(_seed_block_refs(plan), n_ranks)
+        array = column_order_assignment(plan.block_list(), n_ranks)
+        _assert_assignment_equal(seed, array)
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 4, 7, 8, 16])
+    @pytest.mark.parametrize("shape", [(1, 1), (3, 17), (16, 50), (5, 64)])
+    def test_round_robin_matches_seed(self, shape, n_ranks):
+        plan = _synthetic_plan(*shape, seed=shape[0] * 300 + n_ranks)
+        seed = _seed_round_robin(_seed_block_refs(plan), n_ranks)
+        array = round_robin_assignment(plan.block_list(), n_ranks)
+        _assert_assignment_equal(seed, array)
+
+    def test_block_list_matches_seed_refs(self):
+        plan = _synthetic_plan(7, 33, seed=5)
+        assert plan.block_refs() == _seed_block_refs(plan)
+
+    def test_ref_input_matches_block_list_input(self):
+        plan = _synthetic_plan(4, 21, seed=9)
+        refs = plan.block_refs()
+        from_refs = column_order_assignment(refs, 4)
+        from_list = column_order_assignment(plan.block_list(), 4)
+        assert from_refs == [span.to_refs() for span in from_list]
+
+    def test_empty_work_list(self):
+        empty = BlockList(
+            bin_ids=np.empty(0, dtype=np.int64),
+            cpos=np.empty(0, dtype=np.int64),
+            chunk_ids=np.empty(0, dtype=np.int64),
+        )
+        for policy in (column_order_assignment, round_robin_assignment):
+            spans = policy(empty, 4)
+            assert len(spans) == 4
+            assert all(len(s) == 0 for s in spans)
+
+
+# ----------------------------------------------------------------------
+# Planner equivalence on real stores across layout variants
+# ----------------------------------------------------------------------
+
+
+def _write_store(config, data, **store_kwargs):
+    fs = SimulatedPFS()
+    MLOCWriter(fs, "/eq", config).write(data, variable="field")
+    return fs, MLOCStore.open(fs, "/eq", "field", **store_kwargs)
+
+
+@pytest.fixture(scope="module")
+def eq_field() -> np.ndarray:
+    return gts_like((128, 128), seed=21)
+
+
+CONFIGS = [
+    ("VMS-hilbert", dict(level_order="VMS", curve="hilbert")),
+    ("VSM-zorder", dict(level_order="VSM", curve="zorder")),
+    ("VMS-rowmajor", dict(level_order="VMS", curve="rowmajor")),
+    ("VMS-hierarchical", dict(level_order="VMS", curve="hierarchical")),
+]
+
+QUERIES = [
+    Query(value_range=(0.2, 0.8), output="values"),
+    Query(region=((16, 96), (32, 128)), output="values", plod_level=3),
+    Query(value_range=(0.1, 0.5), region=((0, 64), (0, 64)), output="positions"),
+]
+
+
+class TestStoreEquivalence:
+    @pytest.mark.parametrize("label,overrides", CONFIGS)
+    def test_assignments_match_seed(self, eq_field, label, overrides):
+        config = mloc_col(
+            (32, 32), n_bins=8, target_block_bytes=8 * 1024, **overrides
+        )
+        _, store = _write_store(config, eq_field, n_ranks=4)
+        for query in QUERIES:
+            plan = store.context.plan_uncached(query)
+            for n_ranks in (1, 3, 4, 8):
+                seed = _seed_column_order(_seed_block_refs(plan), n_ranks)
+                array = column_order_assignment(plan.block_list(), n_ranks)
+                _assert_assignment_equal(seed, array)
+
+    @pytest.mark.parametrize("maker", [mloc_col, mloc_iso])
+    def test_results_identical_with_plan_cache(self, eq_field, maker):
+        """Plan cache on vs off: bit-identical results and simulated
+        seconds, with the hit/miss counters reporting correctly."""
+        config = maker((32, 32), n_bins=8, target_block_bytes=8 * 1024)
+        fs, plain = _write_store(config, eq_field, n_ranks=4)
+        cached = MLOCStore(
+            fs, plain.root, plain.meta, n_ranks=4, plan_cache=8
+        )
+        for query in QUERIES:
+            fs.clear_cache()
+            r0 = plain.query(query)
+            fs.clear_cache()
+            r1 = cached.query(query)  # miss: plans from scratch
+            fs.clear_cache()
+            r2 = cached.query(query)  # hit: served from the LRU
+            assert r0.stats["plan_cache_hits"] == 0
+            assert r0.stats["plan_cache_misses"] == 0
+            assert r1.stats["plan_cache_misses"] == 1
+            assert r2.stats["plan_cache_hits"] == 1
+            for other in (r1, r2):
+                assert np.array_equal(r0.positions, other.positions)
+                if r0.values is not None:
+                    assert np.array_equal(r0.values, other.values)
+                assert r0.times.io == other.times.io
+                assert r0.times.decompression == other.times.decompression
+                assert r0.times.communication == other.times.communication
+
+    def test_scheduler_policies_end_to_end(self, eq_field):
+        """Both policies produce identical query results (assignment
+        only redistributes work) under the columnar pipeline."""
+        config = mloc_col((32, 32), n_bins=8, target_block_bytes=8 * 1024)
+        fs, column = _write_store(config, eq_field, n_ranks=4)
+        robin = MLOCStore(
+            fs, column.root, column.meta, n_ranks=4, scheduler="round-robin"
+        )
+        q = Query(value_range=(0.3, 0.7), output="values")
+        fs.clear_cache()
+        a = column.query(q)
+        fs.clear_cache()
+        b = robin.query(q)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.values, b.values)
+
+
+# ----------------------------------------------------------------------
+# PlanContext precompute correctness
+# ----------------------------------------------------------------------
+
+
+class TestPlanContext:
+    def test_precomputes_match_meta(self, col_store):
+        _, store = col_store
+        ctx = store.context
+        meta = store.meta
+        assert ctx.counts64.dtype == np.int64
+        assert np.array_equal(ctx.counts64, meta.counts)
+        for bin_id in range(meta.config.n_bins):
+            counts = meta.counts[bin_id].astype(np.int64)
+            assert np.array_equal(
+                ctx.pos_offsets[bin_id], np.concatenate(([0], np.cumsum(counts)))
+            )
+            assert np.array_equal(
+                ctx.index_row_starts[bin_id], meta.index_blocks[bin_id][:, 0]
+            )
+            assert np.array_equal(
+                ctx.data_row_starts[bin_id], meta.data_blocks[bin_id][:, 0]
+            )
+
+    def test_plan_matches_plan_query(self, col_store):
+        _, store = col_store
+        q = Query(value_range=(0.25, 0.75), region=((32, 96), (0, 64)))
+        via_ctx = store.context.plan_uncached(q)
+        direct = plan_query(
+            store.grid,
+            store.curve,
+            store.scheme,
+            q,
+            hierarchical=store.meta.config.curve == "hierarchical",
+        )
+        for attr in ("bin_ids", "aligned", "cpos", "chunk_ids", "interior"):
+            assert np.array_equal(getattr(via_ctx, attr), getattr(direct, attr))
+        assert via_ctx.region == direct.region
+
+    def test_requires_scheme_for_planning(self):
+        grid = ChunkGrid((64, 64), (32, 32))
+        ctx = PlanContext(grid, make_curve(mloc_col((32, 32)), grid))
+        with pytest.raises(ValueError, match="bin scheme"):
+            ctx.plan_uncached(Query(value_range=(0.0, 1.0)))
+
+    def test_rejects_negative_cache(self):
+        grid = ChunkGrid((64, 64), (32, 32))
+        with pytest.raises(ValueError, match="plan_cache"):
+            PlanContext(grid, make_curve(mloc_col((32, 32)), grid), plan_cache=-1)
+
+
+class TestPlanCache:
+    def test_lru_eviction_and_counters(self):
+        cache = PlanCache(2)
+        plans = {k: _synthetic_plan(2, 4, seed=k) for k in range(3)}
+        assert cache.get(("a",)) is None
+        cache.put(("a",), plans[0])
+        cache.put(("b",), plans[1])
+        assert cache.get(("a",)) is plans[0]  # refresh "a"
+        cache.put(("c",), plans[2])  # evicts "b"
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is plans[0]
+        assert cache.get(("c",)) is plans[2]
+        assert len(cache) == 2
+        assert cache.hits == 3
+        assert cache.misses == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PlanCache(0)
+
+    def test_store_fingerprint_distinguishes_queries(self, col_store):
+        _, store = col_store
+        ctx = store.context
+        base = Query(value_range=(0.2, 0.8), output="values")
+        assert ctx.fingerprint(base) == ctx.fingerprint(
+            Query(value_range=(0.2, 0.8), output="values")
+        )
+        for other in (
+            Query(value_range=(0.2, 0.9), output="values"),
+            Query(value_range=(0.2, 0.8), output="positions"),
+            Query(value_range=(0.2, 0.8), output="values", plod_level=3),
+            Query(
+                value_range=(0.2, 0.8),
+                region=((0, 32), (0, 32)),
+                output="values",
+            ),
+        ):
+            assert ctx.fingerprint(base) != ctx.fingerprint(other)

@@ -73,6 +73,42 @@ class TestChunkSelection:
         assert np.array_equal(flags, plan.interior)
 
 
+class TestPlanLookupValidation:
+    """Unknown ids must fail loudly, never return garbage flags."""
+
+    def test_is_aligned_unknown_bin(self, setup):
+        grid, curve, scheme = setup
+        plan = plan_query(grid, curve, scheme, Query(value_range=(2.5, 4.5)))
+        for bad in (0, 5, 99):
+            with pytest.raises(ValueError, match=f"bin {bad}"):
+                plan.is_aligned(bad)
+
+    def test_chunk_is_interior_unknown_position(self, setup):
+        grid, curve, scheme = setup
+        plan = plan_query(grid, curve, scheme, Query(region=((0, 16), (0, 16))))
+        known = int(plan.cpos[0])
+        assert plan.chunk_is_interior(known) is True
+        for bad in (known + 1, 10_000):
+            with pytest.raises(ValueError, match="not part of this plan"):
+                plan.chunk_is_interior(bad)
+
+    def test_interior_of_unknown_positions(self, setup):
+        grid, curve, scheme = setup
+        plan = plan_query(grid, curve, scheme, Query(region=((8, 24), (0, 16))))
+        bad = np.append(plan.cpos, 10_000)
+        with pytest.raises(ValueError, match="10000"):
+            plan.interior_of(bad)
+
+    def test_interior_of_empty_query_on_empty_plan(self, setup):
+        grid, curve, scheme = setup
+        plan = plan_query(grid, curve, scheme, Query(region=((0, 16), (0, 16))))
+        plan.cpos = plan.cpos[:0]
+        plan.interior = plan.interior[:0]
+        assert plan.interior_of(np.empty(0, dtype=np.int64)).size == 0
+        with pytest.raises(ValueError, match="not part of this plan"):
+            plan.interior_of(np.array([3]))
+
+
 class TestBlockRefs:
     def test_cartesian_product(self, setup):
         grid, curve, scheme = setup
@@ -82,6 +118,17 @@ class TestBlockRefs:
         refs = plan.block_refs()
         assert len(refs) == plan.n_blocks == 3 * 1
         assert {r.bin_id for r in refs} == {2, 3, 4}
+
+    def test_block_list_matches_refs(self, setup):
+        grid, curve, scheme = setup
+        plan = plan_query(
+            grid, curve, scheme, Query(value_range=(2.5, 6.5), region=((0, 32), (0, 32)))
+        )
+        work = plan.block_list()
+        assert len(work) == plan.n_blocks
+        assert work.to_refs() == plan.block_refs()
+        # Bin-major: bins arrive in sorted runs, cpos sorted within each.
+        assert np.array_equal(work.bin_ids, np.sort(work.bin_ids))
 
 
 class TestSubsetResolution:

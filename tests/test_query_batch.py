@@ -80,6 +80,25 @@ def test_batch_aggregate_times_are_sums(fs):
     assert batch.stats["n_results"] == sum(r.n_results for r in batch)
 
 
+def test_batch_aggregates_seeks(fs):
+    store = MLOCStore.open(fs, "/store", "field")
+    fs.clear_cache()
+    batch = store.query_many(OVERLAPPING)
+    assert batch.stats["seeks"] == sum(r.stats["seeks"] for r in batch)
+    assert batch.stats["seeks"] > 0  # real reads always seek at least once
+
+
+def test_batch_aggregates_plan_cache_counters(fs):
+    meta_store = MLOCStore.open(fs, "/store", "field")
+    store = MLOCStore(fs, meta_store.root, meta_store.meta, plan_cache=8)
+    fs.clear_cache()
+    batch = store.query_many(OVERLAPPING + [OVERLAPPING[0]])
+    # The repeated first query is the only plan-cache hit.
+    assert batch.stats["plan_cache_hits"] == 1
+    assert batch.stats["plan_cache_misses"] == len(OVERLAPPING)
+    assert np.array_equal(batch[0].positions, batch[3].positions)
+
+
 def test_batch_with_persistent_cache_reports_cache_stats(fs):
     store = MLOCStore.open(fs, "/store", "field", cache_bytes=32 << 20)
     fs.clear_cache()
@@ -99,6 +118,9 @@ def test_empty_and_single_batches(fs):
     store = MLOCStore.open(fs, "/store", "field")
     empty = store.query_many([])
     assert len(empty) == 0 and empty.times.total == 0.0
+    # Every aggregate counter of an empty batch is exactly zero.
+    for key, value in empty.stats.items():
+        assert value == 0, f"empty batch stat {key!r} should be 0, got {value}"
     single = store.query_many([OVERLAPPING[0]])
     assert len(single) == 1
     assert list(iter(single))[0] is single[0]

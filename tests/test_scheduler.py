@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.parallel.scheduler import (
+    BlockList,
     BlockRef,
     assignment_file_counts,
     column_order_assignment,
@@ -74,6 +75,54 @@ class TestBlockRefOrdering:
     def test_sort_key_is_bin_then_position(self):
         refs = [BlockRef(1, 0, 5), BlockRef(0, 9, 1), BlockRef(0, 2, 7)]
         assert sorted(refs) == [BlockRef(0, 2, 7), BlockRef(0, 9, 1), BlockRef(1, 0, 5)]
+
+
+class TestBlockList:
+    def test_refs_roundtrip(self):
+        refs = _blocks(3, 5)
+        work = BlockList.from_refs(refs)
+        assert len(work) == 15
+        assert work.to_refs() == refs
+        assert work.bin_ids.dtype == np.int64
+
+    def test_lexsorted_matches_sorted_refs(self):
+        refs = [BlockRef(1, 0, 5), BlockRef(0, 9, 1), BlockRef(0, 2, 7)]
+        assert BlockList.from_refs(refs).lexsorted().to_refs() == sorted(refs)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError, match="column lengths"):
+            BlockList(
+                bin_ids=np.zeros(2, dtype=np.int64),
+                cpos=np.zeros(3, dtype=np.int64),
+                chunk_ids=np.zeros(2, dtype=np.int64),
+            )
+
+    def test_bin_segments_are_contiguous_runs(self):
+        work = BlockList.from_refs(_blocks(3, 4)).lexsorted()
+        segments = list(work.bin_segments())
+        assert [s[0] for s in segments] == [0, 1, 2]
+        for _, cpos, chunk_ids in segments:
+            assert cpos.tolist() == [0, 1, 2, 3]
+            assert chunk_ids.size == 4
+
+    def test_bin_segments_empty(self):
+        work = BlockList.from_refs([])
+        assert list(work.bin_segments()) == []
+
+    def test_policies_return_block_lists_for_block_list_input(self):
+        work = BlockList.from_refs(_blocks(4, 6))
+        for policy in (column_order_assignment, round_robin_assignment):
+            spans = policy(work, 3)
+            assert all(isinstance(s, BlockList) for s in spans)
+            assert sum(len(s) for s in spans) == len(work)
+
+    def test_file_counts_match_ref_path(self):
+        refs = _blocks(5, 7)
+        work = BlockList.from_refs(refs)
+        for n_ranks in (1, 2, 4):
+            from_refs = assignment_file_counts(column_order_assignment(refs, n_ranks))
+            from_list = assignment_file_counts(column_order_assignment(work, n_ranks))
+            assert np.array_equal(from_refs, from_list)
 
 
 @settings(max_examples=50, deadline=None)
