@@ -1,7 +1,7 @@
 # Developer entry points.  `make verify` is the one-command gate every
 # change must pass (lint when ruff is installed + tier-1 tests).
 
-.PHONY: verify test lint bench
+.PHONY: verify test lint bench chaos coverage
 
 verify:
 	sh scripts/verify.sh
@@ -14,3 +14,9 @@ lint:
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks -q
+
+chaos:
+	PYTHONPATH=src python -m pytest -q -m chaos
+
+coverage:
+	sh scripts/coverage.sh

@@ -24,6 +24,13 @@ from repro.harness import get_spec, get_suite
 N_QUERIES = int(os.environ.get("REPRO_QUERIES", "5"))
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is ``slow``: tier-1 runs deselect them with
+    ``-m 'not slow'`` while ``make bench`` still collects everything."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def suite_gts_8g():
     return get_suite(get_spec("8g", "gts"))

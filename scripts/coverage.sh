@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Coverage gate over the read path: tier-1 tests under pytest-cov with
+# a hard floor on the core executor and PFS packages.
+# Usage: scripts/coverage.sh  (or: make coverage)
+#
+# Soft-skips (exit 0) when pytest-cov is not installed, mirroring the
+# ruff gating in scripts/verify.sh, so the gate never blocks a box
+# without the optional tooling; CI installs pytest-cov and enforces it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! python -c "import pytest_cov" >/dev/null 2>&1; then
+    echo "== pytest-cov not installed; skipping coverage gate =="
+    echo "   (pip install pytest-cov to enable)"
+    exit 0
+fi
+
+echo "== coverage gate: repro.core + repro.pfs >= ${COVERAGE_FLOOR:=85}% =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q \
+    --cov=repro.core --cov=repro.pfs \
+    --cov-report=term-missing:skip-covered \
+    --cov-fail-under="$COVERAGE_FLOOR"

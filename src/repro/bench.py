@@ -18,6 +18,7 @@ import sys
 
 from repro.harness import format_rows, get_spec, get_suite, record_result
 from repro.harness.experiments import (
+    fault_tolerance_rows,
     fig6_rows,
     fig7_rows,
     fig8_rows,
@@ -40,6 +41,11 @@ EXPERIMENTS = {
     "fig6": ("512g", False, ["system", "io", "decomp", "reconstruct", "total"]),
     "fig7": ("512g", False, ["ranks", "io", "decomp", "reconstruct", "total"]),
     "fig8": ("512g", False, ["level", "io", "decomp", "reconstruct", "total"]),
+    "faults": (
+        "8g",
+        False,
+        ["fault rate", "io+dec s", "crc", "retries", "quarantined", "degraded", "dropped"],
+    ),
 }
 
 _TITLES = {
@@ -51,6 +57,7 @@ _TITLES = {
     "fig6": "Fig 6 - components, 0.1% value queries, 512 GB-class {ds}",
     "fig7": "Fig 7 - scalability, 10% value queries, 512 GB-class {ds}",
     "fig8": "Fig 8 - PLoD access, 1% value queries, 512 GB-class {ds}",
+    "faults": "Fault tolerance - 1% value queries under injected faults ({ds})",
 }
 
 
@@ -71,6 +78,8 @@ def _compute(exp: str, suite, dataset: str, n_queries: int) -> dict:
         return fig7_rows(suite, n_queries)
     if exp == "fig8":
         return fig8_rows(suite, n_queries)
+    if exp == "faults":
+        return fault_tolerance_rows(suite, n_queries)
     raise ValueError(f"unknown experiment {exp!r}")
 
 

@@ -155,6 +155,26 @@ def _add_execution_options(sub_parser) -> None:
         default=0,
         help="query-plan LRU capacity in plans (0 = plan every query)",
     )
+    sub_parser.add_argument(
+        "--max-read-retries",
+        type=int,
+        default=2,
+        help="retries per failed block read before quarantine",
+    )
+    sub_parser.add_argument(
+        "--read-backoff",
+        type=float,
+        default=0.005,
+        help="base retry backoff in simulated seconds (doubles per retry)",
+    )
+    sub_parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help=(
+            "degrade instead of failing when a block is unrecoverable: "
+            "drop affected points and report their chunks"
+        ),
+    )
 
 
 def _open_store(fs, args) -> MLOCStore:
@@ -167,6 +187,9 @@ def _open_store(fs, args) -> MLOCStore:
         n_threads=args.threads,
         cache_bytes=int(args.cache_mb * (1 << 20)),
         plan_cache=args.plan_cache,
+        max_read_retries=args.max_read_retries,
+        read_backoff=args.read_backoff,
+        allow_partial=args.allow_partial,
     )
 
 
@@ -313,7 +336,36 @@ def _cmd_query(args) -> int:
         f"decompression {result.times.decompression:.4f}, "
         f"reconstruction {result.times.reconstruction:.4f})"
     )
+    _print_fault_stats(result.stats)
     return 0
+
+
+def _print_fault_stats(stats: dict) -> None:
+    """One warning line per query/batch when the read path saw faults."""
+    if not any(
+        stats.get(k)
+        for k in (
+            "crc_failures",
+            "io_retries",
+            "degraded_points",
+            "dropped_points",
+            "quarantined_blocks",
+            "partial_chunks",
+        )
+    ):
+        return
+    print(
+        f"faults: {stats['crc_failures']} CRC failures, "
+        f"{stats['io_retries']} retries, "
+        f"{stats['quarantined_blocks']} quarantined block(s); "
+        f"{stats['degraded_points']} degraded / "
+        f"{stats['dropped_points']} dropped point(s)"
+    )
+    if stats.get("partial_chunks"):
+        chunks = stats["partial_chunks"]
+        shown = ", ".join(str(c) for c in chunks[:8])
+        more = f" (+{len(chunks) - 8} more)" if len(chunks) > 8 else ""
+        print(f"partial chunks: {shown}{more}")
 
 
 def _cmd_batch(args) -> int:
@@ -347,6 +399,7 @@ def _cmd_batch(args) -> int:
             f"{cache['evictions']} evictions, "
             f"{cache['current_bytes']}/{cache['capacity_bytes']} bytes"
         )
+    _print_fault_stats(batch.stats)
     return 0
 
 

@@ -8,6 +8,7 @@ null codecs disable compression for ablations.
 
 from repro.compression.base import (
     ByteCodec,
+    CodecDecodeError,
     FloatCodec,
     codec_names,
     make_codec,
@@ -21,6 +22,7 @@ from repro.compression.zlib_codec import ZlibByteCodec, ZlibFloatCodec
 
 __all__ = [
     "ByteCodec",
+    "CodecDecodeError",
     "FloatCodec",
     "FpzipLikeCodec",
     "IsabelaCodec",

@@ -32,12 +32,62 @@ every registered codec must satisfy two rules:
 
 from __future__ import annotations
 
+import functools
+import struct
+import zlib
 from abc import ABC, abstractmethod
 from typing import Callable
 
 import numpy as np
 
-__all__ = ["ByteCodec", "FloatCodec", "register_codec", "make_codec", "codec_names"]
+__all__ = [
+    "ByteCodec",
+    "CodecDecodeError",
+    "FloatCodec",
+    "decode_guard",
+    "register_codec",
+    "make_codec",
+    "codec_names",
+]
+
+
+class CodecDecodeError(ValueError):
+    """A payload could not be decoded (truncated, corrupt, or malformed).
+
+    Every registered codec raises exactly this type from ``decode`` on
+    bad input, whatever the underlying failure (``zlib.error``,
+    ``struct.error``, length mismatch, bad mode byte, ...), so callers
+    — the executor's verified read path and ``fsck`` — can treat
+    "payload does not decode" as one condition.  Subclasses
+    ``ValueError`` for backward compatibility with callers that caught
+    the historical mix.
+    """
+
+
+#: Failure types a decoder may legitimately hit on corrupt input.
+_DECODE_FAILURES = (ValueError, IndexError, OverflowError, struct.error, zlib.error)
+
+
+def decode_guard(fn: Callable) -> Callable:
+    """Wrap a codec ``decode`` method to normalize failures.
+
+    Any :data:`_DECODE_FAILURES` escaping ``fn`` is re-raised as
+    :class:`CodecDecodeError` with the codec name and payload size
+    attached; an already-normalized error passes through untouched.
+    """
+
+    @functools.wraps(fn)
+    def wrapped(self, payload, n):
+        try:
+            return fn(self, payload, n)
+        except CodecDecodeError:
+            raise
+        except _DECODE_FAILURES as exc:
+            raise CodecDecodeError(
+                f"{self.name}: cannot decode {len(payload)}-byte payload: {exc}"
+            ) from exc
+
+    return wrapped
 
 
 class ByteCodec(ABC):

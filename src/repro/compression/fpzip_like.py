@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import FloatCodec, register_codec
+from repro.compression.base import FloatCodec, decode_guard, register_codec
 from repro.compression.isobar import compress_planes, decompress_planes
 
 __all__ = ["FpzipLikeCodec"]
@@ -48,6 +48,7 @@ class FpzipLikeCodec(FloatCodec):
         matrix = residual.astype(">u8").view(np.uint8).reshape(-1, 8)
         return compress_planes(matrix, self.threshold, self.level)
 
+    @decode_guard
     def decode(self, payload: bytes, count: int) -> np.ndarray:
         matrix = decompress_planes(payload, count, 8)
         residual = matrix.reshape(-1).view(">u8").astype(np.uint64)

@@ -34,7 +34,7 @@ import zlib
 import numpy as np
 from scipy.interpolate import splev, splrep
 
-from repro.compression.base import FloatCodec, register_codec
+from repro.compression.base import FloatCodec, decode_guard, register_codec
 from repro.util.bitpack import bits_required, pack_uints, unpack_uints
 from repro.util.varint import varint_decode_array, varint_encode_array
 
@@ -213,6 +213,7 @@ class IsabelaCodec(FloatCodec):
         header = struct.pack("<6I", *(len(s) for s in sections))
         return header + b"".join(sections)
 
+    @decode_guard
     def decode(self, payload: bytes, count: int) -> np.ndarray:
         if count == 0:
             return np.empty(0, dtype=np.float64)

@@ -24,7 +24,7 @@ import zlib
 
 import numpy as np
 
-from repro.compression.base import FloatCodec, register_codec
+from repro.compression.base import FloatCodec, decode_guard, register_codec
 
 __all__ = ["IsobarCodec", "compress_planes", "decompress_planes"]
 
@@ -118,6 +118,7 @@ class IsobarCodec(FloatCodec):
         matrix = values.astype(">f8").view(np.uint8).reshape(-1, 8)
         return compress_planes(matrix, self.threshold, self.level)
 
+    @decode_guard
     def decode(self, payload: bytes, count: int) -> np.ndarray:
         matrix = decompress_planes(payload, count, 8)
         return matrix.reshape(-1).view(">f8").astype(np.float64)

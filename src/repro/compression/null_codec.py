@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import ByteCodec, FloatCodec, register_codec
+from repro.compression.base import ByteCodec, FloatCodec, decode_guard, register_codec
 
 __all__ = ["NullByteCodec", "NullFloatCodec"]
 
@@ -24,6 +24,7 @@ class NullByteCodec(ByteCodec):
     def encode(self, data) -> bytes:
         return bytes(data)
 
+    @decode_guard
     def decode(self, payload: bytes, raw_len: int) -> bytes:
         if len(payload) != raw_len:
             raise ValueError(f"payload is {len(payload)} bytes, expected {raw_len}")
@@ -43,6 +44,7 @@ class NullFloatCodec(FloatCodec):
             raise ValueError(f"values must be 1-D, got shape {values.shape}")
         return values.tobytes()
 
+    @decode_guard
     def decode(self, payload: bytes, count: int) -> np.ndarray:
         if len(payload) != count * 8:
             raise ValueError(f"payload is {len(payload)} bytes, expected {count * 8}")

@@ -16,7 +16,7 @@ import zlib
 
 import numpy as np
 
-from repro.compression.base import ByteCodec, FloatCodec, register_codec
+from repro.compression.base import ByteCodec, FloatCodec, decode_guard, register_codec
 
 __all__ = ["ZlibByteCodec", "ZlibFloatCodec"]
 
@@ -50,6 +50,7 @@ class ZlibByteCodec(ByteCodec):
             return bytes([_MODE_ZLIB]) + compressed
         return bytes([_MODE_RAW]) + (data if isinstance(data, bytes) else bytes(data))
 
+    @decode_guard
     def decode(self, payload: bytes, raw_len: int) -> bytes:
         if len(payload) == 0:
             if raw_len != 0:
@@ -88,6 +89,7 @@ class ZlibFloatCodec(FloatCodec):
             raise ValueError(f"values must be 1-D, got shape {values.shape}")
         return self._bytes.encode(values.tobytes())
 
+    @decode_guard
     def decode(self, payload: bytes, count: int) -> np.ndarray:
         raw = self._bytes.decode(payload, count * 8)
         return np.frombuffer(raw, dtype=np.float64).copy()

@@ -30,6 +30,7 @@ from repro.core.config import (
     mloc_iso,
 )
 from repro.core.dataset import MLOCDataset
+from repro.core.errors import DegradedResultError
 from repro.core.executor import QueryExecutor
 from repro.core.meta import StoreMeta
 from repro.core.multivar import MultiVarResult, multi_variable_query
@@ -48,6 +49,7 @@ __all__ = [
     "ChunkGrid",
     "CompoundResult",
     "ComponentTimes",
+    "DegradedResultError",
     "ExecutionConfig",
     "InSituStager",
     "LEVEL_ORDERS",

@@ -168,6 +168,20 @@ class ExecutionConfig:
     write_workers:
         Pool width for ``write_backend="threads"``; ``None`` = CPU
         count.
+    max_read_retries:
+        How many times a failed block read (transient I/O error or CRC
+        mismatch) is retried before the block is quarantined (read-path
+        fault tolerance; see docs/tuning.md "Fault tolerance").
+    read_backoff:
+        Base of the exponential retry backoff in *simulated* seconds:
+        retry ``k`` stalls ``read_backoff * 2**(k-1)`` on the retrying
+        rank's clock.
+    allow_partial:
+        Accept partial answers when an index block, PLoD base plane,
+        or full-value data block is unrecoverable: affected points are
+        dropped and their chunks reported in
+        ``QueryResult.stats["partial_chunks"]``.  ``False`` (default)
+        raises :class:`~repro.core.errors.DegradedResultError` instead.
     """
 
     backend: str = "serial"
@@ -176,6 +190,9 @@ class ExecutionConfig:
     plan_cache: int = 0
     write_backend: str = "serial"
     write_workers: int | None = None
+    max_read_retries: int = 2
+    read_backoff: float = 0.005
+    allow_partial: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "threads"):
@@ -196,6 +213,12 @@ class ExecutionConfig:
             raise ValueError(
                 f"write_workers must be positive, got {self.write_workers}"
             )
+        if self.max_read_retries < 0:
+            raise ValueError(
+                f"max_read_retries must be >= 0, got {self.max_read_retries}"
+            )
+        if self.read_backoff < 0:
+            raise ValueError(f"read_backoff must be >= 0, got {self.read_backoff}")
 
     def store_options(self) -> dict[str, Any]:
         """Keyword arguments for :meth:`MLOCStore.open`."""
@@ -204,6 +227,9 @@ class ExecutionConfig:
             "n_threads": self.n_threads,
             "cache_bytes": self.cache_bytes,
             "plan_cache": self.plan_cache,
+            "max_read_retries": self.max_read_retries,
+            "read_backoff": self.read_backoff,
+            "allow_partial": self.allow_partial,
         }
 
     def writer_options(self) -> dict[str, Any]:

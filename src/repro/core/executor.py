@@ -47,6 +47,7 @@ while the real CPU work parallelizes:
 from __future__ import annotations
 
 import os
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
@@ -55,6 +56,7 @@ import numpy as np
 
 from repro.compression.base import make_codec
 from repro.core.chunking import ChunkGrid
+from repro.core.errors import DegradedResultError
 from repro.core.meta import StoreMeta
 from repro.core.planner import PlanContext, QueryPlan, cell_sizes
 from repro.core.query import Query
@@ -68,9 +70,10 @@ from repro.parallel.scheduler import (
 )
 from repro.parallel.simmpi import CommCostModel, SimCommunicator
 from repro.pfs.blockcache import BlockCache
+from repro.pfs.faults import TransientIOError
 from repro.pfs.layout import BinFileSet, aggregate_parallel_time
 from repro.pfs.simfs import PFSSession, SimulatedPFS
-from repro.plod.byteplanes import assemble_from_groups
+from repro.plod.byteplanes import assemble_from_groups, assemble_from_groups_degraded
 from repro.sfc.linearize import CurveOrder
 from repro.util.timing import TimerRegistry
 
@@ -138,6 +141,30 @@ class _DecodeJob:
             self.done = True
 
 
+def _job_lost(job: _DecodeJob) -> bool:
+    """Whether the job marks a quarantined (unreadable) block.
+
+    Convention: a job that is already done with a ``None`` result never
+    decoded anything — its verified read exhausted retries.  Decoders
+    never legitimately return ``None``.
+    """
+    return job.done and job.result is None
+
+
+@dataclass
+class _FaultContext:
+    """Per-query fault accounting, filled by the verified read path."""
+
+    crc_failures: int = 0
+    io_retries: int = 0
+    degraded_points: int = 0
+    dropped_points: int = 0
+    #: (path, offset) of quarantined blocks this query touched.
+    quarantined: set = field(default_factory=set)
+    #: Global chunk ids whose points were (partially) lost.
+    partial_chunks: set = field(default_factory=set)
+
+
 class _HandleOpener:
     """Session file handle, opened lazily unless seed-faithful ``eager``.
 
@@ -181,6 +208,7 @@ class _BlockFetcher:
         self._pending: list[tuple[tuple | None, _DecodeJob]] = []
         self.hits = 0
         self.misses = 0
+        self.lost = 0
         self.hit_raw_bytes = 0
         self.miss_raw_bytes = 0
 
@@ -205,6 +233,15 @@ class _BlockFetcher:
         On a miss, ``read_payload`` runs immediately (charging simulated
         I/O to the requesting rank's session) and the decode is deferred
         to the decode phase.  On a hit nothing is charged.
+
+        ``read_payload`` returning ``None`` means the block could not
+        be read intact (verification exhausted its retries): the caller
+        receives a *lost* job (done, ``result is None``).  Lost jobs
+        are never decoded, never cached, and never deduplicated — a
+        later request re-runs ``read_payload``, which answers from the
+        executor's quarantine registry without touching the PFS.  A
+        cached decode, by contrast, still wins over a quarantine entry:
+        it was CRC-verified when it entered the cache.
         """
         if self.caching:
             job = self._jobs.get(key)
@@ -221,6 +258,9 @@ class _BlockFetcher:
                     self.hit_raw_bytes += raw_bytes
                     return job, True
         payload = read_payload()
+        if payload is None:
+            self.lost += 1
+            return _DecodeJob(result=None), False
         job = _DecodeJob(fn=lambda: decode(payload))
         self.misses += 1
         self.miss_raw_bytes += raw_bytes
@@ -261,6 +301,15 @@ class _ValueWork:
     cell_offsets: np.ndarray | None = None
     row_starts: np.ndarray | None = None
     jobs: dict[int, _DecodeJob] = field(default_factory=dict)
+    #: Per-cpos mask of chunks whose points are unrecoverable (base
+    #: byte-plane or full-value block quarantined); ``None`` if none.
+    fatal_mask: np.ndarray | None = None
+    #: Per-cpos effective PLoD level (< ``n_groups`` where refinement
+    #: blocks were quarantined); ``None`` if no precision was lost.
+    cell_levels: np.ndarray | None = None
+    #: (path, offset) of the first quarantined block behind
+    #: ``fatal_mask``, for the structured error.
+    fatal_block: tuple[str, int] | None = None
 
 
 @dataclass
@@ -310,6 +359,22 @@ class QueryExecutor:
         Optional shared :class:`~repro.core.planner.PlanContext` with
         the precomputed per-bin planning tables; built from the
         metadata when omitted (one-off executors).
+    max_read_retries:
+        How many times a failed block read (transient I/O error or CRC
+        mismatch) is retried before the block is quarantined.
+    read_backoff:
+        Base of the exponential retry backoff, in *simulated* seconds:
+        retry ``k`` stalls ``read_backoff * 2**(k-1)`` on the reading
+        rank's clock before re-reading.
+    allow_partial:
+        When a quarantined block makes part of the answer
+        unrecoverable (index block, PLoD base plane, or full-value
+        data block), ``False`` (default) raises
+        :class:`~repro.core.errors.DegradedResultError`; ``True``
+        drops the affected points and reports their chunks in
+        ``stats["partial_chunks"]``.  Refinement byte-plane loss never
+        raises — affected points degrade to the deepest intact level
+        and are counted in ``stats["degraded_points"]``.
     """
 
     def __init__(
@@ -328,6 +393,9 @@ class QueryExecutor:
         cache: BlockCache | None = None,
         generation: int = 0,
         context: PlanContext | None = None,
+        max_read_retries: int = 2,
+        read_backoff: float = 0.005,
+        allow_partial: bool = False,
     ) -> None:
         if scheduler not in _SCHEDULERS:
             raise ValueError(
@@ -339,6 +407,12 @@ class QueryExecutor:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if n_threads is not None and n_threads <= 0:
             raise ValueError(f"n_threads must be positive, got {n_threads}")
+        if max_read_retries < 0:
+            raise ValueError(
+                f"max_read_retries must be >= 0, got {max_read_retries}"
+            )
+        if read_backoff < 0:
+            raise ValueError(f"read_backoff must be >= 0, got {read_backoff}")
         self.fs = fs
         self.files = files
         self.meta = meta
@@ -350,6 +424,15 @@ class QueryExecutor:
         self.n_threads = n_threads
         self.cache = cache
         self.generation = generation
+        self.max_read_retries = max_read_retries
+        self.read_backoff = read_backoff
+        self.allow_partial = allow_partial
+        #: Blocks whose verified read exhausted its retries, as
+        #: (path, offset) -> reason.  Persists across queries: a
+        #: quarantined block is never re-read (its damage is sticky as
+        #: far as this executor could tell), it is answered by the
+        #: degradation policy instead.
+        self.quarantine: dict[tuple[str, int], str] = {}
         self.context = (
             context if context is not None else PlanContext.for_store(meta, grid, curve)
         )
@@ -383,6 +466,7 @@ class QueryExecutor:
             fetcher = self.new_fetcher()
         hits0, misses0 = fetcher.hits, fetcher.misses
         hit_raw0 = fetcher.hit_raw_bytes
+        fctx = _FaultContext()
 
         blocks = plan.block_list()
         assignment = _SCHEDULERS[self.scheduler](blocks, self.n_ranks)
@@ -390,14 +474,15 @@ class QueryExecutor:
         # Plan phase: deterministic rank order, charges all simulated I/O
         # and fixes which rank pays each block's modeled decode time.
         rank_works = [
-            self._plan_rank(rank_blocks, query, plan, position_filter, fetcher)
+            self._plan_rank(rank_blocks, query, plan, position_filter, fetcher, fctx)
             for rank_blocks in assignment
         ]
         # Decode phase: the only concurrent part (threads backend).
         blocks_decoded = self._run_decodes(fetcher)
         # Finish phase: measured CPU, deterministic rank order.
         rank_outputs = [
-            self._finish_rank(work, query, plan, position_filter) for work in rank_works
+            self._finish_rank(work, query, plan, position_filter, fctx)
+            for work in rank_works
         ]
 
         comm = SimCommunicator(self.n_ranks, self.comm_cost)
@@ -444,6 +529,13 @@ class QueryExecutor:
             "bytes_read": int(sum(s.stats.bytes_read for s in sessions)),
             "files_opened": int(sum(s.stats.opens for s in sessions)),
             "seeks": int(sum(s.stats.seeks for s in sessions)),
+            "stall_seconds": float(sum(s.stats.stall_seconds for s in sessions)),
+            "crc_failures": fctx.crc_failures,
+            "io_retries": fctx.io_retries,
+            "degraded_points": fctx.degraded_points,
+            "dropped_points": fctx.dropped_points,
+            "quarantined_blocks": len(fctx.quarantined),
+            "partial_chunks": sorted(fctx.partial_chunks),
             "n_results": int(positions.size),
         }
         return QueryResult(positions=positions, values=values, times=times, stats=stats)
@@ -465,6 +557,57 @@ class QueryExecutor:
         return fetcher.run(None)
 
     # ------------------------------------------------------------------
+    def _verified_read(
+        self,
+        session: PFSSession,
+        opener: _HandleOpener,
+        path: str,
+        offset: int,
+        comp_len: int,
+        crc: int,
+        fctx: _FaultContext,
+    ) -> bytes | None:
+        """Read one block, verify its CRC, retry, or quarantine it.
+
+        Every data/index block read goes through here: the payload's
+        ``zlib.crc32`` is checked against the block table before any
+        decode (the store-wide rule: no decoded bytes reach a result
+        without a CRC check or an explicit degradation record).
+        Transient I/O errors and CRC mismatches are retried up to
+        ``max_read_retries`` times with exponential backoff charged to
+        the rank's *simulated* clock; a block that exhausts its retries
+        is quarantined for the executor's lifetime and reported as
+        ``None`` (a lost block) to the degradation policy.
+        """
+        key = (path, offset)
+        if key in self.quarantine:
+            fctx.quarantined.add(key)
+            return None
+        reason = "unreadable"
+        for attempt in range(self.max_read_retries + 1):
+            if attempt:
+                fctx.io_retries += 1
+                session.stats.stall_seconds += self.read_backoff * 2 ** (attempt - 1)
+            try:
+                payload = opener.get().read(offset, comp_len)
+            except TransientIOError:
+                reason = "transient I/O errors"
+                continue
+            if len(payload) == comp_len and zlib.crc32(payload) == int(crc):
+                return payload
+            fctx.crc_failures += 1
+            reason = (
+                f"short read ({len(payload)}/{comp_len} bytes)"
+                if len(payload) != comp_len
+                else "CRC mismatch"
+            )
+        self.quarantine[key] = (
+            f"{reason} after {self.max_read_retries + 1} attempts"
+        )
+        fctx.quarantined.add(key)
+        return None
+
+    # ------------------------------------------------------------------
     def _plan_rank(
         self,
         rank_blocks: BlockList,
@@ -472,6 +615,7 @@ class QueryExecutor:
         plan: QueryPlan,
         position_filter: Bitmap | None,
         fetcher: _BlockFetcher,
+        fctx: _FaultContext,
     ) -> _RankWork:
         """Charge one rank's simulated I/O and enqueue its decode jobs."""
         timers = TimerRegistry()
@@ -483,15 +627,54 @@ class QueryExecutor:
         # bin, so each bin is one contiguous segment of the arrays.
         for bin_id, cpos, chunk_ids in rank_blocks.bin_segments():
             aligned = plan.is_aligned(bin_id)
+            counts64 = self.context.counts64[bin_id]
+            index_parts, lost_index = self._plan_positions(
+                session, bin_id, cpos, fetcher, raw, fctx
+            )
+            if lost_index:
+                # A lost index block loses the membership of every chunk
+                # it covered: those chunks leave the answer entirely.
+                lost_mask = np.zeros(cpos.size, dtype=bool)
+                for cpos_start, cpos_end, _ in lost_index:
+                    lost_mask |= (cpos >= cpos_start) & (cpos < cpos_end)
+                lost_ids = chunk_ids[lost_mask]
+                if not self.allow_partial:
+                    raise DegradedResultError(
+                        kind="index",
+                        path=self.files.index_path(bin_id),
+                        offset=lost_index[0][2],
+                        bin_id=bin_id,
+                        chunk_ids=tuple(int(c) for c in lost_ids),
+                    )
+                fctx.partial_chunks.update(int(c) for c in lost_ids)
+                fctx.dropped_points += int(counts64[cpos[lost_mask]].sum())
+                cpos = cpos[~lost_mask]
+                chunk_ids = chunk_ids[~lost_mask]
             need_values = (
                 query.wants_values or not aligned or position_filter is not None
             )
-            index_parts = self._plan_positions(session, bin_id, cpos, fetcher, raw)
             value_work = None
             if need_values:
                 value_work = self._plan_values(
-                    session, bin_id, cpos, query.plod_level, fetcher, raw
+                    session, bin_id, cpos, query.plod_level, fetcher, raw, fctx
                 )
+                if value_work.fatal_mask is not None:
+                    lost_ids = chunk_ids[value_work.fatal_mask]
+                    if not self.allow_partial:
+                        path, offset = value_work.fatal_block
+                        raise DegradedResultError(
+                            kind="data-base"
+                            if self.meta.config.plod_enabled
+                            else "data",
+                            path=path,
+                            offset=offset,
+                            bin_id=bin_id,
+                            chunk_ids=tuple(int(c) for c in lost_ids),
+                        )
+                    fctx.partial_chunks.update(int(c) for c in lost_ids)
+                    fctx.dropped_points += int(
+                        counts64[cpos[value_work.fatal_mask]].sum()
+                    )
             bins.append(
                 _BinWork(
                     bin_id=bin_id,
@@ -512,33 +695,43 @@ class QueryExecutor:
         cpos: np.ndarray,
         fetcher: _BlockFetcher,
         raw: dict[str, int],
-    ) -> list[tuple[int, int, _DecodeJob]]:
-        """Request the index blocks covering ``cpos``."""
+        fctx: _FaultContext,
+    ) -> tuple[list[tuple[int, int, _DecodeJob]], list[tuple[int, int, int]]]:
+        """Request the index blocks covering ``cpos``.
+
+        Returns the decodable parts plus the lost (quarantined) blocks
+        as ``(cpos_start, cpos_end, offset)`` triples.
+        """
         table = self.meta.index_blocks[bin_id]
         bin_counts = self.context.counts64[bin_id]
         path = self.files.index_path(bin_id)
         opener = _HandleOpener(session, path, eager=not fetcher.caching)
         parts: list[tuple[int, int, _DecodeJob]] = []
+        lost: list[tuple[int, int, int]] = []
         for row_idx in _covering_rows(self.context.index_row_starts[bin_id], cpos):
             cpos_start, cpos_end, offset, comp_len = (
                 int(v) for v in table[row_idx][:4]
             )
+            crc = int(table[row_idx][4])
             counts_slice = bin_counts[cpos_start:cpos_end]
             raw_bytes = int(counts_slice.sum()) * 8
             job, hit = fetcher.request(
                 (fetcher.generation, path, offset),
-                lambda offset=offset, comp_len=comp_len: opener.get().read(
-                    offset, comp_len
+                lambda offset=offset, comp_len=comp_len, crc=crc: self._verified_read(
+                    session, opener, path, offset, comp_len, crc, fctx
                 ),
                 lambda payload, counts_slice=counts_slice: decode_position_block_flat(
                     payload, counts_slice
                 ),
                 raw_bytes,
             )
+            if _job_lost(job):
+                lost.append((cpos_start, cpos_end, offset))
+                continue
             if not hit:
                 raw["index"] += raw_bytes
             parts.append((cpos_start, cpos_end, job))
-        return parts
+        return parts, lost
 
     def _plan_values(
         self,
@@ -548,6 +741,7 @@ class QueryExecutor:
         plod_level: int,
         fetcher: _BlockFetcher,
         raw: dict[str, int],
+        fctx: _FaultContext,
     ) -> _ValueWork:
         """Request the data blocks covering the needed cells."""
         config = self.meta.config
@@ -579,9 +773,11 @@ class QueryExecutor:
         # Request each covering compression block exactly once.
         all_cells = np.unique(np.concatenate(cells_per_group))
         jobs: dict[int, _DecodeJob] = {}
+        lost_rows: list[int] = []
         codec = self._codec
         for row_idx in _covering_rows(row_starts, all_cells):
             offset, comp_len, raw_len = (int(v) for v in table[row_idx][2:5])
+            crc = int(table[row_idx][5])
             if config.plod_enabled:
                 decode = lambda payload, raw_len=raw_len: np.frombuffer(  # noqa: E731
                     codec.decode(payload, raw_len), dtype=np.uint8
@@ -592,17 +788,19 @@ class QueryExecutor:
                 )
             job, hit = fetcher.request(
                 (fetcher.generation, path, offset),
-                lambda offset=offset, comp_len=comp_len: opener.get().read(
-                    offset, comp_len
+                lambda offset=offset, comp_len=comp_len, crc=crc: self._verified_read(
+                    session, opener, path, offset, comp_len, crc, fctx
                 ),
                 decode,
                 raw_len,
             )
-            if not hit:
-                raw["data"] += raw_len
             jobs[row_idx] = job
+            if _job_lost(job):
+                lost_rows.append(row_idx)
+            elif not hit:
+                raw["data"] += raw_len
 
-        return _ValueWork(
+        vw = _ValueWork(
             n_elem=n_elem,
             n_groups=n_groups,
             cells_per_group=cells_per_group,
@@ -610,6 +808,53 @@ class QueryExecutor:
             row_starts=row_starts,
             jobs=jobs,
         )
+        if lost_rows:
+            self._classify_data_loss(vw, cpos, lost_rows, table, path)
+        return vw
+
+    def _classify_data_loss(
+        self,
+        vw: _ValueWork,
+        cpos: np.ndarray,
+        lost_rows: list[int],
+        table: np.ndarray,
+        path: str,
+    ) -> None:
+        """Map quarantined data blocks onto the degradation policy.
+
+        For each quarantined block, the cells it covered are
+        intersected with each requested byte group: group-0 cells (the
+        PLoD base plane, or the whole value when PLoD is off) make the
+        chunk's points unrecoverable (``fatal_mask``); cells of a
+        refinement group ``g >= 1`` only cap the affected chunk's
+        effective level at ``g`` (``cell_levels``) — the dummy-fill
+        reconstruction applies from there down.
+        """
+        row_starts = vw.row_starts
+        # End cell (exclusive) of each block row; the table is
+        # contiguous, so the last row ends at the bin's total cells.
+        row_ends = np.append(row_starts[1:], vw.cell_offsets.size - 1)
+        levels = np.full(cpos.size, vw.n_groups, dtype=np.int64)
+        fatal = np.zeros(cpos.size, dtype=bool)
+        fatal_row: int | None = None
+        for g, cells in enumerate(vw.cells_per_group):
+            hit = np.zeros(cpos.size, dtype=bool)
+            for row_idx in lost_rows:
+                row_hit = (cells >= row_starts[row_idx]) & (cells < row_ends[row_idx])
+                if g == 0 and fatal_row is None and row_hit.any():
+                    fatal_row = row_idx
+                hit |= row_hit
+            if not hit.any():
+                continue
+            if g == 0:
+                fatal |= hit
+            else:
+                levels[hit] = np.minimum(levels[hit], g)
+        if fatal.any():
+            vw.fatal_mask = fatal
+            vw.fatal_block = (path, int(table[fatal_row][2]))
+        if (levels < vw.n_groups).any():
+            vw.cell_levels = levels
 
     # ------------------------------------------------------------------
     def _finish_rank(
@@ -618,6 +863,7 @@ class QueryExecutor:
         query: Query,
         plan: QueryPlan,
         position_filter: Bitmap | None,
+        fctx: _FaultContext,
     ) -> RankOutput:
         """Gather, filter and assemble one rank's results (measured CPU)."""
         timers = work.timers
@@ -631,6 +877,7 @@ class QueryExecutor:
                 values = self._assemble_values(bw, timers)
 
             with timers["reconstruction"]:
+                vw = bw.value_work
                 mask: np.ndarray | None = None
                 if query.value_range is not None and not bw.aligned:
                     lo, hi = query.value_range
@@ -649,6 +896,18 @@ class QueryExecutor:
                 if position_filter is not None:
                     hit = position_filter.get(positions)
                     mask = hit if mask is None else (mask & hit)
+                if vw is not None and vw.fatal_mask is not None:
+                    # Points of unrecoverable chunks leave the answer
+                    # (allow_partial — otherwise the plan phase raised).
+                    keep = ~np.repeat(vw.fatal_mask, counts)
+                    mask = keep if mask is None else (mask & keep)
+                if vw is not None and vw.cell_levels is not None:
+                    # Count degraded points that actually reach the
+                    # result (dummy-filled below the requested level).
+                    deg = np.repeat(vw.cell_levels < vw.n_groups, counts)
+                    if mask is not None:
+                        deg = deg & mask
+                    fctx.degraded_points += int(deg.sum())
                 if mask is not None:
                     positions = positions[mask]
                     if values is not None:
@@ -745,6 +1004,14 @@ class QueryExecutor:
                 for cells in vw.cells_per_group
             ]
             if config.plod_enabled:
+                if vw.cell_levels is not None:
+                    counts = self.context.counts64[bw.bin_id][bw.cpos]
+                    point_levels = np.repeat(
+                        np.maximum(vw.cell_levels, 1), counts
+                    )
+                    return assemble_from_groups_degraded(
+                        group_payloads, vw.n_elem, vw.n_groups, point_levels
+                    )
                 return assemble_from_groups(group_payloads, vw.n_elem, vw.n_groups)
             return group_payloads[0]
 
@@ -757,7 +1024,13 @@ class QueryExecutor:
         as_float: bool,
     ) -> np.ndarray:
         """Concatenate the payloads of ``cells`` (ascending) out of the
-        decoded blocks, slicing maximal runs of consecutive cells."""
+        decoded blocks, slicing maximal runs of consecutive cells.
+
+        A ``None`` entry in ``decoded`` is a quarantined block: its
+        cells are zero-filled placeholders, later either dropped
+        (fatal loss) or overwritten by the dummy-fill reconstruction
+        (refinement loss) — they never reach a result as-is.
+        """
         rows = np.searchsorted(row_starts, cells, side="right") - 1
         breaks = np.flatnonzero((np.diff(cells) != 1) | (np.diff(rows) != 0)) + 1
         starts = np.concatenate(([0], breaks))
@@ -769,7 +1042,15 @@ class QueryExecutor:
             block_base = int(cell_offsets[row_starts[row_idx]])
             lo = int(cell_offsets[cells[s]]) - block_base
             hi = int(cell_offsets[cells[e - 1] + 1]) - block_base
-            parts.append(buf[lo // 8 : hi // 8] if as_float else buf[lo:hi])
+            if buf is None:
+                parts.append(
+                    np.zeros(
+                        (hi - lo) // 8 if as_float else hi - lo,
+                        dtype=np.float64 if as_float else np.uint8,
+                    )
+                )
+            else:
+                parts.append(buf[lo // 8 : hi // 8] if as_float else buf[lo:hi])
         if not parts:
             return np.empty(0, dtype=np.float64 if as_float else np.uint8)
         return np.concatenate(parts)

@@ -61,6 +61,9 @@ class MLOCStore:
         cache: BlockCache | None = None,
         cache_bytes: int = 0,
         plan_cache: int = 0,
+        max_read_retries: int = 2,
+        read_backoff: float = 0.005,
+        allow_partial: bool = False,
     ) -> None:
         self.fs = fs
         self.root = root.rstrip("/")
@@ -97,6 +100,9 @@ class MLOCStore:
             cache=cache,
             generation=generation,
             context=self.context,
+            max_read_retries=max_read_retries,
+            read_backoff=read_backoff,
+            allow_partial=allow_partial,
         )
 
     # ------------------------------------------------------------------
@@ -146,7 +152,21 @@ class MLOCStore:
             n_threads=self.executor.n_threads,
             cache=self.cache,
             plan_cache=self.plan_cache_size,
+            max_read_retries=self.executor.max_read_retries,
+            read_backoff=self.executor.read_backoff,
+            allow_partial=self.executor.allow_partial,
         )
+
+    @property
+    def quarantined_blocks(self) -> dict[tuple[str, int], str]:
+        """Blocks the read path quarantined, as (path, offset) -> reason.
+
+        A block lands here after a verified read exhausts its retries
+        (persistent CRC mismatch, torn read, or repeated transient
+        errors); it stays quarantined for this store handle's lifetime
+        and is answered by the degradation policy instead of re-read.
+        """
+        return dict(self.executor.quarantine)
 
     # ------------------------------------------------------------------
     def _plan(self, query: Query) -> tuple[QueryPlan, dict[str, int]]:
@@ -210,6 +230,16 @@ class MLOCStore:
             "bytes_read": int(sum(r.stats["bytes_read"] for r in results)),
             "files_opened": int(sum(r.stats["files_opened"] for r in results)),
             "seeks": int(sum(r.stats["seeks"] for r in results)),
+            "crc_failures": int(sum(r.stats["crc_failures"] for r in results)),
+            "io_retries": int(sum(r.stats["io_retries"] for r in results)),
+            "degraded_points": int(
+                sum(r.stats["degraded_points"] for r in results)
+            ),
+            "dropped_points": int(sum(r.stats["dropped_points"] for r in results)),
+            "quarantined_blocks": len(self.executor.quarantine),
+            "partial_chunks": sorted(
+                set().union(*(r.stats["partial_chunks"] for r in results))
+            ),
             "n_results": int(sum(r.stats["n_results"] for r in results)),
             "plan_cache_hits": int(sum(r.stats["plan_cache_hits"] for r in results)),
             "plan_cache_misses": int(

@@ -30,6 +30,7 @@ __all__ = [
     "batch_pipeline_rows",
     "writer_backend_rows",
     "planning_rows",
+    "fault_tolerance_rows",
 ]
 
 _512G_SYSTEMS = ("mloc-col", "mloc-iso", "mloc-isa", "seqscan")
@@ -348,6 +349,65 @@ def planning_rows(
         "n_ranks": n_ranks,
     }
     return rows, info
+
+
+def fault_tolerance_rows(
+    suite: SystemSuite,
+    n_queries: int,
+    rates: tuple[float, ...] = (0.0, 0.01, 0.05),
+    seed: int = 1234,
+):
+    """Read-path fault tolerance: 1% value queries under injected faults.
+
+    Runs the same workload against the suite's ``mloc-col`` store three
+    times, through a :class:`~repro.pfs.faults.FaultyPFS` whose per-read
+    fault rates sweep ``rates`` (each rate drives transient errors, bit
+    flips, torn reads, sticky extent rot, and latency spikes together).
+    ``allow_partial=True``: queries degrade instead of failing, and the
+    row reports what the degradation cost — retries, quarantined blocks,
+    degraded/dropped points — alongside the simulated response time.
+    The rate-0.0 row doubles as the no-fault overhead check: its counter
+    cells are all zero and its times match the plain store's.
+    """
+    from repro.core import MLOCStore
+    from repro.pfs.faults import FaultPlan, FaultyPFS
+
+    suite.store("mloc-col")  # build (once) through the plain PFS
+    root = f"/{suite.spec.name}/mloc-col"
+    regions = suite.workload.region_constraints(0.01, max(n_queries, 2))
+    rows = {}
+    for rate in rates:
+        plan = FaultPlan(
+            seed=seed,
+            transient_error_rate=rate,
+            bitflip_rate=rate,
+            torn_read_rate=rate / 2,
+            sticky_corruption_rate=rate / 2,
+            latency_spike_rate=rate,
+        )
+        ffs = FaultyPFS(suite.fs, plan)
+        store = MLOCStore.open(
+            ffs, root, "field", n_ranks=suite.n_ranks, allow_partial=True
+        )
+        total = ComponentTimes()
+        counters = {k: 0 for k in ("crc_failures", "io_retries", "degraded_points", "dropped_points")}
+        for region in regions:
+            ffs.clear_cache()
+            ffs.reset_attempts()  # same fault draws for every rate
+            result = store.query(Query(region=region, output="values"))
+            total = total + result.times
+            for key in counters:
+                counters[key] += int(result.stats[key])
+        k = len(regions)
+        rows[f"rate {rate:g}"] = [
+            round((total.io + total.decompression) / k, 3),
+            counters["crc_failures"],
+            counters["io_retries"],
+            len(store.quarantined_blocks),
+            counters["degraded_points"],
+            counters["dropped_points"],
+        ]
+    return rows
 
 
 def fig8_rows(

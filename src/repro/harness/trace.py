@@ -23,7 +23,13 @@ from repro.core.query import Query
 from repro.core.result import ComponentTimes, QueryResult
 from repro.core.store import MLOCStore
 
-__all__ = ["QueryTrace", "TracingStore", "ReplayReport", "replay_trace"]
+__all__ = [
+    "FAULT_STAT_KEYS",
+    "QueryTrace",
+    "TracingStore",
+    "ReplayReport",
+    "replay_trace",
+]
 
 _TRACE_VERSION = 1
 
@@ -94,12 +100,23 @@ class TracingStore:
         return getattr(self.store, name)
 
 
+#: Read-path fault counters aggregated by :func:`replay_trace` (summed
+#: over queries; ``partial_chunks`` is the union of affected chunks).
+FAULT_STAT_KEYS = (
+    "crc_failures",
+    "io_retries",
+    "degraded_points",
+    "dropped_points",
+)
+
+
 @dataclass
 class ReplayReport:
     """Outcome of replaying a trace against one store."""
 
     per_query: list[ComponentTimes]
     n_results: list[int]
+    fault_stats: dict = field(default_factory=dict)
 
     @property
     def total(self) -> ComponentTimes:
@@ -111,6 +128,13 @@ class ReplayReport:
     @property
     def mean_seconds(self) -> float:
         return self.total.total / len(self.per_query) if self.per_query else 0.0
+
+    @property
+    def saw_faults(self) -> bool:
+        """True when any replayed query hit a read-path fault."""
+        return any(self.fault_stats.get(k) for k in FAULT_STAT_KEYS) or bool(
+            self.fault_stats.get("quarantined_blocks")
+        ) or bool(self.fault_stats.get("partial_chunks"))
 
 
 def replay_trace(
@@ -126,10 +150,19 @@ def replay_trace(
     """
     per_query: list[ComponentTimes] = []
     n_results: list[int] = []
+    fault_stats: dict = {key: 0 for key in FAULT_STAT_KEYS}
+    partial: set[int] = set()
     for query in trace.queries:
         if cold_cache:
             store.fs.clear_cache()
         result = store.query(query)
         per_query.append(result.times)
         n_results.append(result.n_results)
-    return ReplayReport(per_query=per_query, n_results=n_results)
+        for key in FAULT_STAT_KEYS:
+            fault_stats[key] += int(result.stats.get(key, 0))
+        partial.update(result.stats.get("partial_chunks", ()))
+    fault_stats["partial_chunks"] = sorted(partial)
+    fault_stats["quarantined_blocks"] = len(store.quarantined_blocks)
+    return ReplayReport(
+        per_query=per_query, n_results=n_results, fault_stats=fault_stats
+    )

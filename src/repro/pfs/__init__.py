@@ -9,6 +9,12 @@ transfers.  See DESIGN.md §2 for the substitution argument.
 
 from repro.pfs.blockcache import BlockCache, CacheStats
 from repro.pfs.costmodel import IOStats, PFSCostModel
+from repro.pfs.faults import (
+    FaultInjectionLog,
+    FaultPlan,
+    FaultyPFS,
+    TransientIOError,
+)
 from repro.pfs.layout import BinFileSet, aggregate_parallel_time, dataset_files
 from repro.pfs.simfs import FileStat, PFSSession, SimFileHandle, SimulatedPFS
 
@@ -16,12 +22,16 @@ __all__ = [
     "BinFileSet",
     "BlockCache",
     "CacheStats",
+    "FaultInjectionLog",
+    "FaultPlan",
+    "FaultyPFS",
     "FileStat",
     "IOStats",
     "PFSCostModel",
     "PFSSession",
     "SimFileHandle",
     "SimulatedPFS",
+    "TransientIOError",
     "aggregate_parallel_time",
     "dataset_files",
 ]

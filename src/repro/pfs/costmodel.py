@@ -128,6 +128,7 @@ class PFSCostModel:
         return (
             stats.opens * self.open_time
             + stats.seeks * self.seek_time
+            + stats.stall_seconds
             + self.scaled_bytes(stats.bytes_read) / bandwidth
         )
 
@@ -147,7 +148,10 @@ class PFSCostModel:
                 f"expected {self.ost_count} per-OST byte counts, got {len(per_ost_bytes)}"
             )
         overhead = max(
-            (s.opens * self.open_time + s.seeks * self.seek_time for s in per_rank),
+            (
+                s.opens * self.open_time + s.seeks * self.seek_time + s.stall_seconds
+                for s in per_rank
+            ),
             default=0.0,
         )
         n_nodes = max(
@@ -163,12 +167,20 @@ class PFSCostModel:
 
 @dataclass
 class IOStats:
-    """Raw I/O counters accumulated by one client (rank) during a query."""
+    """Raw I/O counters accumulated by one client (rank) during a query.
+
+    ``stall_seconds`` carries simulated wall time the client spent
+    waiting without transferring bytes: injected latency spikes
+    (:class:`repro.pfs.faults.FaultyPFS`) and the executor's retry
+    backoff.  Stalls are per-client serial time, so the parallel cost
+    model folds them into the max-per-rank overhead term.
+    """
 
     opens: int = 0
     seeks: int = 0
     bytes_read: int = 0
     reads: int = 0
+    stall_seconds: float = 0.0
 
     def merge(self, other: "IOStats") -> None:
         """Fold ``other``'s counters into this one (for aggregation)."""
@@ -176,6 +188,9 @@ class IOStats:
         self.seeks += other.seeks
         self.bytes_read += other.bytes_read
         self.reads += other.reads
+        self.stall_seconds += other.stall_seconds
 
     def copy(self) -> "IOStats":
-        return IOStats(self.opens, self.seeks, self.bytes_read, self.reads)
+        return IOStats(
+            self.opens, self.seeks, self.bytes_read, self.reads, self.stall_seconds
+        )

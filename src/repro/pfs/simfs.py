@@ -90,6 +90,33 @@ class _ExtentCache:
                 cold -= hi - lo
         return cold
 
+    def evict(self, path: str, offset: int, length: int) -> None:
+        """Forget [offset, offset+length): the next read of it is cold.
+
+        Used by the fault-injection layer when a transfer was corrupted
+        or torn in flight — the bytes never reached the client intact,
+        so a retry must be charged as a fresh disk read.
+        """
+        if length <= 0:
+            return
+        intervals = self._extents.get(path)
+        if not intervals:
+            return
+        lo, hi = offset, offset + length
+        kept: list[tuple[int, int]] = []
+        for start, end in intervals:
+            if end <= lo or start >= hi:
+                kept.append((start, end))
+                continue
+            if start < lo:
+                kept.append((start, lo))
+            if end > hi:
+                kept.append((hi, end))
+        if kept:
+            self._extents[path] = kept
+        else:
+            del self._extents[path]
+
     def mark(self, path: str, offset: int, length: int) -> None:
         """Record [offset, offset+length) as cached, merging intervals."""
         if length <= 0:
@@ -222,6 +249,10 @@ class SimulatedPFS:
         """Open a new accounting session (one per simulated rank/query)."""
         return PFSSession(self)
 
+    def _make_handle(self, session: "PFSSession", path: str) -> "SimFileHandle":
+        """Handle factory; subclasses (FaultyPFS) inject failing handles."""
+        return SimFileHandle(session, path)
+
     # Internal: distribute ``length`` cold bytes of a read across OSTs.
     def _ost_loads(self, f: _SimFile, offset: int, length: int) -> np.ndarray:
         loads = np.zeros(self.cost_model.ost_count, dtype=np.int64)
@@ -300,7 +331,7 @@ class PFSSession:
         if path not in self._handles:
             self.fs._require(path)  # raise FileNotFoundError eagerly
             self.stats.opens += 1
-            self._handles[path] = SimFileHandle(self, path)
+            self._handles[path] = self.fs._make_handle(self, path)
         return self._handles[path]
 
     def serial_seconds(self) -> float:

@@ -13,6 +13,7 @@ from repro.plod.byteplanes import (
     GROUP_WIDTHS,
     N_GROUPS,
     assemble_from_groups,
+    assemble_from_groups_degraded,
     bytes_for_level,
     groups_for_level,
     plod_degrade,
@@ -26,6 +27,7 @@ __all__ = [
     "N_GROUPS",
     "PLoDErrorReport",
     "assemble_from_groups",
+    "assemble_from_groups_degraded",
     "bytes_for_level",
     "groups_for_level",
     "io_reduction",

@@ -33,6 +33,7 @@ __all__ = [
     "groups_for_level",
     "split_byte_groups",
     "assemble_from_groups",
+    "assemble_from_groups_degraded",
     "plod_degrade",
 ]
 
@@ -119,6 +120,62 @@ def assemble_from_groups(
         be[:, known] = _FILL_FIRST
         if known + 1 < 8:
             be[:, known + 1 :] = _FILL_REST
+    return be.reshape(-1).view(">f8").astype(np.float64)
+
+
+def assemble_from_groups_degraded(
+    groups: list[np.ndarray],
+    n_points: int,
+    level: int,
+    point_levels: np.ndarray,
+) -> np.ndarray:
+    """Reassemble with a *per-point* effective PLoD level.
+
+    The fault-tolerant read path uses this when some refinement
+    byte-plane blocks are quarantined: points whose refinement bytes
+    were lost fall back to the dummy-fill reconstruction at the deepest
+    level still intact for them, while unaffected points keep the full
+    requested precision.
+
+    Parameters
+    ----------
+    groups:
+        ``level`` byte-group arrays; bytes belonging to a point at a
+        group beyond its effective level may be garbage (they are
+        overwritten by the fill rule).
+    point_levels:
+        ``(n_points,)`` integer array of effective levels, each in
+        ``[1, level]``.
+    """
+    _check_level(level)
+    if len(groups) < level:
+        raise ValueError(f"need {level} byte groups for PLoD level {level}, got {len(groups)}")
+    point_levels = np.asarray(point_levels, dtype=np.int64).reshape(-1)
+    if point_levels.size != n_points:
+        raise ValueError(
+            f"point_levels has {point_levels.size} entries, expected {n_points}"
+        )
+    if n_points and (point_levels.min() < 1 or point_levels.max() > level):
+        raise ValueError(
+            f"point_levels must lie in [1, {level}], got "
+            f"[{point_levels.min()}, {point_levels.max()}]"
+        )
+    be = np.empty((n_points, 8), dtype=np.uint8)
+    for g in range(level):
+        start = GROUP_OFFSETS[g]
+        width = GROUP_WIDTHS[g]
+        plane = np.asarray(groups[g], dtype=np.uint8)
+        if plane.size != n_points * width:
+            raise ValueError(
+                f"group {g}: expected {n_points * width} bytes, got {plane.size}"
+            )
+        be[:, start : start + width] = plane.reshape(n_points, width)
+    # Known bytes per point: level k < 7 knows k+1 leading bytes; level
+    # 7 knows all 8 (same rule as assemble_from_groups, vectorized).
+    known = np.where(point_levels >= FULL_PLOD_LEVEL, 8, point_levels + 1)
+    cols = np.arange(8, dtype=np.int64)
+    be[cols[None, :] == known[:, None]] = _FILL_FIRST
+    be[cols[None, :] > known[:, None]] = _FILL_REST
     return be.reshape(-1).view(">f8").astype(np.float64)
 
 

@@ -43,11 +43,23 @@ __all__ = ["Issue", "check_store"]
 
 @dataclass(frozen=True)
 class Issue:
-    """One detected inconsistency."""
+    """One detected inconsistency.
+
+    ``kind`` classifies the failure so callers (the chaos tests, the
+    CLI) can match fsck's view against the executor's quarantine
+    registry: ``"crc-mismatch"`` is a payload whose stored CRC32 does
+    not match its bytes, ``"decode-error"`` a payload that fails to
+    decode, and ``"other"`` every structural inconsistency.  For the
+    block-level kinds, ``path``/``offset`` name the damaged extent in
+    the same coordinates the executor's quarantine keys use.
+    """
 
     severity: str  # "error" | "warning"
     location: str
     message: str
+    kind: str = "other"  # "crc-mismatch" | "decode-error" | "other"
+    path: str | None = None
+    offset: int | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.severity}] {self.location}: {self.message}"
@@ -139,6 +151,9 @@ def check_store(fs: SimulatedPFS, root: str, variable: str) -> list[Issue]:
                             "error",
                             f"{loc} block at offset {offset}",
                             "payload CRC mismatch",
+                            kind="crc-mismatch",
+                            path=data_path,
+                            offset=offset,
                         )
                     )
                     stream_sound = False
@@ -162,6 +177,9 @@ def check_store(fs: SimulatedPFS, root: str, variable: str) -> list[Issue]:
                         "error",
                         f"{loc} block at offset {offset}",
                         f"decode failed: {exc}",
+                        kind="decode-error",
+                        path=data_path,
+                        offset=offset,
                     )
                 )
                 stream_sound = False
@@ -202,6 +220,9 @@ def check_store(fs: SimulatedPFS, root: str, variable: str) -> list[Issue]:
                             "error",
                             f"{loc} index block [{cpos_start},{cpos_end})",
                             "payload CRC mismatch",
+                            kind="crc-mismatch",
+                            path=index_path,
+                            offset=offset,
                         )
                     )
                     continue
@@ -212,6 +233,9 @@ def check_store(fs: SimulatedPFS, root: str, variable: str) -> list[Issue]:
                         "error",
                         f"{loc} index block [{cpos_start},{cpos_end})",
                         f"decode failed: {exc}",
+                        kind="decode-error",
+                        path=index_path,
+                        offset=offset,
                     )
                 )
                 continue

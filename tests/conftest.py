@@ -7,17 +7,42 @@ them (queries are read-only by construction).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core import MLOCStore, MLOCWriter, mloc_col, mloc_isa, mloc_iso
 from repro.datasets import gts_like, s3d_like
 from repro.pfs import SimulatedPFS
 
+# Hypothesis profiles.  Per-test ``@settings`` decorators override the
+# parameters they set; everything else (notably ``derandomize``) comes
+# from the loaded profile, so ``HYPOTHESIS_PROFILE=ci`` makes every
+# property test — including the chaos suite — replay the exact same
+# examples on every run, with example counts capped for CI wall-clock.
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci", derandomize=True, max_examples=25, deadline=None, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
 
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    """Base seed for fault-plan construction in the chaos tests.
+
+    Override with ``REPRO_CHAOS_SEED`` to replay a failing chaos run:
+    every :class:`~repro.pfs.faults.FaultPlan` a test builds derives
+    its seed from this value, so one integer pins the whole schedule.
+    """
+    return int(os.environ.get("REPRO_CHAOS_SEED", "49152"))
 
 
 @pytest.fixture(scope="session")
@@ -49,6 +74,12 @@ def _build(data: np.ndarray, maker, chunk_shape, **overrides):
 def col_store(gts_small):
     """(fs, store) for an MLOC-COL layout over the small GTS field."""
     return _build(gts_small, mloc_col, (32, 32))
+
+
+@pytest.fixture(scope="session")
+def vsm_store(gts_small):
+    """MLOC-COL layout in V-S-M order (chunk-major PLoD cells)."""
+    return _build(gts_small, mloc_col, (32, 32), level_order="VSM")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,230 @@
+"""Chaos matrix: seeded fault plans against every layout and backend.
+
+The suite's headline invariants, exercised across codecs (zlib byte
+columns, ISOBAR, ISABELA), level orders (VMS, VSM, VS), and decode
+backends (serial, threads):
+
+* a faults-disabled :class:`FaultyPFS` is bit-identical to the plain
+  :class:`SimulatedPFS` — same results, same simulated io /
+  decompression / communication seconds;
+* under *any* seeded fault plan, every injected fault surfaces — as a
+  retry/stall/CRC counter, a degradation record, or a
+  :class:`DegradedResultError` — and any divergence from the clean
+  answer is accompanied by an explicit degradation or quarantine
+  record (no silently wrong values, ever);
+* offline ``fsck`` and the executor's quarantine registry agree on
+  which blocks persistent rot destroyed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DegradedResultError, MLOCStore, Query
+from repro.pfs.faults import FaultPlan, FaultyPFS
+from repro.tools import check_store
+
+pytestmark = pytest.mark.chaos
+
+STORE_KINDS = ("col", "vsm", "iso", "isa")
+
+
+def _open(fs, **options):
+    return MLOCStore.open(fs, "/store", "field", n_ranks=4, **options)
+
+
+def _queries_for(store):
+    """A VC, an SC, and (on PLoD layouts) a multiresolution query."""
+    edges = store.meta.edges
+    shape = store.shape
+    box = tuple((d // 4, 3 * d // 4) for d in shape)
+    queries = [
+        Query(value_range=(float(edges[2]), float(edges[9])), output="positions"),
+        Query(value_range=(float(edges[5]), float(edges[12])), output="values"),
+        Query(region=box, output="values"),
+    ]
+    if store.meta.config.plod_enabled:
+        queries.append(Query(region=box, output="values", plod_level=3))
+        queries.append(
+            Query(
+                value_range=(float(edges[1]), float(edges[7])),
+                output="values",
+                plod_level=5,
+            )
+        )
+    return queries
+
+
+def _same_answer(a, b) -> bool:
+    if not np.array_equal(a.positions, b.positions):
+        return False
+    if (a.values is None) != (b.values is None):
+        return False
+    return a.values is None or np.array_equal(a.values, b.values)
+
+
+def _fault_evidence(result) -> bool:
+    s = result.stats
+    return bool(
+        s["crc_failures"]
+        or s["io_retries"]
+        or s["degraded_points"]
+        or s["dropped_points"]
+        or s["quarantined_blocks"]
+        or s["partial_chunks"]
+        or s["stall_seconds"] > 0
+    )
+
+
+def _degradation_record(result) -> bool:
+    s = result.stats
+    return bool(
+        s["degraded_points"]
+        or s["dropped_points"]
+        or s["quarantined_blocks"]
+        or s["partial_chunks"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Zero-fault equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["serial", "threads"])
+@pytest.mark.parametrize("kind", STORE_KINDS)
+def test_zero_fault_plans_are_bit_identical(kind, backend, request):
+    fs, reference = request.getfixturevalue(f"{kind}_store")
+    ffs = FaultyPFS(fs)  # default plan: injects nothing
+    store = _open(ffs, backend=backend)
+    for query in _queries_for(reference):
+        fs.clear_cache()
+        expected = reference.query(query)
+        fs.clear_cache()
+        result = store.query(query)
+        assert _same_answer(result, expected), query
+        # Simulated components must match exactly; reconstruction is
+        # *measured* CPU time and legitimately varies run to run.
+        assert result.times.io == pytest.approx(expected.times.io)
+        assert result.times.decompression == pytest.approx(
+            expected.times.decompression
+        )
+        assert result.times.communication == pytest.approx(
+            expected.times.communication
+        )
+        assert not _fault_evidence(result)
+    assert ffs.injected.total_faults == 0
+
+
+# ----------------------------------------------------------------------
+# Randomized fault plans: everything surfaces, nothing lies
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", STORE_KINDS)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_every_fault_surfaces_or_raises(kind, data, request, chaos_seed):
+    fs, reference = request.getfixturevalue(f"{kind}_store")
+    seed = chaos_seed + data.draw(st.integers(0, 9999), label="plan seed")
+    plan = FaultPlan(
+        seed=seed,
+        transient_error_rate=data.draw(
+            st.sampled_from([0.0, 0.05, 0.3]), label="transient"
+        ),
+        bitflip_rate=data.draw(st.sampled_from([0.0, 0.05, 0.3]), label="flip"),
+        torn_read_rate=data.draw(st.sampled_from([0.0, 0.1]), label="torn"),
+        sticky_corruption_rate=data.draw(
+            st.sampled_from([0.0, 0.05, 0.2]), label="sticky"
+        ),
+        latency_spike_rate=data.draw(st.sampled_from([0.0, 0.2]), label="latency"),
+    )
+    query = data.draw(st.sampled_from(_queries_for(reference)), label="query")
+    backend = data.draw(st.sampled_from(["serial", "threads"]), label="backend")
+
+    fs.clear_cache()
+    expected = reference.query(query)
+
+    ffs = FaultyPFS(fs, plan)
+    store = _open(ffs, backend=backend, allow_partial=True, max_read_retries=2)
+    fs.clear_cache()
+    result = store.query(query)
+
+    if ffs.injected.total_faults == 0:
+        assert _same_answer(result, expected)
+        assert not _fault_evidence(result)
+    else:
+        # Whatever happened left a trace in the counters...
+        assert _fault_evidence(result)
+        # ...and a different answer is never silent: it always comes
+        # with an explicit degradation or quarantine record.
+        if not _same_answer(result, expected):
+            assert _degradation_record(result)
+
+
+@pytest.mark.parametrize("kind", ("col", "iso"))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_strict_mode_never_drops_points(kind, data, request, chaos_seed):
+    """Without ``allow_partial``, a query either raises or answers with
+    zero dropped points and no partial chunks (refinement-plane loss may
+    still degrade precision, which the counters disclose)."""
+    fs, reference = request.getfixturevalue(f"{kind}_store")
+    plan = FaultPlan(
+        seed=chaos_seed + data.draw(st.integers(0, 9999), label="plan seed"),
+        transient_error_rate=0.2,
+        sticky_corruption_rate=data.draw(
+            st.sampled_from([0.05, 0.2]), label="sticky"
+        ),
+    )
+    query = data.draw(st.sampled_from(_queries_for(reference)), label="query")
+    ffs = FaultyPFS(fs, plan)
+    store = _open(ffs, max_read_retries=1)
+    fs.clear_cache()
+    try:
+        result = store.query(query)
+    except DegradedResultError as exc:
+        assert exc.kind in ("index", "data", "data-base")
+        assert exc.chunk_ids
+    else:
+        assert result.stats["dropped_points"] == 0
+        assert result.stats["partial_chunks"] == []
+
+
+# ----------------------------------------------------------------------
+# fsck agrees with the quarantine registry on persistent rot
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", STORE_KINDS)
+def test_fsck_agrees_with_quarantine_on_sticky_rot(kind, request, chaos_seed):
+    fs, reference = request.getfixturevalue(f"{kind}_store")
+    plan = FaultPlan(
+        seed=chaos_seed,
+        transient_error_rate=0.2,
+        bitflip_rate=0.2,
+        sticky_corruption_rate=0.25,
+    ).sticky_only()
+    assert plan.transient_error_rate == 0.0  # only the rot remains
+    ffs = FaultyPFS(fs, plan)
+    store = _open(ffs, allow_partial=True, max_read_retries=1)
+    for query in _queries_for(reference):
+        fs.clear_cache()
+        store.query(query)
+    quarantined = set(store.quarantined_blocks)
+    assert quarantined, "0.25 sticky rate should rot some touched blocks"
+
+    issues = check_store(ffs, "/store", "field")
+    damaged = {
+        (issue.path, issue.offset)
+        for issue in issues
+        if issue.kind in ("crc-mismatch", "decode-error")
+    }
+    # Every block the query path quarantined is damage fsck confirms
+    # (fsck may see more: it reads blocks no query touched).
+    assert quarantined <= damaged

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.compression import (
     ByteCodec,
+    CodecDecodeError,
     FloatCodec,
     codec_names,
     make_codec,
@@ -134,6 +135,49 @@ class TestZlibByteFraming:
     def test_level_validated(self):
         with pytest.raises(ValueError):
             make_codec("zlib-bytes", level=11)
+
+
+class TestDecodeErrorNormalization:
+    """Every codec raises :class:`CodecDecodeError` on bad payloads, so
+    the read path can catch one exception type across the registry
+    (and, being a ``ValueError``, old call sites keep working)."""
+
+    def test_subclasses_value_error(self):
+        assert issubclass(CodecDecodeError, ValueError)
+
+    @pytest.mark.parametrize("name", LOSSLESS_FLOAT + ["isabela"])
+    def test_truncated_float_payload(self, name, rng):
+        codec = make_codec(name)
+        v = np.cumsum(rng.normal(0, 0.01, 4096)) + 100.0
+        payload = codec.encode(v)
+        # Note: the message names the codec that actually failed, which
+        # for delegating codecs (zlib-float -> zlib-bytes) is the inner one.
+        with pytest.raises(CodecDecodeError, match="cannot decode"):
+            codec.decode(payload[: len(payload) // 2], v.size)
+
+    @pytest.mark.parametrize("name", BYTE_CODECS)
+    def test_truncated_byte_payload(self, name, rng):
+        codec = make_codec(name)
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        payload = codec.encode(data)
+        with pytest.raises(CodecDecodeError, match=name):
+            codec.decode(payload[: len(payload) // 2], len(data))
+
+    @pytest.mark.parametrize("name", ["zlib-float", "zlib-bytes", "isobar"])
+    def test_garbage_payload(self, name):
+        codec = make_codec(name)
+        garbage = b"\x78\x9c" + b"\xa5" * 500  # zlib header, junk body
+        with pytest.raises(CodecDecodeError):
+            if isinstance(codec, ByteCodec):
+                codec.decode(garbage, 4096)
+            else:
+                codec.decode(garbage, 512)
+
+    def test_message_names_codec_and_payload_size(self):
+        codec = make_codec("zlib-bytes")
+        payload = codec.encode(b"hello world" * 100)
+        with pytest.raises(CodecDecodeError, match=r"zlib-bytes.*\d+-byte"):
+            codec.decode(payload[:5], 1100)
 
 
 @settings(max_examples=40, deadline=None)

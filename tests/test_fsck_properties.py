@@ -52,6 +52,33 @@ def test_any_bitflip_detected(col_fs_snapshot, data):
     fs.write_file(target, bytes(raw))
     issues = check_store(fs, "/p", "f")
     assert issues, f"undetected corruption: {target} byte {offset} bit {bit}"
+    # Payload corruption is classified, not just detected: the CRC
+    # check pins it to the damaged subfile with kind "crc-mismatch",
+    # naming the extent in quarantine-registry coordinates.
+    crc_issues = [i for i in issues if i.kind == "crc-mismatch"]
+    assert crc_issues, f"flip in {target} not classified as crc-mismatch"
+    for issue in crc_issues:
+        assert issue.path == target
+        assert issue.offset is not None and 0 <= issue.offset <= offset
+
+
+def test_pristine_store_has_no_issues_of_any_kind():
+    fs = _build(mloc_col)
+    assert check_store(fs, "/p", "f") == []
+
+
+def test_issue_kind_defaults_to_other_for_structural_damage():
+    fs = _build(mloc_col)
+    # Chop the last block off a data table: a structural inconsistency,
+    # not payload damage — must surface with the generic kind.
+    from repro.core import StoreMeta
+
+    meta = StoreMeta.from_bytes(bytes(fs.session().open("/p/f/meta").read_all()))
+    meta.data_blocks[0] = meta.data_blocks[0][:-1]
+    fs.write_file("/p/f/meta", meta.to_bytes())
+    issues = check_store(fs, "/p", "f")
+    assert issues
+    assert all(i.kind == "other" for i in issues if "table" in i.location)
 
 
 def test_truncating_any_subfile_detected():
