@@ -22,7 +22,9 @@ from repro.datasets import gts_like
 from repro.harness import format_rows, record_result
 from repro.harness.experiments import (
     batch_pipeline_rows,
+    coalescing_rows,
     planning_rows,
+    progressive_rows,
     writer_backend_rows,
 )
 from repro.index.binindex import decode_position_block_flat, encode_position_block
@@ -267,6 +269,60 @@ def test_planning_speed(suite_gts_8g, capsys):
         "plan_cache_hit_s": round(hit_s, 6),
         "cache_hit_speedup": round(fresh_s / max(hit_s, 1e-9), 1),
     }
+
+
+def test_coalescing_seek_savings(suite_gts_8g, capsys):
+    """Coalesced vectored I/O vs one read per block on SC queries.
+
+    The deterministic acceptance assertions: identical results, vectored
+    reads actually happen, and the coalesced run issues strictly fewer
+    seeks than the uncoalesced one (the ISSUE's seek-count comparison)."""
+    suite = suite_gts_8g
+    rows, info = coalescing_rows(suite, max(N_QUERIES, 3))
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                "Read coalescing: one read per block vs vectored runs "
+                "(1% SC value queries at PLoD 3)",
+                ["mode", "seeks", "bytes", "io+dec s"],
+                rows,
+            )
+        )
+    assert info["identical"], "coalescing changed query results"
+    assert info["coalesced_reads"] > 0
+    assert info["seeks_coalesced"] < info["seeks_uncoalesced"]
+    RESULTS["coalescing"] = {"rows": rows, **info}
+
+
+def test_progressive_refinement_bytes(suite_gts_8g, capsys):
+    """Refinement session vs independent per-level queries.
+
+    The deterministic acceptance assertions: every session step is
+    bit-identical to a fresh query at its level, the session reuses
+    bytes (> 0), reads strictly less in total than the independent
+    per-level queries, and refining to full precision costs at least
+    2x fewer bytes than re-querying at full from scratch."""
+    suite = suite_gts_8g
+    rows, info = progressive_rows(suite)
+    with capsys.disabled():
+        print()
+        print(
+            format_rows(
+                "Progressive PLoD refinement: session vs fresh per-level "
+                f"queries (levels {info['levels']})",
+                ["step", "session bytes", "fresh bytes", "cum reused"],
+                rows,
+            )
+        )
+    assert info["identical"], "session steps diverged from single-shot queries"
+    assert info["bytes_reused"] > 0
+    assert info["session_bytes"] < info["independent_bytes"]
+    assert info["full_step_ratio"] >= 2.0, (
+        f"refine-to-full should cost >= 2x fewer bytes, "
+        f"got {info['full_step_ratio']:.2f}x"
+    )
+    RESULTS["progressive"] = {"rows": rows, **info}
 
 
 def test_record_perf_smoke():

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Layer-boundary lint for the staged query engine.
+
+Two architectural rules, checked by AST import scan (no imports are
+executed):
+
+1. **PFS below core.**  ``repro.pfs`` is the storage substrate; no
+   module under ``src/repro/pfs/`` may import from ``repro.core`` (or
+   any higher package).  The engine calls down into the PFS, never the
+   reverse.
+2. **Engine stages import strictly downward.**  Within
+   ``repro.core.engine`` the layers are ``scheduler`` (0) →
+   ``stages`` (1) → ``session`` (2); each module may import only
+   strictly lower engine layers.  ``engine/__init__.py`` is exempt (it
+   is the package's re-export surface, not a layer).
+
+Exits non-zero listing every violation.  Wired into ``make verify``
+and CI; run directly with ``python scripts/check_layers.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+#: Packages a PFS module may never import from.
+PFS_FORBIDDEN_PREFIXES = (
+    "repro.core",
+    "repro.plod",
+    "repro.binning",
+    "repro.index",
+    "repro.parallel",
+    "repro.harness",
+)
+
+#: Engine layer heights; a module may import only strictly lower ones.
+ENGINE_LAYERS = {
+    "repro.core.engine.scheduler": 0,
+    "repro.core.engine.stages": 1,
+    "repro.core.engine.session": 2,
+}
+
+
+def _imported_modules(path: Path) -> list[tuple[int, str]]:
+    """(lineno, dotted module) for every import statement in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.extend((node.lineno, alias.name) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            out.append((node.lineno, node.module))
+    return out
+
+
+def _module_name(path: Path) -> str:
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def check() -> list[str]:
+    violations: list[str] = []
+
+    for path in sorted((SRC / "repro" / "pfs").glob("*.py")):
+        for lineno, module in _imported_modules(path):
+            if module.startswith(PFS_FORBIDDEN_PREFIXES):
+                violations.append(
+                    f"{path.relative_to(REPO)}:{lineno}: repro.pfs must not "
+                    f"import {module} (PFS sits below the core layer)"
+                )
+
+    for path in sorted((SRC / "repro" / "core" / "engine").glob("*.py")):
+        name = _module_name(path)
+        if name not in ENGINE_LAYERS:
+            continue  # __init__.py re-export surface is exempt
+        height = ENGINE_LAYERS[name]
+        for lineno, module in _imported_modules(path):
+            if module == name:
+                continue
+            other = ENGINE_LAYERS.get(module)
+            if other is not None and other >= height:
+                violations.append(
+                    f"{path.relative_to(REPO)}:{lineno}: engine layer "
+                    f"{name} (height {height}) may not import {module} "
+                    f"(height {other}); stages import strictly downward"
+                )
+
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} layer violation(s)")
+        return 1
+    print("layer boundaries OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

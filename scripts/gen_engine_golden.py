@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Regenerate tests/data/engine_golden.json from the current executor.
+
+The golden file pins the *observable contract* of the read path:
+results (checksummed), simulated component seconds, and the raw I/O
+accounting (seeks / bytes / opens) of a fixed query list over the four
+conftest store layouts, plus the cache hit/miss pattern of a warm
+second pass (which pins LRU insertion order).  The staged engine of
+``repro.core.engine`` must reproduce every number bit-for-bit with
+``coalesce_gap=0``; ``tests/test_engine_equivalence.py`` enforces it.
+
+Run from the repo root after an *intentional* contract change:
+
+    PYTHONPATH=src python scripts/gen_engine_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core import MLOCStore, MLOCWriter, Query, mloc_col, mloc_isa, mloc_iso
+from repro.datasets import gts_like
+from repro.pfs import SimulatedPFS
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "data" / "engine_golden.json"
+
+#: Mirrors tests/conftest.py store fixtures exactly.
+STORE_KINDS = ("col", "vsm", "iso", "isa")
+CACHE_BYTES = 256 * 1024
+
+
+def build_store(kind: str):
+    data = gts_like((256, 256), seed=7)
+    fs = SimulatedPFS()
+    maker = {"col": mloc_col, "vsm": mloc_col, "iso": mloc_iso, "isa": mloc_isa}[kind]
+    overrides = {"level_order": "VSM"} if kind == "vsm" else {}
+    config = maker(
+        chunk_shape=(32, 32), n_bins=16, target_block_bytes=8 * 1024, **overrides
+    )
+    MLOCWriter(fs, "/store", config).write(data, variable="field")
+    return fs, MLOCStore.open(fs, "/store", "field", n_ranks=4)
+
+
+def queries_for(store) -> list[Query]:
+    edges = store.meta.edges
+    shape = store.shape
+    box = tuple((d // 4, 3 * d // 4) for d in shape)
+    queries = [
+        Query(value_range=(float(edges[2]), float(edges[9])), output="positions"),
+        Query(value_range=(float(edges[5]), float(edges[12])), output="values"),
+        Query(region=box, output="positions"),
+        Query(region=box, output="values"),
+    ]
+    if store.meta.config.plod_enabled:
+        queries.append(Query(region=box, output="values", plod_level=3))
+        queries.append(
+            Query(
+                value_range=(float(edges[1]), float(edges[7])),
+                output="values",
+                plod_level=5,
+            )
+        )
+    return queries
+
+
+def sha(arr) -> str | None:
+    if arr is None:
+        return None
+    return hashlib.sha256(arr.tobytes()).hexdigest()
+
+
+def capture(kind: str) -> dict:
+    fs, store = build_store(kind)
+    cold = []
+    for query in queries_for(store):
+        fs.clear_cache()
+        r = store.query(query)
+        cold.append(
+            {
+                "positions_sha": sha(r.positions),
+                "values_sha": sha(r.values),
+                "io": r.times.io,
+                "decompression": r.times.decompression,
+                "communication": r.times.communication,
+                "seeks": r.stats["seeks"],
+                "bytes_read": r.stats["bytes_read"],
+                "files_opened": r.stats["files_opened"],
+                "blocks_planned": r.stats["blocks_planned"],
+                "blocks_decoded": r.stats["blocks_decoded"],
+                "n_results": r.stats["n_results"],
+            }
+        )
+    # Warm pass against a small LRU: pins cache insertion/eviction order
+    # (and therefore every later query's hit pattern) across refactors.
+    fs2, base = build_store(kind)
+    cached = MLOCStore(fs2, base.root, base.meta, n_ranks=4, cache_bytes=CACHE_BYTES)
+    warm = []
+    for round_idx in range(2):
+        for query in queries_for(base):
+            fs2.clear_cache()
+            r = cached.query(query)
+            warm.append(
+                {
+                    "round": round_idx,
+                    "positions_sha": sha(r.positions),
+                    "cache_hits": r.stats["cache_hits"],
+                    "cache_misses": r.stats["cache_misses"],
+                    "cache_hit_raw_bytes": r.stats["cache_hit_raw_bytes"],
+                    "bytes_read": r.stats["bytes_read"],
+                    "seeks": r.stats["seeks"],
+                    "io": r.times.io,
+                }
+            )
+    return {"cold": cold, "warm": warm}
+
+
+def main() -> None:
+    golden = {
+        "cache_bytes": CACHE_BYTES,
+        "stores": {kind: capture(kind) for kind in STORE_KINDS},
+    }
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

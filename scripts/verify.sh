@@ -12,5 +12,8 @@ else
     echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
 fi
 
+echo "== layer boundaries =="
+python scripts/check_layers.py
+
 echo "== tier-1 tests =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q

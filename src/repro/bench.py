@@ -18,10 +18,12 @@ import sys
 
 from repro.harness import format_rows, get_spec, get_suite, record_result
 from repro.harness.experiments import (
+    coalescing_rows,
     fault_tolerance_rows,
     fig6_rows,
     fig7_rows,
     fig8_rows,
+    progressive_rows,
     table1_rows,
     table2_rows,
     table3_rows,
@@ -46,6 +48,12 @@ EXPERIMENTS = {
         False,
         ["fault rate", "io+dec s", "crc", "retries", "quarantined", "degraded", "dropped"],
     ),
+    "coalescing": ("8g", False, ["mode", "seeks", "bytes", "io+dec s"]),
+    "progressive": (
+        "8g",
+        False,
+        ["step", "session bytes", "fresh bytes", "cum reused"],
+    ),
 }
 
 _TITLES = {
@@ -58,6 +66,8 @@ _TITLES = {
     "fig7": "Fig 7 - scalability, 10% value queries, 512 GB-class {ds}",
     "fig8": "Fig 8 - PLoD access, 1% value queries, 512 GB-class {ds}",
     "faults": "Fault tolerance - 1% value queries under injected faults ({ds})",
+    "coalescing": "Coalesced vectored I/O - 1% SC value queries at PLoD 3 ({ds})",
+    "progressive": "Progressive refinement - session vs fresh per-level queries ({ds})",
 }
 
 
@@ -80,6 +90,10 @@ def _compute(exp: str, suite, dataset: str, n_queries: int) -> dict:
         return fig8_rows(suite, n_queries)
     if exp == "faults":
         return fault_tolerance_rows(suite, n_queries)
+    if exp == "coalescing":
+        return coalescing_rows(suite, n_queries)[0]
+    if exp == "progressive":
+        return progressive_rows(suite)[0]
     raise ValueError(f"unknown experiment {exp!r}")
 
 

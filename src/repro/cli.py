@@ -12,6 +12,10 @@ against those snapshot files, giving the library a shell-level surface:
     python -m repro.cli batch out.pfs --root /demo --variable potential \\
         --cache-mb 64 --backend threads \\
         --spec 'vmin=4.0;region=100:200,0:128' --spec 'vmin=4.5'
+    python -m repro.cli refine out.pfs --root /demo --variable potential \\
+        --vmin 4.0 --levels 2,4,7 --cache-mb 64
+    python -m repro.cli stats out.pfs --root /demo --variable potential \\
+        --plan-cache 8 --cache-mb 64 --spec 'vmin=4.0' --spec 'vmin=4.0'
 
 Every command prints human-readable text and exits non-zero on failure
 (or when fsck finds issues).
@@ -26,6 +30,7 @@ import numpy as np
 
 from repro.core import MLOCStore, MLOCWriter, Query, mloc_col
 from repro.core.aggregate import AGGREGATE_OPS, aggregate_query
+from repro.core.result import FAULT_STAT_KEYS
 from repro.pfs import SimulatedPFS
 from repro.tools.fsck import check_store
 from repro.tools.relayout import relayout
@@ -99,6 +104,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--ranks", type=int, default=8)
     _add_execution_options(batch)
+
+    refine = sub.add_parser(
+        "refine",
+        help="run one query progressively through increasing PLoD levels",
+    )
+    refine.add_argument("snapshot")
+    refine.add_argument("--root", required=True)
+    refine.add_argument("--variable", required=True)
+    refine.add_argument("--vmin", type=float, default=None)
+    refine.add_argument("--vmax", type=float, default=None)
+    refine.add_argument(
+        "--region",
+        default=None,
+        help="per-axis lo:hi bounds, comma separated, e.g. 0:128,64:256",
+    )
+    refine.add_argument(
+        "--levels",
+        default="2,4,7",
+        help="comma-separated ascending PLoD levels, e.g. 2,4,7",
+    )
+    refine.add_argument("--ranks", type=int, default=8)
+    _add_execution_options(refine)
+
+    stats = sub.add_parser(
+        "stats",
+        help="print a store handle's open-state counters",
+    )
+    stats.add_argument("snapshot")
+    stats.add_argument("--root", required=True)
+    stats.add_argument("--variable", required=True)
+    stats.add_argument(
+        "--spec",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "optional queries (same syntax as 'batch') to run first, so "
+            "the counters describe a warmed handle; repeatable"
+        ),
+    )
+    stats.add_argument("--ranks", type=int, default=8)
+    _add_execution_options(stats)
 
     relayout_p = sub.add_parser(
         "relayout", help="migrate a store to a different level order"
@@ -175,6 +222,21 @@ def _add_execution_options(sub_parser) -> None:
             "drop affected points and report their chunks"
         ),
     )
+    sub_parser.add_argument(
+        "--coalesce-gap",
+        type=int,
+        default=0,
+        help=(
+            "max byte gap for merging adjacent block reads into one "
+            "vectored read (0 = off, pre-engine seek counts)"
+        ),
+    )
+    sub_parser.add_argument(
+        "--readahead",
+        type=int,
+        default=0,
+        help="bytes of scheduler readahead past each vectored run (0 = off)",
+    )
 
 
 def _open_store(fs, args) -> MLOCStore:
@@ -190,6 +252,8 @@ def _open_store(fs, args) -> MLOCStore:
         max_read_retries=args.max_read_retries,
         read_backoff=args.read_backoff,
         allow_partial=args.allow_partial,
+        coalesce_gap=args.coalesce_gap,
+        readahead=args.readahead,
     )
 
 
@@ -342,17 +406,8 @@ def _cmd_query(args) -> int:
 
 def _print_fault_stats(stats: dict) -> None:
     """One warning line per query/batch when the read path saw faults."""
-    if not any(
-        stats.get(k)
-        for k in (
-            "crc_failures",
-            "io_retries",
-            "degraded_points",
-            "dropped_points",
-            "quarantined_blocks",
-            "partial_chunks",
-        )
-    ):
+    watched = FAULT_STAT_KEYS + ("quarantined_blocks", "partial_chunks")
+    if not any(stats.get(k) for k in watched):
         return
     print(
         f"faults: {stats['crc_failures']} CRC failures, "
@@ -403,6 +458,99 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_refine(args) -> int:
+    fs = SimulatedPFS.load(args.snapshot)
+    store = _open_store(fs, args)
+    try:
+        levels = [int(level) for level in args.levels.split(",") if level.strip()]
+    except ValueError:
+        print(f"error: bad --levels {args.levels!r} (expected e.g. 2,4,7)")
+        return 2
+    if not levels or any(b <= a for a, b in zip(levels, levels[1:])):
+        print(f"error: --levels must be strictly ascending, got {args.levels!r}")
+        return 2
+    value_range = None
+    if args.vmin is not None or args.vmax is not None:
+        value_range = (
+            args.vmin if args.vmin is not None else -np.inf,
+            args.vmax if args.vmax is not None else np.inf,
+        )
+    query = Query(
+        value_range=value_range,
+        region=_parse_region(args.region),
+        output="values",
+        plod_level=levels[0],
+    )
+    try:
+        with store.open_session(query) as session:
+            for level in levels[1:]:
+                session.refine(level)
+            for level, result in zip(levels, session.results):
+                stats = result.stats
+                print(
+                    f"level {level}: {result.n_results} results; "
+                    f"response {result.times.total:.4f} s simulated; "
+                    f"{stats['bytes_read']} bytes read, "
+                    f"{stats['bytes_reused']} raw bytes reused"
+                )
+                _print_fault_stats(stats)
+            final = session.result.stats
+            print(
+                f"session: {session.refine_steps} refine step(s), "
+                f"{session.bytes_reused} raw bytes reused, "
+                f"{final['coalesced_reads']} coalesced read(s), "
+                f"{final['readahead_hits']} readahead hit(s)"
+            )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    fs = SimulatedPFS.load(args.snapshot)
+    store = _open_store(fs, args)
+    try:
+        queries = [_parse_query_spec(spec) for spec in args.spec]
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    for query in queries:
+        store.query(query)
+    snapshot = store.runtime_stats()
+    print(
+        f"executor: {snapshot['n_ranks']} ranks, {snapshot['backend']} backend, "
+        f"coalesce_gap={snapshot['coalesce_gap']}, "
+        f"readahead={snapshot['readahead']}"
+    )
+    if "plan_cache" in snapshot:
+        pc = snapshot["plan_cache"]
+        print(
+            f"plan cache: {pc['hits']} hits, {pc['misses']} misses, "
+            f"{pc['size']}/{pc['capacity']} plans held"
+        )
+    else:
+        print("plan cache: disabled")
+    if "block_cache" in snapshot:
+        bc = snapshot["block_cache"]
+        print(
+            f"block cache: {bc['hits']} hits, {bc['misses']} misses, "
+            f"{bc['evictions']} evictions, "
+            f"{bc['current_bytes']}/{bc['capacity_bytes']} bytes, "
+            f"{bc['pinned_blocks']} pinned block(s)"
+        )
+    else:
+        print("block cache: disabled")
+    quarantine = snapshot["quarantine"]
+    if quarantine:
+        print(f"quarantine: {len(quarantine)} block(s)")
+        for extent, reason in quarantine.items():
+            print(f"  {extent}: {reason}")
+    else:
+        print("quarantine: empty")
+    return 0
+
+
 def _cmd_relayout(args) -> int:
     from dataclasses import replace as dc_replace
 
@@ -441,6 +589,8 @@ _COMMANDS = {
     "fsck": _cmd_fsck,
     "query": _cmd_query,
     "batch": _cmd_batch,
+    "refine": _cmd_refine,
+    "stats": _cmd_stats,
     "relayout": _cmd_relayout,
 }
 

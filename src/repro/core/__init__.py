@@ -30,6 +30,7 @@ from repro.core.config import (
     mloc_iso,
 )
 from repro.core.dataset import MLOCDataset
+from repro.core.engine.session import RefinementSession
 from repro.core.errors import DegradedResultError
 from repro.core.executor import QueryExecutor
 from repro.core.meta import StoreMeta
@@ -65,6 +66,7 @@ __all__ = [
     "PlanContext",
     "QueryPlan",
     "QueryResult",
+    "RefinementSession",
     "StagingOverflow",
     "StagingReport",
     "StorageReport",

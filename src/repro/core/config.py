@@ -182,6 +182,16 @@ class ExecutionConfig:
         dropped and their chunks reported in
         ``QueryResult.stats["partial_chunks"]``.  ``False`` (default)
         raises :class:`~repro.core.errors.DegradedResultError` instead.
+    coalesce_gap:
+        Maximum byte gap between two pending block reads on the same
+        subfile for the I/O scheduler to merge them into one vectored
+        read (one seek, one contiguous transfer).  0 (default) disables
+        coalescing and reproduces the pre-engine seek counts exactly;
+        see docs/tuning.md "Read coalescing".
+    readahead:
+        Extra bytes the scheduler pulls past each vectored run to warm
+        the simulated PFS cache for later reads on the same subfile; 0
+        (default) disables readahead.
     """
 
     backend: str = "serial"
@@ -193,6 +203,8 @@ class ExecutionConfig:
     max_read_retries: int = 2
     read_backoff: float = 0.005
     allow_partial: bool = False
+    coalesce_gap: int = 0
+    readahead: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "threads"):
@@ -219,6 +231,10 @@ class ExecutionConfig:
             )
         if self.read_backoff < 0:
             raise ValueError(f"read_backoff must be >= 0, got {self.read_backoff}")
+        if self.coalesce_gap < 0:
+            raise ValueError(f"coalesce_gap must be >= 0, got {self.coalesce_gap}")
+        if self.readahead < 0:
+            raise ValueError(f"readahead must be >= 0, got {self.readahead}")
 
     def store_options(self) -> dict[str, Any]:
         """Keyword arguments for :meth:`MLOCStore.open`."""
@@ -230,6 +246,8 @@ class ExecutionConfig:
             "max_read_retries": self.max_read_retries,
             "read_backoff": self.read_backoff,
             "allow_partial": self.allow_partial,
+            "coalesce_gap": self.coalesce_gap,
+            "readahead": self.readahead,
         }
 
     def writer_options(self) -> dict[str, Any]:

@@ -1,0 +1,35 @@
+"""Staged query engine: Plan → IOScheduler → Decode → Assemble.
+
+Layering contract (enforced by ``scripts/check_layers.py``):
+
+* :mod:`~repro.core.engine.scheduler` (layer 0) — deferred reads,
+  coalescing/readahead, verified-read fault tolerance, decode-job
+  coordination.  Knows only the PFS, never plans or byte planes.
+* :mod:`~repro.core.engine.stages` (layer 1) — the
+  :class:`QueryEngine` stage pipeline over planner output.
+* :mod:`~repro.core.engine.session` (layer 2) — progressive
+  :class:`RefinementSession` stepping on top of the engine.
+
+Each module may import only strictly lower engine layers.
+"""
+
+from repro.core.engine.scheduler import IOScheduler, PendingRead
+from repro.core.engine.session import RefinementSession
+from repro.core.engine.stages import (
+    ASSEMBLY_THROUGHPUT,
+    BACKENDS,
+    INDEX_DECODE_THROUGHPUT,
+    QueryEngine,
+    RankOutput,
+)
+
+__all__ = [
+    "ASSEMBLY_THROUGHPUT",
+    "BACKENDS",
+    "INDEX_DECODE_THROUGHPUT",
+    "IOScheduler",
+    "PendingRead",
+    "QueryEngine",
+    "RankOutput",
+    "RefinementSession",
+]

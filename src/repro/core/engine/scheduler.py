@@ -1,0 +1,464 @@
+"""I/O scheduling layer of the staged query engine (DESIGN.md §engine).
+
+This is the lowest engine layer: it knows about the simulated PFS and
+the decoded-block cache, and nothing about plans, bins, or byte planes.
+The stages layer (:mod:`repro.core.engine.stages`) describes *what* to
+read as :class:`PendingRead` records; this module decides *how*:
+
+* reads are deferred, then flushed per rank sorted by ``(subfile,
+  offset)`` — the order the pre-refactor executor already produced, so
+  ``coalesce_gap=0`` is bit-identical to it;
+* with ``coalesce_gap > 0``, adjacent/near-adjacent extents of one
+  subfile merge into a single vectored read
+  (:meth:`~repro.pfs.simfs.SimFileHandle.readv`): one seek plus one
+  contiguous transfer that swallows the gap bytes;
+* with ``readahead > 0``, each run is followed by a contiguous
+  prefetch of the next ``readahead`` bytes (no extra seek), warming
+  the extent cache for later flushes;
+* every block payload is CRC-verified before decode, with the retry /
+  exponential-backoff / quarantine semantics of the verified read path
+  moved here intact (the accounting is unchanged to the counter).
+
+The :class:`_BlockFetcher` half coordinates decode jobs: deduplication
+across ranks (and across the queries of a batch), the decoded-block
+LRU front, and deterministic replay of cache touches and insertions in
+plan order so LRU state never depends on I/O scheduling or backend.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.pfs.blockcache import BlockCache
+from repro.pfs.faults import TransientIOError
+from repro.pfs.simfs import PFSSession, SimulatedPFS
+
+__all__ = ["IOScheduler", "PendingRead"]
+
+#: How many readahead spans are remembered per subfile (for hit
+#: attribution); older spans age out of the attribution window.
+_MAX_READAHEAD_SPANS = 16
+
+
+class _DecodeJob:
+    """One deferred block decode; ``result`` is set by :meth:`run`."""
+
+    __slots__ = ("_fn", "result", "done")
+
+    def __init__(self, fn: Callable[[], object] | None = None, result: object = None):
+        self._fn = fn
+        self.result = result
+        self.done = fn is None
+
+    @classmethod
+    def placeholder(cls) -> "_DecodeJob":
+        """A job whose read has been deferred to the next flush."""
+        job = cls()
+        job.done = False
+        return job
+
+    def arm(self, fn: Callable[[], object]) -> None:
+        """Attach the decode closure once the payload is verified."""
+        self._fn = fn
+
+    def mark_lost(self) -> None:
+        """Record that the block's verified read exhausted its retries."""
+        self._fn = None
+        self.result = None
+        self.done = True
+
+    def run(self) -> None:
+        if not self.done:
+            self.result = self._fn()
+            self._fn = None
+            self.done = True
+
+
+def _job_lost(job: _DecodeJob) -> bool:
+    """Whether the job marks a quarantined (unreadable) block.
+
+    Convention: a job that is already done with a ``None`` result never
+    decoded anything — its verified read exhausted retries.  Decoders
+    never legitimately return ``None``.
+    """
+    return job.done and job.result is None
+
+
+@dataclass
+class _FaultContext:
+    """Per-query fault accounting, filled by the verified read path."""
+
+    crc_failures: int = 0
+    io_retries: int = 0
+    degraded_points: int = 0
+    dropped_points: int = 0
+    #: (path, offset) of quarantined blocks this query touched.
+    quarantined: set = field(default_factory=set)
+    #: Global chunk ids whose points were (partially) lost.
+    partial_chunks: set = field(default_factory=set)
+
+
+@dataclass
+class _IOCounters:
+    """Per-query scheduler counters surfaced in ``QueryResult.stats``."""
+
+    coalesced_reads: int = 0
+    readahead_hits: int = 0
+
+
+class _HandleOpener:
+    """Session file handle, opened lazily unless seed-faithful ``eager``.
+
+    Without caching every planned block is read, so the handle is opened
+    immediately (charging the open exactly where the pre-cache executor
+    did).  With caching, the open is deferred to the first actual read:
+    if every block of the file is served from the cache, the rank never
+    touches the file and pays no metadata operation.
+    """
+
+    __slots__ = ("_session", "_path", "_handle")
+
+    def __init__(self, session: PFSSession, path: str, eager: bool):
+        self._session = session
+        self._path = path
+        self._handle = session.open(path) if eager else None
+
+    def get(self):
+        if self._handle is None:
+            self._handle = self._session.open(self._path)
+        return self._handle
+
+
+@dataclass
+class PendingRead:
+    """One deferred block read: where it lives and what to do with it."""
+
+    path: str
+    offset: int
+    length: int
+    crc: int
+    opener: _HandleOpener
+    job: _DecodeJob
+    #: Payload -> decoded block, run in the decode phase.
+    decode: Callable[[bytes], object]
+    #: Raw (decoded) bytes this block contributes to modeled decompression.
+    raw_bytes: int
+    raw_kind: str  # "index" | "data"
+    #: The owning rank's raw-byte counters, credited on success.
+    raw: dict[str, int]
+    #: Fetcher cache key, or None when identity is untracked.
+    key: tuple | None
+    #: (rank, bin_seq, kind, row) — the pre-refactor plan order, used
+    #: to replay decode/cache-insertion order deterministically.
+    order_key: tuple
+
+
+class _BlockFetcher:
+    """Per-query (or per-batch) decode coordinator.
+
+    Deduplicates decode work across ranks — and, when shared by
+    :meth:`~repro.core.store.MLOCStore.query_many` or a refinement
+    session, across queries — and fronts the store's decoded-block
+    LRU.  Requests happen in the deterministic plan order, so which
+    rank pays for a block's I/O and modeled decode time never depends
+    on backend or thread timing: the first requester in plan order
+    pays, later requesters record a hit.
+    """
+
+    def __init__(self, cache: BlockCache | None, generation: int, shared: bool = False):
+        self.cache = cache
+        self.generation = generation
+        self.shared = shared
+        self._jobs: dict[tuple, _DecodeJob] = {}
+        self._pending: list[tuple[tuple, tuple | None, _DecodeJob]] = []
+        self._touches: list[tuple[tuple, tuple]] = []
+        self.hits = 0
+        self.misses = 0
+        self.lost = 0
+        self.hit_raw_bytes = 0
+        self.miss_raw_bytes = 0
+
+    @property
+    def caching(self) -> bool:
+        """Whether block identity is tracked (LRU and/or batch dedup)."""
+        return self.cache is not None or self.shared
+
+    def pending_count(self) -> int:
+        """Decode jobs enqueued by the plan phase but not yet run."""
+        return len(self._pending)
+
+    def held_keys(self) -> list[tuple]:
+        """Keys whose decoded blocks this fetcher currently retains."""
+        return list(self._jobs)
+
+    def request_deferred(
+        self, key: tuple, raw_bytes: int, order_key: tuple
+    ) -> tuple[_DecodeJob, bool]:
+        """Return ``(job, hit)`` for one block, deferring any read.
+
+        On a hit (batch/session dedup or LRU) nothing will be charged.
+        On a miss the returned job is an unarmed placeholder: the
+        caller submits a :class:`PendingRead` to its rank's scheduler,
+        whose flush resolves the job — armed with the decode on a
+        verified payload, or marked lost on quarantine.  Lost jobs are
+        deregistered so a later request re-attempts the read (which
+        answers from the engine's quarantine registry without touching
+        the PFS); a cached decode, by contrast, still wins over a
+        quarantine entry — it was CRC-verified when it entered the
+        cache.
+        """
+        if self.caching:
+            job = self._jobs.get(key)
+            if job is not None:
+                self.hits += 1
+                self.hit_raw_bytes += raw_bytes
+                return job, True
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    job = _DecodeJob(result=cached)
+                    self._jobs[key] = job
+                    self._touches.append((order_key, key))
+                    self.hits += 1
+                    self.hit_raw_bytes += raw_bytes
+                    return job, True
+            job = _DecodeJob.placeholder()
+            self._jobs[key] = job
+            return job, False
+        return _DecodeJob.placeholder(), False
+
+    def resolve_success(self, read: PendingRead, payload: bytes) -> None:
+        """Arm the job with its decode and enqueue it for the decode phase."""
+        read.job.arm(lambda payload=payload, decode=read.decode: decode(payload))
+        self.misses += 1
+        self.miss_raw_bytes += read.raw_bytes
+        read.raw[read.raw_kind] += read.raw_bytes
+        self._pending.append((read.order_key, read.key, read.job))
+
+    def resolve_lost(self, read: PendingRead) -> None:
+        """Mark the job lost and forget it (later queries re-attempt)."""
+        read.job.mark_lost()
+        self.lost += 1
+        if read.key is not None and self._jobs.get(read.key) is read.job:
+            del self._jobs[read.key]
+
+    def run(self, pool: ThreadPoolExecutor | None) -> int:
+        """Execute pending decode jobs; returns how many ran.
+
+        Cache touches are replayed and insertions performed in plan
+        order (never from worker threads or I/O order), so LRU and
+        eviction state — and therefore later queries' hit patterns —
+        is identical to the pre-refactor executor and independent of
+        backend and coalescing.
+        """
+        pending, self._pending = self._pending, []
+        touches, self._touches = self._touches, []
+        if self.cache is not None and touches:
+            for _, key in sorted(touches):
+                self.cache.touch(key)
+        pending.sort(key=lambda item: item[0])
+        if pool is None:
+            for _, _, job in pending:
+                job.run()
+        else:
+            list(pool.map(lambda item: item[2].run(), pending))
+        if self.cache is not None:
+            for _, key, job in pending:
+                if key is not None:
+                    self.cache.put(key, job.result)
+        return len(pending)
+
+
+class IOScheduler:
+    """One rank's deferred-read queue: sort, coalesce, verify, charge.
+
+    Reads submitted between flushes are grouped per subfile and issued
+    in ascending offset order.  All fault-tolerance semantics of the
+    verified read path live here: quarantine pre-checks (a quarantined
+    block is answered without touching the PFS), CRC verification of
+    every payload, bounded exponential retry backoff charged to the
+    rank's *simulated* clock, and quarantine of blocks that exhaust
+    their retries.
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedPFS,
+        session: PFSSession,
+        fetcher: _BlockFetcher,
+        fctx: _FaultContext,
+        *,
+        quarantine: dict[tuple[str, int], str],
+        max_read_retries: int,
+        read_backoff: float,
+        coalesce_gap: int = 0,
+        readahead: int = 0,
+        counters: _IOCounters | None = None,
+        readahead_spans: dict[str, list[tuple[int, int]]] | None = None,
+    ) -> None:
+        self.fs = fs
+        self.session = session
+        self.fetcher = fetcher
+        self.fctx = fctx
+        self.quarantine = quarantine
+        self.max_read_retries = max_read_retries
+        self.read_backoff = read_backoff
+        self.coalesce_gap = coalesce_gap
+        self.readahead = readahead
+        self.counters = counters if counters is not None else _IOCounters()
+        self._readahead_spans = readahead_spans if readahead_spans is not None else {}
+        self._queue: list[PendingRead] = []
+
+    # ------------------------------------------------------------------
+    def submit(self, read: PendingRead) -> None:
+        """Defer one block read until the next :meth:`flush`."""
+        self._queue.append(read)
+
+    def flush(self) -> None:
+        """Issue every deferred read, sorted by ``(subfile, offset)``."""
+        queue, self._queue = self._queue, []
+        by_path: dict[str, list[PendingRead]] = {}
+        for read in queue:
+            by_path.setdefault(read.path, []).append(read)
+        for path in sorted(by_path):
+            reads = sorted(by_path[path], key=lambda r: r.offset)
+            ready: list[PendingRead] = []
+            for read in reads:
+                key = (read.path, read.offset)
+                if key in self.quarantine:
+                    # Answered by the registry: no PFS touch, no retry.
+                    self.fctx.quarantined.add(key)
+                    self.fetcher.resolve_lost(read)
+                    continue
+                self._note_readahead_hit(read)
+                ready.append(read)
+            for run in self._runs(ready):
+                if len(run) == 1:
+                    self._read_single(run[0])
+                else:
+                    self._read_vectored(run)
+                self._maybe_readahead(path, run)
+
+    # ------------------------------------------------------------------
+    def _runs(self, reads: list[PendingRead]) -> list[list[PendingRead]]:
+        """Partition offset-sorted reads into coalescable runs."""
+        if self.coalesce_gap <= 0 or len(reads) <= 1:
+            return [[r] for r in reads]
+        runs: list[list[PendingRead]] = []
+        current = [reads[0]]
+        current_end = reads[0].offset + reads[0].length
+        for read in reads[1:]:
+            if read.offset - current_end <= self.coalesce_gap:
+                current.append(read)
+                current_end = max(current_end, read.offset + read.length)
+            else:
+                runs.append(current)
+                current = [read]
+                current_end = read.offset + read.length
+        runs.append(current)
+        return runs
+
+    def _read_single(self, read: PendingRead) -> None:
+        payload = self._verified_read(read)
+        if payload is None:
+            self.fetcher.resolve_lost(read)
+        else:
+            self.fetcher.resolve_success(read, payload)
+
+    def _read_vectored(self, run: list[PendingRead]) -> None:
+        """One span read for the whole run; per-block CRC afterwards.
+
+        A transient failure of the span, or a CRC mismatch on any
+        slice, falls back to the single verified read path for the
+        affected block(s) — coalescing never weakens the verification
+        or quarantine semantics, it only changes what travels on the
+        wire.
+        """
+        extents = [(r.offset, r.length) for r in run]
+        try:
+            payloads = run[0].opener.get().readv(extents)
+        except TransientIOError:
+            for read in run:
+                self._read_single(read)
+            return
+        self.counters.coalesced_reads += 1
+        for read, payload in zip(run, payloads):
+            if len(payload) == read.length and zlib.crc32(payload) == int(read.crc):
+                self.fetcher.resolve_success(read, payload)
+            else:
+                self.fctx.crc_failures += 1
+                self._read_single(read)
+
+    def _maybe_readahead(self, path: str, run: list[PendingRead]) -> None:
+        """Prefetch the bytes after the run (contiguous: no extra seek)."""
+        if self.readahead <= 0:
+            return
+        end = max(r.offset + r.length for r in run)
+        n = min(self.readahead, self.fs.size(path) - end)
+        if n <= 0:
+            return
+        try:
+            run[0].opener.get().read(end, n)
+        except TransientIOError:
+            return
+        spans = self._readahead_spans.setdefault(path, [])
+        spans.append((end, end + n))
+        del spans[:-_MAX_READAHEAD_SPANS]
+
+    def _note_readahead_hit(self, read: PendingRead) -> None:
+        """Count a block whose bytes an earlier readahead made warm."""
+        spans = self._readahead_spans.get(read.path)
+        if not spans:
+            return
+        end = read.offset + read.length
+        if any(read.offset >= lo and end <= hi for lo, hi in spans):
+            if self.fs.extent_cached(read.path, read.offset, read.length):
+                self.counters.readahead_hits += 1
+
+    # ------------------------------------------------------------------
+    def _verified_read(self, read: PendingRead) -> bytes | None:
+        """Read one block, verify its CRC, retry, or quarantine it.
+
+        Every data/index block read goes through here (or through the
+        vectored span + per-slice CRC check that falls back to here):
+        the payload's ``zlib.crc32`` is checked against the block table
+        before any decode (the store-wide rule: no decoded bytes reach
+        a result without a CRC check or an explicit degradation
+        record).  Transient I/O errors and CRC mismatches are retried
+        up to ``max_read_retries`` times with exponential backoff
+        charged to the rank's *simulated* clock; a block that exhausts
+        its retries is quarantined for the engine's lifetime and
+        reported as ``None`` (a lost block) to the degradation policy.
+        """
+        key = (read.path, read.offset)
+        if key in self.quarantine:
+            self.fctx.quarantined.add(key)
+            return None
+        reason = "unreadable"
+        for attempt in range(self.max_read_retries + 1):
+            if attempt:
+                self.fctx.io_retries += 1
+                self.session.stats.stall_seconds += (
+                    self.read_backoff * 2 ** (attempt - 1)
+                )
+            try:
+                payload = read.opener.get().read(read.offset, read.length)
+            except TransientIOError:
+                reason = "transient I/O errors"
+                continue
+            if len(payload) == read.length and zlib.crc32(payload) == int(read.crc):
+                return payload
+            self.fctx.crc_failures += 1
+            reason = (
+                f"short read ({len(payload)}/{read.length} bytes)"
+                if len(payload) != read.length
+                else "CRC mismatch"
+            )
+        self.quarantine[key] = (
+            f"{reason} after {self.max_read_retries + 1} attempts"
+        )
+        self.fctx.quarantined.add(key)
+        return None

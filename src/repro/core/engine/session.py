@@ -1,0 +1,153 @@
+"""Progressive PLoD refinement sessions over the staged engine.
+
+The PLoD layout exists so a reader can fetch only the first *k* byte
+groups per point and later fetch more (paper Section III-B; cf. the
+progressive-retrieval framework in PAPERS.md).  A
+:class:`RefinementSession` is the read-path realization: it executes a
+query at an initial PLoD level and *retains* every fetched
+base/refinement plane, so :meth:`RefinementSession.refine` fetches
+only the byte-plane blocks the session does not already hold.
+
+Session-reuse rule (DESIGN.md §engine): **a refinement step may never
+re-fetch a plane the session already verified.**  Mechanically, all
+steps share one block fetcher — its decoded-job table answers repeat
+requests without touching the PFS — and the held planes are pinned in
+the store's block cache (keyed by the session) so concurrent queries
+cannot evict them.  Lost (quarantined) blocks are deliberately *not*
+retained: a later step re-attempts them, which the quarantine registry
+answers deterministically.
+
+Every step returns an ordinary :class:`~repro.core.result.QueryResult`
+whose values are bit-identical to a fresh single-shot query at that
+level (pinned by ``tests/test_refinement_session.py``), with
+cumulative session counters added to ``stats``: ``refine_steps``,
+``bytes_reused``, ``coalesced_reads``, ``readahead_hits``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.core.query import Query
+from repro.core.result import QueryResult
+from repro.plod.byteplanes import FULL_PLOD_LEVEL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.store import MLOCStore
+
+__all__ = ["RefinementSession"]
+
+
+class RefinementSession:
+    """Progressive execution of one query at increasing PLoD levels.
+
+    Created by :meth:`~repro.core.store.MLOCStore.open_session`; the
+    initial step executes immediately at ``query.plod_level``.  Usable
+    as a context manager — :meth:`close` releases the cache pins.
+    """
+
+    def __init__(self, store: "MLOCStore", query: Query) -> None:
+        self._store = store
+        self._query = query
+        self._fetcher = store.executor.new_fetcher(shared=True)
+        self._owner = ("refinement-session", id(self))
+        self._level: int = query.plod_level
+        self._refine_steps = 0
+        self._bytes_reused = 0
+        self._coalesced_reads = 0
+        self._readahead_hits = 0
+        self._closed = False
+        #: Per-step results, most recent last.
+        self.results: list[QueryResult] = []
+        self._step(query.plod_level)
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """The PLoD level of the most recent step."""
+        return self._level
+
+    @property
+    def result(self) -> QueryResult:
+        """The most recent step's result."""
+        return self.results[-1]
+
+    @property
+    def refine_steps(self) -> int:
+        """How many :meth:`refine` calls have executed."""
+        return self._refine_steps
+
+    @property
+    def bytes_reused(self) -> int:
+        """Raw (decoded) bytes served from held planes instead of the PFS."""
+        return self._bytes_reused
+
+    # ------------------------------------------------------------------
+    def refine(self, to_level: int) -> QueryResult:
+        """Re-execute at a deeper PLoD level, fetching only missing planes.
+
+        ``to_level`` must be strictly deeper than the current level and
+        at most :data:`~repro.plod.byteplanes.FULL_PLOD_LEVEL`.  Raises
+        ``ValueError`` on non-PLoD layouts (there are no refinement
+        planes to fetch) and after :meth:`close`.
+        """
+        if self._closed:
+            raise ValueError("refinement session is closed")
+        if not self._store.meta.config.plod_enabled:
+            raise ValueError(
+                "refine() requires a PLoD layout (level order containing 'M'); "
+                f"this store uses {self._store.meta.config.level_order!r}"
+            )
+        if not self._level < to_level <= FULL_PLOD_LEVEL:
+            raise ValueError(
+                f"to_level must be in ({self._level}, {FULL_PLOD_LEVEL}], "
+                f"got {to_level}"
+            )
+        self._refine_steps += 1
+        result = self._step(to_level)
+        self._level = to_level
+        return result
+
+    # ------------------------------------------------------------------
+    def _step(self, level: int) -> QueryResult:
+        store = self._store
+        query = replace(self._query, plod_level=level)
+        plan, plan_stats = store._plan(query)
+        hit_raw0 = self._fetcher.hit_raw_bytes
+        result = store.executor.execute(query, plan, fetcher=self._fetcher)
+        self._bytes_reused += self._fetcher.hit_raw_bytes - hit_raw0
+        self._coalesced_reads += result.stats.get("coalesced_reads", 0)
+        self._readahead_hits += result.stats.get("readahead_hits", 0)
+        result.stats.update(plan_stats)
+        result.stats["refine_steps"] = self._refine_steps
+        result.stats["bytes_reused"] = self._bytes_reused
+        result.stats["coalesced_reads"] = self._coalesced_reads
+        result.stats["readahead_hits"] = self._readahead_hits
+        self._pin_held_blocks()
+        self.results.append(result)
+        return result
+
+    def _pin_held_blocks(self) -> None:
+        """Pin every held plane in the store cache against eviction."""
+        cache = self._store.cache
+        if cache is None:
+            return
+        for key in self._fetcher.held_keys():
+            cache.pin(key, self._owner)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the session's cache pins (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        cache = self._store.cache
+        if cache is not None:
+            cache.release(self._owner)
+
+    def __enter__(self) -> "RefinementSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

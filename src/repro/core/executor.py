@@ -1,1069 +1,30 @@
-"""Parallel query execution (Section III-D, Fig. 5).
+"""Compatibility façade over the staged query engine.
 
-The executor turns a :class:`~repro.core.planner.QueryPlan` into the
-bulk-synchronous parallel program the paper describes:
-
-1. the planned (bin, chunk) blocks are assigned to simulated MPI ranks
-   in column order (each rank touches the fewest bin files);
-2. each rank opens its bin subfiles through its own PFS session, reads
-   exactly the index/data compression blocks covering its cells,
-   decompresses them, reconstructs positions and values, and filters
-   against the constraints;
-3. the root gathers per-rank results through the simulated
-   communicator (modeled communication time).
-
-Response time = simulated parallel I/O (max-loaded OST / node link +
-max-rank overhead) + max-rank decompression + max-rank reconstruction +
-communication.  Decompression is modeled as ``scaled_raw_bytes /
-codec.decode_throughput`` (calibrated at paper-scale block sizes, see
-:class:`repro.compression.base.ByteCodec`); reconstruction is measured
-CPU scaled by the cost model's ``cpu_scale`` (DESIGN.md §5).  Aligned
-bins under region-only output never touch the data subfiles — the
-index-only fast path of Section III-D1.
-
-Execution is phased so the simulated-time model stays deterministic
-while the real CPU work parallelizes:
-
-* **plan phase** (deterministic rank order): every rank walks its
-  blocks, charges simulated I/O to its own PFS session, and enqueues
-  one *decode job* per distinct compression block.  Jobs are
-  deduplicated through a :class:`~repro.core.executor._BlockFetcher`,
-  which consults the shared decoded-block LRU
-  (:class:`repro.pfs.blockcache.BlockCache`) when one is configured —
-  a hit skips both the simulated read and the modeled decode seconds;
-* **decode phase**: the pending jobs run either inline (``serial``
-  backend) or on a :class:`~concurrent.futures.ThreadPoolExecutor`
-  (``threads`` backend) — zlib/NumPy decodes release the GIL, so this
-  is true parallelism on the dominant real CPU cost.  Job *accounting*
-  was already fixed in the plan phase, so both backends produce
-  bit-identical results and identical simulated seconds;
-* **finish phase** (deterministic rank order): positions and values
-  are gathered out of the decoded blocks as contiguous runs with
-  single vectorized operations, filtered, and gathered through the
-  simulated communicator.  This phase is measured CPU
-  (``time.process_time``) and therefore deliberately not threaded.
+The monolithic ``QueryExecutor`` was decomposed into the layered
+engine of :mod:`repro.core.engine` (Plan → IOScheduler → Decode →
+Assemble; see ``DESIGN.md`` §engine).  This module keeps the public
+import surface stable: ``QueryExecutor`` *is*
+:class:`~repro.core.engine.stages.QueryEngine`, with identical
+constructor signature and bit-identical behavior at ``coalesce_gap=0``
+(pinned by ``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
-import os
-import zlib
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable
-
-import numpy as np
-
-from repro.compression.base import make_codec
-from repro.core.chunking import ChunkGrid
-from repro.core.errors import DegradedResultError
-from repro.core.meta import StoreMeta
-from repro.core.planner import PlanContext, QueryPlan, cell_sizes
-from repro.core.query import Query
-from repro.core.result import ComponentTimes, QueryResult
-from repro.index.binindex import decode_position_block_flat
-from repro.index.bitmap import Bitmap
-from repro.parallel.scheduler import (
-    BlockList,
-    column_order_assignment,
-    round_robin_assignment,
+from repro.core.engine.stages import (
+    ASSEMBLY_THROUGHPUT as ASSEMBLY_THROUGHPUT,
+    BACKENDS,
+    INDEX_DECODE_THROUGHPUT,
+    QueryEngine,
+    RankOutput,
 )
-from repro.parallel.simmpi import CommCostModel, SimCommunicator
-from repro.pfs.blockcache import BlockCache
-from repro.pfs.faults import TransientIOError
-from repro.pfs.layout import BinFileSet, aggregate_parallel_time
-from repro.pfs.simfs import PFSSession, SimulatedPFS
-from repro.plod.byteplanes import assemble_from_groups, assemble_from_groups_degraded
-from repro.sfc.linearize import CurveOrder
-from repro.util.timing import TimerRegistry
+from repro.core.planner import cell_sizes, covering_rows
 
 __all__ = ["QueryExecutor", "RankOutput", "BACKENDS", "INDEX_DECODE_THROUGHPUT"]
 
-#: Modeled decode rate of the per-bin position index (delta + varint +
-#: deflate), bytes of reconstructed positions (8 B each) per second,
-#: calibrated at paper-scale block sizes like the codec throughputs.
-INDEX_DECODE_THROUGHPUT = 240e6
+QueryExecutor = QueryEngine
 
-#: Modeled rate of gathering cells out of decoded blocks and
-#: reassembling PLoD byte planes, bytes of raw data per second —
-#: memcpy-class work, calibrated like the codec throughputs.
-ASSEMBLY_THROUGHPUT = 600e6
-
-#: Real-execution backends for the decode phase.
-BACKENDS = ("serial", "threads")
-
-_SCHEDULERS = {
-    "column": column_order_assignment,
-    "round-robin": round_robin_assignment,
-}
-
-
-@dataclass
-class RankOutput:
-    """What one simulated rank produced before the gather."""
-
-    positions: np.ndarray
-    values: np.ndarray | None
-    timers: TimerRegistry
-    session: PFSSession
-    #: Raw bytes this rank decompressed from data blocks.
-    data_raw_bytes: int = 0
-    #: Bytes of position payload (8 B/position) this rank decoded.
-    index_raw_bytes: int = 0
-
-    def modeled_decompression(self, codec, byte_scale: float) -> float:
-        """Modeled decompression seconds for this rank (DESIGN.md §5):
-        codec decode + index decode + cell-gather/PLoD-assembly, all
-        modeled from the bytes processed (measured wall/CPU time of the
-        scaled-down blocks would amplify per-call overhead by the
-        magnification factor)."""
-        return (
-            self.data_raw_bytes * byte_scale / codec.decode_throughput
-            + self.index_raw_bytes * byte_scale / INDEX_DECODE_THROUGHPUT
-            + self.data_raw_bytes * byte_scale / ASSEMBLY_THROUGHPUT
-        )
-
-
-class _DecodeJob:
-    """One deferred block decode; ``result`` is set by :meth:`run`."""
-
-    __slots__ = ("_fn", "result", "done")
-
-    def __init__(self, fn: Callable[[], object] | None = None, result: object = None):
-        self._fn = fn
-        self.result = result
-        self.done = fn is None
-
-    def run(self) -> None:
-        if not self.done:
-            self.result = self._fn()
-            self._fn = None
-            self.done = True
-
-
-def _job_lost(job: _DecodeJob) -> bool:
-    """Whether the job marks a quarantined (unreadable) block.
-
-    Convention: a job that is already done with a ``None`` result never
-    decoded anything — its verified read exhausted retries.  Decoders
-    never legitimately return ``None``.
-    """
-    return job.done and job.result is None
-
-
-@dataclass
-class _FaultContext:
-    """Per-query fault accounting, filled by the verified read path."""
-
-    crc_failures: int = 0
-    io_retries: int = 0
-    degraded_points: int = 0
-    dropped_points: int = 0
-    #: (path, offset) of quarantined blocks this query touched.
-    quarantined: set = field(default_factory=set)
-    #: Global chunk ids whose points were (partially) lost.
-    partial_chunks: set = field(default_factory=set)
-
-
-class _HandleOpener:
-    """Session file handle, opened lazily unless seed-faithful ``eager``.
-
-    Without caching every planned block is read, so the handle is opened
-    immediately (charging the open exactly where the pre-cache executor
-    did).  With caching, the open is deferred to the first actual read:
-    if every block of the file is served from the cache, the rank never
-    touches the file and pays no metadata operation.
-    """
-
-    __slots__ = ("_session", "_path", "_handle")
-
-    def __init__(self, session: PFSSession, path: str, eager: bool):
-        self._session = session
-        self._path = path
-        self._handle = session.open(path) if eager else None
-
-    def get(self):
-        if self._handle is None:
-            self._handle = self._session.open(self._path)
-        return self._handle
-
-
-class _BlockFetcher:
-    """Per-query (or per-batch) read/decode coordinator.
-
-    Deduplicates decode work across ranks — and, when shared by
-    :meth:`~repro.core.store.MLOCStore.query_many`, across the queries
-    of a batch — and fronts the store's decoded-block LRU.  All calls
-    happen in the deterministic plan phase, so which rank pays for a
-    block's I/O and modeled decode time never depends on backend or
-    thread timing: the first requester in rank order pays, later
-    requesters record a hit.
-    """
-
-    def __init__(self, cache: BlockCache | None, generation: int, shared: bool = False):
-        self.cache = cache
-        self.generation = generation
-        self.shared = shared
-        self._jobs: dict[tuple, _DecodeJob] = {}
-        self._pending: list[tuple[tuple | None, _DecodeJob]] = []
-        self.hits = 0
-        self.misses = 0
-        self.lost = 0
-        self.hit_raw_bytes = 0
-        self.miss_raw_bytes = 0
-
-    @property
-    def caching(self) -> bool:
-        """Whether block identity is tracked (LRU and/or batch dedup)."""
-        return self.cache is not None or self.shared
-
-    def pending_count(self) -> int:
-        """Decode jobs enqueued by the plan phase but not yet run."""
-        return len(self._pending)
-
-    def request(
-        self,
-        key: tuple,
-        read_payload: Callable[[], bytes],
-        decode: Callable[[bytes], object],
-        raw_bytes: int,
-    ) -> tuple[_DecodeJob, bool]:
-        """Return a job whose result is the decoded block, plus hit flag.
-
-        On a miss, ``read_payload`` runs immediately (charging simulated
-        I/O to the requesting rank's session) and the decode is deferred
-        to the decode phase.  On a hit nothing is charged.
-
-        ``read_payload`` returning ``None`` means the block could not
-        be read intact (verification exhausted its retries): the caller
-        receives a *lost* job (done, ``result is None``).  Lost jobs
-        are never decoded, never cached, and never deduplicated — a
-        later request re-runs ``read_payload``, which answers from the
-        executor's quarantine registry without touching the PFS.  A
-        cached decode, by contrast, still wins over a quarantine entry:
-        it was CRC-verified when it entered the cache.
-        """
-        if self.caching:
-            job = self._jobs.get(key)
-            if job is not None:
-                self.hits += 1
-                self.hit_raw_bytes += raw_bytes
-                return job, True
-            if self.cache is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    job = _DecodeJob(result=cached)
-                    self._jobs[key] = job
-                    self.hits += 1
-                    self.hit_raw_bytes += raw_bytes
-                    return job, True
-        payload = read_payload()
-        if payload is None:
-            self.lost += 1
-            return _DecodeJob(result=None), False
-        job = _DecodeJob(fn=lambda: decode(payload))
-        self.misses += 1
-        self.miss_raw_bytes += raw_bytes
-        if self.caching:
-            self._jobs[key] = job
-            self._pending.append((key, job))
-        else:
-            self._pending.append((None, job))
-        return job, False
-
-    def run(self, pool: ThreadPoolExecutor | None) -> int:
-        """Execute pending decode jobs; returns how many ran.
-
-        Cache insertion happens afterwards in plan order (never from the
-        worker threads), so LRU/eviction state — and therefore later
-        queries' hit patterns — is backend-independent.
-        """
-        pending, self._pending = self._pending, []
-        if pool is None:
-            for _, job in pending:
-                job.run()
-        else:
-            list(pool.map(lambda item: item[1].run(), pending))
-        if self.cache is not None:
-            for key, job in pending:
-                if key is not None:
-                    self.cache.put(key, job.result)
-        return len(pending)
-
-
-@dataclass
-class _ValueWork:
-    """Planned data-block work of one (rank, bin): jobs + cell geometry."""
-
-    n_elem: int
-    n_groups: int = 1
-    cells_per_group: list[np.ndarray] = field(default_factory=list)
-    cell_offsets: np.ndarray | None = None
-    row_starts: np.ndarray | None = None
-    jobs: dict[int, _DecodeJob] = field(default_factory=dict)
-    #: Per-cpos mask of chunks whose points are unrecoverable (base
-    #: byte-plane or full-value block quarantined); ``None`` if none.
-    fatal_mask: np.ndarray | None = None
-    #: Per-cpos effective PLoD level (< ``n_groups`` where refinement
-    #: blocks were quarantined); ``None`` if no precision was lost.
-    cell_levels: np.ndarray | None = None
-    #: (path, offset) of the first quarantined block behind
-    #: ``fatal_mask``, for the structured error.
-    fatal_block: tuple[str, int] | None = None
-
-
-@dataclass
-class _BinWork:
-    """Planned work of one (rank, bin)."""
-
-    bin_id: int
-    cpos: np.ndarray
-    chunk_ids: np.ndarray
-    aligned: bool
-    need_values: bool
-    #: (cpos_start, cpos_end, job -> flat positions) per index block.
-    index_parts: list[tuple[int, int, _DecodeJob]]
-    value_work: _ValueWork | None
-
-
-@dataclass
-class _RankWork:
-    """One rank's planned work plus its accounting context."""
-
-    session: PFSSession
-    timers: TimerRegistry
-    raw: dict[str, int]
-    bins: list[_BinWork]
-
-
-class QueryExecutor:
-    """Executes planned queries over one stored variable.
-
-    Parameters
-    ----------
-    backend:
-        ``"serial"`` runs decode jobs inline; ``"threads"`` runs them on
-        a thread pool (zlib/NumPy release the GIL).  Both produce
-        bit-identical results and identical simulated seconds — the
-        backend only changes real wall-clock time.
-    n_threads:
-        Thread-pool width for the ``"threads"`` backend (default: CPU
-        count).
-    cache:
-        Optional shared :class:`~repro.pfs.blockcache.BlockCache` of
-        decoded blocks; hits skip simulated I/O and modeled decode time.
-    generation:
-        Fingerprint of the store metadata, namespacing cache keys so a
-        rewritten-and-reopened store never serves stale blocks.
-    context:
-        Optional shared :class:`~repro.core.planner.PlanContext` with
-        the precomputed per-bin planning tables; built from the
-        metadata when omitted (one-off executors).
-    max_read_retries:
-        How many times a failed block read (transient I/O error or CRC
-        mismatch) is retried before the block is quarantined.
-    read_backoff:
-        Base of the exponential retry backoff, in *simulated* seconds:
-        retry ``k`` stalls ``read_backoff * 2**(k-1)`` on the reading
-        rank's clock before re-reading.
-    allow_partial:
-        When a quarantined block makes part of the answer
-        unrecoverable (index block, PLoD base plane, or full-value
-        data block), ``False`` (default) raises
-        :class:`~repro.core.errors.DegradedResultError`; ``True``
-        drops the affected points and reports their chunks in
-        ``stats["partial_chunks"]``.  Refinement byte-plane loss never
-        raises — affected points degrade to the deepest intact level
-        and are counted in ``stats["degraded_points"]``.
-    """
-
-    def __init__(
-        self,
-        fs: SimulatedPFS,
-        files: BinFileSet,
-        meta: StoreMeta,
-        grid: ChunkGrid,
-        curve: CurveOrder,
-        *,
-        n_ranks: int = 8,
-        scheduler: str = "column",
-        comm_cost: CommCostModel | None = None,
-        backend: str = "serial",
-        n_threads: int | None = None,
-        cache: BlockCache | None = None,
-        generation: int = 0,
-        context: PlanContext | None = None,
-        max_read_retries: int = 2,
-        read_backoff: float = 0.005,
-        allow_partial: bool = False,
-    ) -> None:
-        if scheduler not in _SCHEDULERS:
-            raise ValueError(
-                f"scheduler must be one of {sorted(_SCHEDULERS)}, got {scheduler!r}"
-            )
-        if n_ranks <= 0:
-            raise ValueError(f"n_ranks must be positive, got {n_ranks}")
-        if backend not in BACKENDS:
-            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-        if n_threads is not None and n_threads <= 0:
-            raise ValueError(f"n_threads must be positive, got {n_threads}")
-        if max_read_retries < 0:
-            raise ValueError(
-                f"max_read_retries must be >= 0, got {max_read_retries}"
-            )
-        if read_backoff < 0:
-            raise ValueError(f"read_backoff must be >= 0, got {read_backoff}")
-        self.fs = fs
-        self.files = files
-        self.meta = meta
-        self.grid = grid
-        self.curve = curve
-        self.n_ranks = n_ranks
-        self.scheduler = scheduler
-        self.backend = backend
-        self.n_threads = n_threads
-        self.cache = cache
-        self.generation = generation
-        self.max_read_retries = max_read_retries
-        self.read_backoff = read_backoff
-        self.allow_partial = allow_partial
-        #: Blocks whose verified read exhausted its retries, as
-        #: (path, offset) -> reason.  Persists across queries: a
-        #: quarantined block is never re-read (its damage is sticky as
-        #: far as this executor could tell), it is answered by the
-        #: degradation policy instead.
-        self.quarantine: dict[tuple[str, int], str] = {}
-        self.context = (
-            context if context is not None else PlanContext.for_store(meta, grid, curve)
-        )
-        if comm_cost is None:
-            # Scale collective payload costs with the dataset
-            # magnification so communication stays commensurate with
-            # the paper-equivalent I/O seconds (DESIGN.md §5).
-            base = CommCostModel()
-            comm_cost = CommCostModel(
-                latency=base.latency,
-                byte_time=base.byte_time * fs.cost_model.byte_scale,
-            )
-        self.comm_cost = comm_cost
-        self._codec = make_codec(meta.config.codec, **meta.config.codec_params)
-
-    # ------------------------------------------------------------------
-    def new_fetcher(self, shared: bool = False) -> _BlockFetcher:
-        """A fetcher for one query (or, with ``shared=True``, a batch)."""
-        return _BlockFetcher(self.cache, self.generation, shared=shared)
-
-    # ------------------------------------------------------------------
-    def execute(
-        self,
-        query: Query,
-        plan: QueryPlan,
-        position_filter: Bitmap | None = None,
-        fetcher: _BlockFetcher | None = None,
-    ) -> QueryResult:
-        """Run the parallel access program for one planned query."""
-        if fetcher is None:
-            fetcher = self.new_fetcher()
-        hits0, misses0 = fetcher.hits, fetcher.misses
-        hit_raw0 = fetcher.hit_raw_bytes
-        fctx = _FaultContext()
-
-        blocks = plan.block_list()
-        assignment = _SCHEDULERS[self.scheduler](blocks, self.n_ranks)
-
-        # Plan phase: deterministic rank order, charges all simulated I/O
-        # and fixes which rank pays each block's modeled decode time.
-        rank_works = [
-            self._plan_rank(rank_blocks, query, plan, position_filter, fetcher, fctx)
-            for rank_blocks in assignment
-        ]
-        # Decode phase: the only concurrent part (threads backend).
-        blocks_decoded = self._run_decodes(fetcher)
-        # Finish phase: measured CPU, deterministic rank order.
-        rank_outputs = [
-            self._finish_rank(work, query, plan, position_filter, fctx)
-            for work in rank_works
-        ]
-
-        comm = SimCommunicator(self.n_ranks, self.comm_cost)
-        gathered = comm.gather([r.positions for r in rank_outputs])
-        positions = (
-            np.concatenate(gathered) if gathered else np.empty(0, dtype=np.int64)
-        )
-        values: np.ndarray | None = None
-        if query.wants_values:
-            gathered_v = comm.gather(
-                [r.values if r.values is not None else np.empty(0) for r in rank_outputs]
-            )
-            values = np.concatenate(gathered_v)
-
-        order = np.argsort(positions, kind="stable")
-        positions = positions[order]
-        if values is not None:
-            values = values[order]
-
-        sessions = [r.session for r in rank_outputs]
-        cpu_scale = self.fs.cost_model.effective_cpu_scale
-        byte_scale = self.fs.cost_model.byte_scale
-        times = ComponentTimes(
-            io=aggregate_parallel_time(self.fs.cost_model, sessions),
-            decompression=max(
-                (r.modeled_decompression(self._codec, byte_scale) for r in rank_outputs),
-                default=0.0,
-            ),
-            reconstruction=cpu_scale
-            * max((r.timers.elapsed("reconstruction") for r in rank_outputs), default=0.0),
-            communication=comm.comm_seconds,
-        )
-        stats = {
-            "n_ranks": self.n_ranks,
-            "backend": self.backend,
-            "bins_accessed": int(plan.bin_ids.size),
-            "aligned_bins": int(plan.aligned.sum()),
-            "chunks_accessed": int(plan.cpos.size),
-            "blocks_planned": len(blocks),
-            "blocks_decoded": blocks_decoded,
-            "cache_hits": fetcher.hits - hits0,
-            "cache_misses": fetcher.misses - misses0,
-            "cache_hit_raw_bytes": fetcher.hit_raw_bytes - hit_raw0,
-            "bytes_read": int(sum(s.stats.bytes_read for s in sessions)),
-            "files_opened": int(sum(s.stats.opens for s in sessions)),
-            "seeks": int(sum(s.stats.seeks for s in sessions)),
-            "stall_seconds": float(sum(s.stats.stall_seconds for s in sessions)),
-            "crc_failures": fctx.crc_failures,
-            "io_retries": fctx.io_retries,
-            "degraded_points": fctx.degraded_points,
-            "dropped_points": fctx.dropped_points,
-            "quarantined_blocks": len(fctx.quarantined),
-            "partial_chunks": sorted(fctx.partial_chunks),
-            "n_results": int(positions.size),
-        }
-        return QueryResult(positions=positions, values=values, times=times, stats=stats)
-
-    # ------------------------------------------------------------------
-    def _run_decodes(self, fetcher: _BlockFetcher) -> int:
-        """Run the decode phase on the configured backend.
-
-        A pool is only spun up when it can actually overlap work: with
-        one effective worker (or fewer than two pending jobs) the
-        threaded backend decodes inline, avoiding pure dispatch
-        overhead on single-core machines.
-        """
-        n_pending = fetcher.pending_count()
-        workers = min(self.n_threads or os.cpu_count() or 1, n_pending)
-        if self.backend == "threads" and workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return fetcher.run(pool)
-        return fetcher.run(None)
-
-    # ------------------------------------------------------------------
-    def _verified_read(
-        self,
-        session: PFSSession,
-        opener: _HandleOpener,
-        path: str,
-        offset: int,
-        comp_len: int,
-        crc: int,
-        fctx: _FaultContext,
-    ) -> bytes | None:
-        """Read one block, verify its CRC, retry, or quarantine it.
-
-        Every data/index block read goes through here: the payload's
-        ``zlib.crc32`` is checked against the block table before any
-        decode (the store-wide rule: no decoded bytes reach a result
-        without a CRC check or an explicit degradation record).
-        Transient I/O errors and CRC mismatches are retried up to
-        ``max_read_retries`` times with exponential backoff charged to
-        the rank's *simulated* clock; a block that exhausts its retries
-        is quarantined for the executor's lifetime and reported as
-        ``None`` (a lost block) to the degradation policy.
-        """
-        key = (path, offset)
-        if key in self.quarantine:
-            fctx.quarantined.add(key)
-            return None
-        reason = "unreadable"
-        for attempt in range(self.max_read_retries + 1):
-            if attempt:
-                fctx.io_retries += 1
-                session.stats.stall_seconds += self.read_backoff * 2 ** (attempt - 1)
-            try:
-                payload = opener.get().read(offset, comp_len)
-            except TransientIOError:
-                reason = "transient I/O errors"
-                continue
-            if len(payload) == comp_len and zlib.crc32(payload) == int(crc):
-                return payload
-            fctx.crc_failures += 1
-            reason = (
-                f"short read ({len(payload)}/{comp_len} bytes)"
-                if len(payload) != comp_len
-                else "CRC mismatch"
-            )
-        self.quarantine[key] = (
-            f"{reason} after {self.max_read_retries + 1} attempts"
-        )
-        fctx.quarantined.add(key)
-        return None
-
-    # ------------------------------------------------------------------
-    def _plan_rank(
-        self,
-        rank_blocks: BlockList,
-        query: Query,
-        plan: QueryPlan,
-        position_filter: Bitmap | None,
-        fetcher: _BlockFetcher,
-        fctx: _FaultContext,
-    ) -> _RankWork:
-        """Charge one rank's simulated I/O and enqueue its decode jobs."""
-        timers = TimerRegistry()
-        session = self.fs.session()
-        raw = {"data": 0, "index": 0}
-        bins: list[_BinWork] = []
-
-        # The rank's blocks arrive bin-major and cpos-sorted within each
-        # bin, so each bin is one contiguous segment of the arrays.
-        for bin_id, cpos, chunk_ids in rank_blocks.bin_segments():
-            aligned = plan.is_aligned(bin_id)
-            counts64 = self.context.counts64[bin_id]
-            index_parts, lost_index = self._plan_positions(
-                session, bin_id, cpos, fetcher, raw, fctx
-            )
-            if lost_index:
-                # A lost index block loses the membership of every chunk
-                # it covered: those chunks leave the answer entirely.
-                lost_mask = np.zeros(cpos.size, dtype=bool)
-                for cpos_start, cpos_end, _ in lost_index:
-                    lost_mask |= (cpos >= cpos_start) & (cpos < cpos_end)
-                lost_ids = chunk_ids[lost_mask]
-                if not self.allow_partial:
-                    raise DegradedResultError(
-                        kind="index",
-                        path=self.files.index_path(bin_id),
-                        offset=lost_index[0][2],
-                        bin_id=bin_id,
-                        chunk_ids=tuple(int(c) for c in lost_ids),
-                    )
-                fctx.partial_chunks.update(int(c) for c in lost_ids)
-                fctx.dropped_points += int(counts64[cpos[lost_mask]].sum())
-                cpos = cpos[~lost_mask]
-                chunk_ids = chunk_ids[~lost_mask]
-            need_values = (
-                query.wants_values or not aligned or position_filter is not None
-            )
-            value_work = None
-            if need_values:
-                value_work = self._plan_values(
-                    session, bin_id, cpos, query.plod_level, fetcher, raw, fctx
-                )
-                if value_work.fatal_mask is not None:
-                    lost_ids = chunk_ids[value_work.fatal_mask]
-                    if not self.allow_partial:
-                        path, offset = value_work.fatal_block
-                        raise DegradedResultError(
-                            kind="data-base"
-                            if self.meta.config.plod_enabled
-                            else "data",
-                            path=path,
-                            offset=offset,
-                            bin_id=bin_id,
-                            chunk_ids=tuple(int(c) for c in lost_ids),
-                        )
-                    fctx.partial_chunks.update(int(c) for c in lost_ids)
-                    fctx.dropped_points += int(
-                        counts64[cpos[value_work.fatal_mask]].sum()
-                    )
-            bins.append(
-                _BinWork(
-                    bin_id=bin_id,
-                    cpos=cpos,
-                    chunk_ids=chunk_ids,
-                    aligned=aligned,
-                    need_values=need_values,
-                    index_parts=index_parts,
-                    value_work=value_work,
-                )
-            )
-        return _RankWork(session=session, timers=timers, raw=raw, bins=bins)
-
-    def _plan_positions(
-        self,
-        session: PFSSession,
-        bin_id: int,
-        cpos: np.ndarray,
-        fetcher: _BlockFetcher,
-        raw: dict[str, int],
-        fctx: _FaultContext,
-    ) -> tuple[list[tuple[int, int, _DecodeJob]], list[tuple[int, int, int]]]:
-        """Request the index blocks covering ``cpos``.
-
-        Returns the decodable parts plus the lost (quarantined) blocks
-        as ``(cpos_start, cpos_end, offset)`` triples.
-        """
-        table = self.meta.index_blocks[bin_id]
-        bin_counts = self.context.counts64[bin_id]
-        path = self.files.index_path(bin_id)
-        opener = _HandleOpener(session, path, eager=not fetcher.caching)
-        parts: list[tuple[int, int, _DecodeJob]] = []
-        lost: list[tuple[int, int, int]] = []
-        for row_idx in _covering_rows(self.context.index_row_starts[bin_id], cpos):
-            cpos_start, cpos_end, offset, comp_len = (
-                int(v) for v in table[row_idx][:4]
-            )
-            crc = int(table[row_idx][4])
-            counts_slice = bin_counts[cpos_start:cpos_end]
-            raw_bytes = int(counts_slice.sum()) * 8
-            job, hit = fetcher.request(
-                (fetcher.generation, path, offset),
-                lambda offset=offset, comp_len=comp_len, crc=crc: self._verified_read(
-                    session, opener, path, offset, comp_len, crc, fctx
-                ),
-                lambda payload, counts_slice=counts_slice: decode_position_block_flat(
-                    payload, counts_slice
-                ),
-                raw_bytes,
-            )
-            if _job_lost(job):
-                lost.append((cpos_start, cpos_end, offset))
-                continue
-            if not hit:
-                raw["index"] += raw_bytes
-            parts.append((cpos_start, cpos_end, job))
-        return parts, lost
-
-    def _plan_values(
-        self,
-        session: PFSSession,
-        bin_id: int,
-        cpos: np.ndarray,
-        plod_level: int,
-        fetcher: _BlockFetcher,
-        raw: dict[str, int],
-        fctx: _FaultContext,
-    ) -> _ValueWork:
-        """Request the data blocks covering the needed cells."""
-        config = self.meta.config
-        n_chunks = self.meta.n_chunks
-        counts = self.context.counts64[bin_id]
-        table = self.meta.data_blocks[bin_id]
-        path = self.files.data_path(bin_id)
-        opener = _HandleOpener(session, path, eager=not fetcher.caching)
-        n_elem = int(counts[cpos].sum())
-        if n_elem == 0:
-            return _ValueWork(n_elem=0)
-
-        n_groups = min(plod_level, config.n_groups) if config.plod_enabled else 1
-        cell_offsets = self.context.cell_offsets[bin_id]
-        row_starts = self.context.data_row_starts[bin_id]
-
-        # The cells needed, grouped per byte group (so each group's
-        # payload concatenates contiguously in cpos order).
-        if config.plod_enabled:
-            if config.group_major:  # V-M-S: cell = g * n_chunks + cpos
-                cells_per_group = [g * n_chunks + cpos for g in range(n_groups)]
-            else:  # V-S-M: cell = cpos * 7 + g
-                cells_per_group = [
-                    cpos * config.n_groups + g for g in range(n_groups)
-                ]
-        else:
-            cells_per_group = [cpos]
-
-        # Request each covering compression block exactly once.
-        all_cells = np.unique(np.concatenate(cells_per_group))
-        jobs: dict[int, _DecodeJob] = {}
-        lost_rows: list[int] = []
-        codec = self._codec
-        for row_idx in _covering_rows(row_starts, all_cells):
-            offset, comp_len, raw_len = (int(v) for v in table[row_idx][2:5])
-            crc = int(table[row_idx][5])
-            if config.plod_enabled:
-                decode = lambda payload, raw_len=raw_len: np.frombuffer(  # noqa: E731
-                    codec.decode(payload, raw_len), dtype=np.uint8
-                )
-            else:
-                decode = lambda payload, raw_len=raw_len: codec.decode(  # noqa: E731
-                    payload, raw_len // 8
-                )
-            job, hit = fetcher.request(
-                (fetcher.generation, path, offset),
-                lambda offset=offset, comp_len=comp_len, crc=crc: self._verified_read(
-                    session, opener, path, offset, comp_len, crc, fctx
-                ),
-                decode,
-                raw_len,
-            )
-            jobs[row_idx] = job
-            if _job_lost(job):
-                lost_rows.append(row_idx)
-            elif not hit:
-                raw["data"] += raw_len
-
-        vw = _ValueWork(
-            n_elem=n_elem,
-            n_groups=n_groups,
-            cells_per_group=cells_per_group,
-            cell_offsets=cell_offsets,
-            row_starts=row_starts,
-            jobs=jobs,
-        )
-        if lost_rows:
-            self._classify_data_loss(vw, cpos, lost_rows, table, path)
-        return vw
-
-    def _classify_data_loss(
-        self,
-        vw: _ValueWork,
-        cpos: np.ndarray,
-        lost_rows: list[int],
-        table: np.ndarray,
-        path: str,
-    ) -> None:
-        """Map quarantined data blocks onto the degradation policy.
-
-        For each quarantined block, the cells it covered are
-        intersected with each requested byte group: group-0 cells (the
-        PLoD base plane, or the whole value when PLoD is off) make the
-        chunk's points unrecoverable (``fatal_mask``); cells of a
-        refinement group ``g >= 1`` only cap the affected chunk's
-        effective level at ``g`` (``cell_levels``) — the dummy-fill
-        reconstruction applies from there down.
-        """
-        row_starts = vw.row_starts
-        # End cell (exclusive) of each block row; the table is
-        # contiguous, so the last row ends at the bin's total cells.
-        row_ends = np.append(row_starts[1:], vw.cell_offsets.size - 1)
-        levels = np.full(cpos.size, vw.n_groups, dtype=np.int64)
-        fatal = np.zeros(cpos.size, dtype=bool)
-        fatal_row: int | None = None
-        for g, cells in enumerate(vw.cells_per_group):
-            hit = np.zeros(cpos.size, dtype=bool)
-            for row_idx in lost_rows:
-                row_hit = (cells >= row_starts[row_idx]) & (cells < row_ends[row_idx])
-                if g == 0 and fatal_row is None and row_hit.any():
-                    fatal_row = row_idx
-                hit |= row_hit
-            if not hit.any():
-                continue
-            if g == 0:
-                fatal |= hit
-            else:
-                levels[hit] = np.minimum(levels[hit], g)
-        if fatal.any():
-            vw.fatal_mask = fatal
-            vw.fatal_block = (path, int(table[fatal_row][2]))
-        if (levels < vw.n_groups).any():
-            vw.cell_levels = levels
-
-    # ------------------------------------------------------------------
-    def _finish_rank(
-        self,
-        work: _RankWork,
-        query: Query,
-        plan: QueryPlan,
-        position_filter: Bitmap | None,
-        fctx: _FaultContext,
-    ) -> RankOutput:
-        """Gather, filter and assemble one rank's results (measured CPU)."""
-        timers = work.timers
-        out_positions: list[np.ndarray] = []
-        out_values: list[np.ndarray] = []
-
-        for bw in work.bins:
-            positions, counts = self._gather_positions(bw, timers)
-            values: np.ndarray | None = None
-            if bw.need_values:
-                values = self._assemble_values(bw, timers)
-
-            with timers["reconstruction"]:
-                vw = bw.value_work
-                mask: np.ndarray | None = None
-                if query.value_range is not None and not bw.aligned:
-                    lo, hi = query.value_range
-                    mask = (values >= lo) & (values <= hi)
-                if plan.region is not None:
-                    interior = plan.interior_of(bw.cpos)
-                    if not interior.all():
-                        # Only elements of boundary chunks need the
-                        # coordinate test; interior chunks pass whole.
-                        in_region = np.ones(positions.size, dtype=bool)
-                        boundary = ~np.repeat(interior, counts)
-                        in_region[boundary] = self.grid.positions_in_region(
-                            positions[boundary], plan.region
-                        )
-                        mask = in_region if mask is None else (mask & in_region)
-                if position_filter is not None:
-                    hit = position_filter.get(positions)
-                    mask = hit if mask is None else (mask & hit)
-                if vw is not None and vw.fatal_mask is not None:
-                    # Points of unrecoverable chunks leave the answer
-                    # (allow_partial — otherwise the plan phase raised).
-                    keep = ~np.repeat(vw.fatal_mask, counts)
-                    mask = keep if mask is None else (mask & keep)
-                if vw is not None and vw.cell_levels is not None:
-                    # Count degraded points that actually reach the
-                    # result (dummy-filled below the requested level).
-                    deg = np.repeat(vw.cell_levels < vw.n_groups, counts)
-                    if mask is not None:
-                        deg = deg & mask
-                    fctx.degraded_points += int(deg.sum())
-                if mask is not None:
-                    positions = positions[mask]
-                    if values is not None:
-                        values = values[mask]
-                out_positions.append(positions)
-                if query.wants_values:
-                    out_values.append(values)
-
-        positions = (
-            np.concatenate(out_positions) if out_positions else np.empty(0, dtype=np.int64)
-        )
-        values = None
-        if query.wants_values:
-            values = (
-                np.concatenate(out_values) if out_values else np.empty(0, dtype=np.float64)
-            )
-        return RankOutput(
-            positions=positions,
-            values=values,
-            timers=timers,
-            session=work.session,
-            data_raw_bytes=work.raw["data"],
-            index_raw_bytes=work.raw["index"],
-        )
-
-    def _gather_positions(
-        self, bw: _BinWork, timers: TimerRegistry
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Slice the wanted chunks out of the decoded index blocks.
-
-        Returns the concatenated global positions (in ``cpos`` order)
-        and the per-chunk element counts.  Wanted chunks are gathered as
-        maximal runs of consecutive chunk positions — one slice per run
-        instead of one Python-level slice per chunk.
-        """
-        bin_counts = self.context.counts64[bw.bin_id]
-        # Cumulative element counts over the whole bin: the offset of a
-        # chunk inside a decoded block is pos_offsets[cpos] minus the
-        # block's base (precomputed once per store, DESIGN.md §7).
-        pos_offsets = self.context.pos_offsets[bw.bin_id]
-        with timers["reconstruction"]:
-            local_parts: list[np.ndarray] = []
-            for cpos_start, cpos_end, job in bw.index_parts:
-                flat = job.result
-                base = int(pos_offsets[cpos_start])
-                lo = int(np.searchsorted(bw.cpos, cpos_start, side="left"))
-                hi = int(np.searchsorted(bw.cpos, cpos_end, side="left"))
-                wanted = bw.cpos[lo:hi]
-                if wanted.size == 0:
-                    continue
-                breaks = np.flatnonzero(np.diff(wanted) != 1) + 1
-                starts = np.concatenate(([0], breaks))
-                ends = np.concatenate((breaks, [wanted.size]))
-                for s, e in zip(starts, ends):
-                    local_parts.append(
-                        flat[
-                            int(pos_offsets[wanted[s]]) - base :
-                            int(pos_offsets[wanted[e - 1] + 1]) - base
-                        ]
-                    )
-            counts = bin_counts[bw.cpos]
-            local_ids = (
-                np.concatenate(local_parts)
-                if local_parts
-                else np.empty(0, dtype=np.int64)
-            )
-            positions = self.grid.global_positions_batch(bw.chunk_ids, local_ids, counts)
-        return positions, counts
-
-    def _assemble_values(self, bw: _BinWork, timers: TimerRegistry) -> np.ndarray:
-        """Gather cells from decoded data blocks and assemble values.
-
-        Cell gathering + PLoD byte-plane assembly belong to the
-        *decompression* component: they are part of recovering values
-        from the stored representation and scale with the bytes
-        fetched, whereas the paper's "reconstruction" (filtering +
-        final assembly of results) is independent of the PLoD level
-        (Fig. 8's flat reconstruction line).
-        """
-        vw = bw.value_work
-        config = self.meta.config
-        if vw is None or vw.n_elem == 0:
-            return np.empty(0, dtype=np.float64)
-        decoded = {row_idx: job.result for row_idx, job in vw.jobs.items()}
-        with timers["assembly"]:
-            group_payloads = [
-                self._gather_cells(
-                    decoded,
-                    vw.row_starts,
-                    vw.cell_offsets,
-                    cells,
-                    as_float=not config.plod_enabled,
-                )
-                for cells in vw.cells_per_group
-            ]
-            if config.plod_enabled:
-                if vw.cell_levels is not None:
-                    counts = self.context.counts64[bw.bin_id][bw.cpos]
-                    point_levels = np.repeat(
-                        np.maximum(vw.cell_levels, 1), counts
-                    )
-                    return assemble_from_groups_degraded(
-                        group_payloads, vw.n_elem, vw.n_groups, point_levels
-                    )
-                return assemble_from_groups(group_payloads, vw.n_elem, vw.n_groups)
-            return group_payloads[0]
-
-    def _gather_cells(
-        self,
-        decoded: dict[int, np.ndarray],
-        row_starts: np.ndarray,
-        cell_offsets: np.ndarray,
-        cells: np.ndarray,
-        as_float: bool,
-    ) -> np.ndarray:
-        """Concatenate the payloads of ``cells`` (ascending) out of the
-        decoded blocks, slicing maximal runs of consecutive cells.
-
-        A ``None`` entry in ``decoded`` is a quarantined block: its
-        cells are zero-filled placeholders, later either dropped
-        (fatal loss) or overwritten by the dummy-fill reconstruction
-        (refinement loss) — they never reach a result as-is.
-        """
-        rows = np.searchsorted(row_starts, cells, side="right") - 1
-        breaks = np.flatnonzero((np.diff(cells) != 1) | (np.diff(rows) != 0)) + 1
-        starts = np.concatenate(([0], breaks))
-        ends = np.concatenate((breaks, [cells.size]))
-        parts: list[np.ndarray] = []
-        for s, e in zip(starts, ends):
-            row_idx = int(rows[s])
-            buf = decoded[row_idx]
-            block_base = int(cell_offsets[row_starts[row_idx]])
-            lo = int(cell_offsets[cells[s]]) - block_base
-            hi = int(cell_offsets[cells[e - 1] + 1]) - block_base
-            if buf is None:
-                parts.append(
-                    np.zeros(
-                        (hi - lo) // 8 if as_float else hi - lo,
-                        dtype=np.float64 if as_float else np.uint8,
-                    )
-                )
-            else:
-                parts.append(buf[lo // 8 : hi // 8] if as_float else buf[lo:hi])
-        if not parts:
-            return np.empty(0, dtype=np.float64 if as_float else np.uint8)
-        return np.concatenate(parts)
-
-
-# Cell-size computation lives in the planner (PlanContext precomputes
-# per-bin cumsums at store open); the name is kept for importers.
+# Internal helpers historically imported from this module; the
+# implementations live in the planner now.
 _cell_sizes = cell_sizes
-
-
-def _covering_rows(row_starts: np.ndarray, cells: np.ndarray) -> list[int]:
-    """Indices of the block-table rows containing the given cells."""
-    if cells.size == 0 or row_starts.size == 0:
-        return []
-    rows = np.searchsorted(row_starts, cells, side="right") - 1
-    return np.unique(rows).tolist()
+_covering_rows = covering_rows

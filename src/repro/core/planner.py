@@ -36,7 +36,14 @@ from repro.sfc.linearize import CurveOrder
 if TYPE_CHECKING:
     from repro.core.meta import StoreMeta
 
-__all__ = ["QueryPlan", "PlanCache", "PlanContext", "plan_query", "cell_sizes"]
+__all__ = [
+    "QueryPlan",
+    "PlanCache",
+    "PlanContext",
+    "plan_query",
+    "cell_sizes",
+    "covering_rows",
+]
 
 
 @dataclass
@@ -357,3 +364,17 @@ def plan_query(
         interior=interior[order],
         region=region,
     )
+
+
+def covering_rows(row_starts: np.ndarray, cells: np.ndarray) -> list[int]:
+    """Indices of the block-table rows containing the given cells.
+
+    ``row_starts`` is a block table's per-row first-cell column (sorted
+    ascending); ``cells`` must be sorted ascending.  Used by the engine
+    to turn a set of needed layout cells into the distinct compression
+    blocks that must be fetched.
+    """
+    if cells.size == 0 or row_starts.size == 0:
+        return []
+    rows = np.searchsorted(row_starts, cells, side="right") - 1
+    return np.unique(rows).tolist()

@@ -16,7 +16,80 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ComponentTimes", "QueryResult", "BatchResult"]
+__all__ = [
+    "ComponentTimes",
+    "QueryResult",
+    "BatchResult",
+    "SUMMED_STAT_KEYS",
+    "FAULT_STAT_KEYS",
+    "UNION_STAT_KEYS",
+    "aggregate_stats",
+]
+
+#: The canonical additive ``QueryResult.stats`` counters.  Every path
+#: that rolls per-query stats into an aggregate (``query_many``,
+#: ``replay_trace``, the CLI) sums exactly this list — new counters
+#: register here once and flow everywhere, instead of each aggregator
+#: maintaining its own drifting copy.  ``stall_seconds`` is a float;
+#: everything else is integral.
+SUMMED_STAT_KEYS: tuple[str, ...] = (
+    "blocks_planned",
+    "blocks_decoded",
+    "cache_hits",
+    "cache_misses",
+    "cache_hit_raw_bytes",
+    "bytes_read",
+    "files_opened",
+    "seeks",
+    "vectored_reads",
+    "coalesced_reads",
+    "readahead_hits",
+    "stall_seconds",
+    "crc_failures",
+    "io_retries",
+    "degraded_points",
+    "dropped_points",
+    "n_results",
+    "plan_cache_hits",
+    "plan_cache_misses",
+)
+
+#: The fault-accounting subset (printed by the CLI, swept by the
+#: fault-tolerance experiment).
+FAULT_STAT_KEYS: tuple[str, ...] = (
+    "crc_failures",
+    "io_retries",
+    "degraded_points",
+    "dropped_points",
+)
+
+#: Collection-valued counters aggregated by set union, not addition.
+UNION_STAT_KEYS: tuple[str, ...] = ("partial_chunks",)
+
+
+def aggregate_stats(per_query: "list[dict] | tuple[dict, ...]") -> dict:
+    """Fold per-query ``stats`` dicts into one aggregate dict.
+
+    Sums every key in :data:`SUMMED_STAT_KEYS` (missing keys count as
+    zero, so older recorded stats aggregate cleanly) and unions the
+    keys in :data:`UNION_STAT_KEYS` into sorted lists.  Non-additive
+    counters (``quarantined_blocks`` is registry state, not a per-query
+    delta; ``n_ranks``/``backend`` are configuration) are the caller's
+    responsibility.
+    """
+    per_query = list(per_query)
+    out: dict = {}
+    for key in SUMMED_STAT_KEYS:
+        if key == "stall_seconds":
+            out[key] = float(sum(s.get(key, 0) for s in per_query))
+        else:
+            out[key] = int(sum(s.get(key, 0) for s in per_query))
+    for key in UNION_STAT_KEYS:
+        merged: set = set()
+        for s in per_query:
+            merged.update(s.get(key, ()))
+        out[key] = sorted(merged)
+    return out
 
 
 @dataclass

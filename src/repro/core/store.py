@@ -16,11 +16,17 @@ import numpy as np
 
 from repro.binning.binner import BinScheme
 from repro.core.chunking import ChunkGrid
+from repro.core.engine.session import RefinementSession
 from repro.core.executor import QueryExecutor
 from repro.core.meta import StoreMeta
 from repro.core.planner import PlanContext, QueryPlan
 from repro.core.query import Query
-from repro.core.result import BatchResult, ComponentTimes, QueryResult
+from repro.core.result import (
+    BatchResult,
+    ComponentTimes,
+    QueryResult,
+    aggregate_stats,
+)
 from repro.core.writer import make_curve
 from repro.index.bitmap import Bitmap
 from repro.parallel.simmpi import CommCostModel
@@ -64,6 +70,8 @@ class MLOCStore:
         max_read_retries: int = 2,
         read_backoff: float = 0.005,
         allow_partial: bool = False,
+        coalesce_gap: int = 0,
+        readahead: int = 0,
     ) -> None:
         self.fs = fs
         self.root = root.rstrip("/")
@@ -103,6 +111,8 @@ class MLOCStore:
             max_read_retries=max_read_retries,
             read_backoff=read_backoff,
             allow_partial=allow_partial,
+            coalesce_gap=coalesce_gap,
+            readahead=readahead,
         )
 
     # ------------------------------------------------------------------
@@ -155,6 +165,8 @@ class MLOCStore:
             max_read_retries=self.executor.max_read_retries,
             read_backoff=self.executor.read_backoff,
             allow_partial=self.executor.allow_partial,
+            coalesce_gap=self.executor.coalesce_gap,
+            readahead=self.executor.readahead,
         )
 
     @property
@@ -221,34 +233,52 @@ class MLOCStore:
         times = ComponentTimes()
         for r in results:
             times = times + r.times
-        stats = {
-            "n_queries": len(results),
-            "blocks_planned": int(sum(r.stats["blocks_planned"] for r in results)),
-            "blocks_decoded": int(sum(r.stats["blocks_decoded"] for r in results)),
-            "cache_hits": int(sum(r.stats["cache_hits"] for r in results)),
-            "cache_misses": int(sum(r.stats["cache_misses"] for r in results)),
-            "bytes_read": int(sum(r.stats["bytes_read"] for r in results)),
-            "files_opened": int(sum(r.stats["files_opened"] for r in results)),
-            "seeks": int(sum(r.stats["seeks"] for r in results)),
-            "crc_failures": int(sum(r.stats["crc_failures"] for r in results)),
-            "io_retries": int(sum(r.stats["io_retries"] for r in results)),
-            "degraded_points": int(
-                sum(r.stats["degraded_points"] for r in results)
-            ),
-            "dropped_points": int(sum(r.stats["dropped_points"] for r in results)),
-            "quarantined_blocks": len(self.executor.quarantine),
-            "partial_chunks": sorted(
-                set().union(*(r.stats["partial_chunks"] for r in results))
-            ),
-            "n_results": int(sum(r.stats["n_results"] for r in results)),
-            "plan_cache_hits": int(sum(r.stats["plan_cache_hits"] for r in results)),
-            "plan_cache_misses": int(
-                sum(r.stats["plan_cache_misses"] for r in results)
-            ),
-        }
+        stats = aggregate_stats(r.stats for r in results)
+        stats["n_queries"] = len(results)
+        stats["quarantined_blocks"] = len(self.executor.quarantine)
         if self.cache is not None:
             stats["cache"] = self.cache.stats.as_dict()
         return BatchResult(results=results, times=times, stats=stats)
+
+    def open_session(self, query: Query) -> RefinementSession:
+        """Open a progressive refinement session on ``query``.
+
+        The initial step executes immediately at ``query.plod_level``;
+        subsequent :meth:`RefinementSession.refine` calls fetch only the
+        byte-plane blocks the session does not already hold.
+        """
+        return RefinementSession(self, query)
+
+    def runtime_stats(self) -> dict:
+        """Open-state counters of this store handle (``mloc stats``).
+
+        Unlike per-query ``QueryResult.stats`` these describe the
+        *current* state of the handle's long-lived structures: the plan
+        cache, the decoded-block cache, and the quarantine registry.
+        """
+        out: dict = {
+            "n_ranks": self.executor.n_ranks,
+            "backend": self.executor.backend,
+            "coalesce_gap": self.executor.coalesce_gap,
+            "readahead": self.executor.readahead,
+        }
+        plan_cache = self.context.cache
+        if plan_cache is not None:
+            out["plan_cache"] = {
+                "hits": plan_cache.hits,
+                "misses": plan_cache.misses,
+                "size": len(plan_cache),
+                "capacity": self.plan_cache_size,
+            }
+        if self.cache is not None:
+            cache_stats = self.cache.stats.as_dict()
+            cache_stats["pinned_blocks"] = len(self.cache.pinned_keys())
+            out["block_cache"] = cache_stats
+        out["quarantine"] = {
+            f"{path}@{offset}": reason
+            for (path, offset), reason in sorted(self.executor.quarantine.items())
+        }
+        return out
 
     def fetch_positions(
         self,

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.query import Query
-from repro.core.result import ComponentTimes, QueryResult
+from repro.core.result import FAULT_STAT_KEYS, ComponentTimes, QueryResult
 from repro.core.store import MLOCStore
 
 __all__ = [
@@ -100,14 +100,9 @@ class TracingStore:
         return getattr(self.store, name)
 
 
-#: Read-path fault counters aggregated by :func:`replay_trace` (summed
-#: over queries; ``partial_chunks`` is the union of affected chunks).
-FAULT_STAT_KEYS = (
-    "crc_failures",
-    "io_retries",
-    "degraded_points",
-    "dropped_points",
-)
+# FAULT_STAT_KEYS is re-exported from repro.core.result — the canonical
+# counter registry — so replay aggregation can never drift from the
+# executor's emitted stats.
 
 
 @dataclass

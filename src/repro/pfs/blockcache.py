@@ -92,6 +92,8 @@ class BlockCache:
         self.capacity_bytes = int(capacity_bytes)
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, tuple[object, int]]" = OrderedDict()
+        #: key -> set of pin owners; pinned entries are never evicted.
+        self._pins: dict[tuple, set[object]] = {}
         self.stats = CacheStats(capacity_bytes=self.capacity_bytes)
 
     # ------------------------------------------------------------------
@@ -121,6 +123,49 @@ class BlockCache:
             self.stats.hit_bytes += entry[1]
             return entry[0]
 
+    def touch(self, key: tuple) -> bool:
+        """Refresh ``key``'s recency without counting a hit.
+
+        Lets the engine replay cache touches in deterministic plan
+        order after out-of-order lookups, keeping LRU state — and every
+        later query's hit pattern — independent of I/O scheduling.
+        """
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._entries.move_to_end(key)
+            return True
+
+    def pin(self, key: tuple, owner: object) -> bool:
+        """Protect ``key`` from eviction until ``owner`` releases it.
+
+        Used by refinement sessions to keep already-verified planes
+        resident across steps.  Pinning an absent key is a no-op
+        (returns False).
+        """
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._pins.setdefault(key, set()).add(owner)
+            return True
+
+    def release(self, owner: object) -> int:
+        """Drop every pin held by ``owner``; returns how many."""
+        with self._lock:
+            released = 0
+            for key in [k for k, owners in self._pins.items() if owner in owners]:
+                owners = self._pins[key]
+                owners.discard(owner)
+                released += 1
+                if not owners:
+                    del self._pins[key]
+            return released
+
+    def pinned_keys(self) -> list[tuple]:
+        """Currently pinned keys (for introspection/stats)."""
+        with self._lock:
+            return list(self._pins)
+
     def put(self, key: tuple, value: object) -> bool:
         """Insert a decoded block; returns False if it exceeds the budget."""
         nbytes = _entry_nbytes(value)
@@ -134,7 +179,14 @@ class BlockCache:
             self.stats.current_bytes += nbytes
             self.stats.insertions += 1
             while self.stats.current_bytes > self.capacity_bytes:
-                _, (_, evicted_nbytes) = self._entries.popitem(last=False)
+                victim = next(
+                    (k for k in self._entries if k not in self._pins), None
+                )
+                if victim is None:
+                    # Everything resident is pinned: tolerate the
+                    # overshoot rather than evict a held plane.
+                    break
+                _, evicted_nbytes = self._entries.pop(victim)
                 self.stats.current_bytes -= evicted_nbytes
                 self.stats.evictions += 1
             return True
@@ -151,6 +203,7 @@ class BlockCache:
             if path_prefix is None:
                 dropped = len(self._entries)
                 self._entries.clear()
+                self._pins.clear()
                 self.stats.current_bytes = 0
                 return dropped
             doomed = [
@@ -158,5 +211,6 @@ class BlockCache:
             ]
             for k in doomed:
                 _, nbytes = self._entries.pop(k)
+                self._pins.pop(k, None)
                 self.stats.current_bytes -= nbytes
             return len(doomed)

@@ -181,6 +181,9 @@ class IOStats:
     bytes_read: int = 0
     reads: int = 0
     stall_seconds: float = 0.0
+    #: Coalesced (vectored) span reads; each one bundles several block
+    #: extents into a single seek + contiguous transfer.
+    vectored_reads: int = 0
 
     def merge(self, other: "IOStats") -> None:
         """Fold ``other``'s counters into this one (for aggregation)."""
@@ -189,8 +192,14 @@ class IOStats:
         self.bytes_read += other.bytes_read
         self.reads += other.reads
         self.stall_seconds += other.stall_seconds
+        self.vectored_reads += other.vectored_reads
 
     def copy(self) -> "IOStats":
         return IOStats(
-            self.opens, self.seeks, self.bytes_read, self.reads, self.stall_seconds
+            self.opens,
+            self.seeks,
+            self.bytes_read,
+            self.reads,
+            self.stall_seconds,
+            self.vectored_reads,
         )

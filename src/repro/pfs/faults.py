@@ -238,7 +238,17 @@ class FaultInjectionLog:
 
 
 class _FaultyFileHandle(SimFileHandle):
-    """A read handle that applies the fault plan to every read."""
+    """A read handle that applies the fault plan to every read.
+
+    The inherited :meth:`~repro.pfs.simfs.SimFileHandle.readv` funnels
+    through this :meth:`read`, so a coalesced vectored read draws its
+    fault decision keyed on the *span* extent ``(path, span_offset,
+    span_length)`` — a different draw than the per-block extents a
+    ``coalesce_gap=0`` scheduler issues.  That is intentional: the
+    wire-level transfer really is one request, and the engine re-checks
+    each block's CRC after slicing the span, falling back to single
+    verified reads on damage.
+    """
 
     def read(self, offset: int, length: int) -> bytes:
         fs: FaultyPFS = self._session.fs

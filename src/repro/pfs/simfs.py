@@ -204,6 +204,14 @@ class SimulatedPFS:
         """Drop the extent cache: the next reads hit 'disk' again."""
         self._cache.clear()
 
+    def extent_cached(self, path: str, offset: int, length: int) -> bool:
+        """Whether every byte of [offset, offset+length) is cache-warm.
+
+        Purely observational (charges nothing); used by the engine's
+        I/O scheduler to attribute readahead hits.
+        """
+        return self._cache.uncached_bytes(path, offset, length) == 0
+
     # ------------------------------------------------------------------
     # Persistence (snapshots of the whole simulated file system)
     # ------------------------------------------------------------------
@@ -311,6 +319,34 @@ class SimFileHandle:
 
     def read_all(self) -> bytes:
         return self.read(0, self._session.fs.size(self._path))
+
+    def readv(self, extents: list[tuple[int, int]]) -> list[bytes]:
+        """Vectored read: fetch several extents as one contiguous span.
+
+        ``extents`` is a list of ``(offset, length)`` pairs sorted by
+        offset.  The whole span from the first offset to the last end is
+        transferred as a *single* positioned read — one seek (at most)
+        plus one contiguous transfer that includes the gap bytes between
+        extents.  That is the cost-model contract coalescing relies on:
+        trading gap bytes for seeks.  Returns one payload per extent.
+
+        Fault injection (:class:`repro.pfs.faults.FaultyPFS`) applies to
+        the *span* read — a transient error fails the whole vector, and
+        corruption lands somewhere inside it; callers re-verify each
+        extent's CRC individually and fall back to single reads.
+        """
+        if not extents:
+            return []
+        offsets = [o for o, _ in extents]
+        if any(b < a for a, b in zip(offsets, offsets[1:])):
+            raise ValueError("readv extents must be sorted by offset")
+        if any(length < 0 for _, length in extents):
+            raise ValueError("readv extent lengths must be >= 0")
+        span_start = offsets[0]
+        span_end = max(o + n for o, n in extents)
+        data = self.read(span_start, span_end - span_start)
+        self._session.stats.vectored_reads += 1
+        return [data[o - span_start : o - span_start + n] for o, n in extents]
 
 
 class PFSSession:

@@ -155,6 +155,56 @@ class TestCLI:
         assert main(["info", snap]) == 1
 
 
+class TestCLIRefineAndStats:
+    def test_refine_progressive_session(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "refine", snap, "--root", "/demo", "--variable", "potential",
+            "--vmin", "4.0", "--levels", "2,4,7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "level 2:" in out and "level 4:" in out and "level 7:" in out
+        assert "2 refine step(s)" in out
+        assert "raw bytes reused" in out
+
+    def test_refine_rejects_bad_levels(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "refine", snap, "--root", "/demo", "--variable", "potential",
+            "--levels", "4,2",
+        ]) == 2
+        assert "ascending" in capsys.readouterr().out
+
+    def test_stats_reports_open_state(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "stats", snap, "--root", "/demo", "--variable", "potential",
+            "--plan-cache", "8", "--cache-mb", "4",
+            "--spec", "vmin=4.0", "--spec", "vmin=4.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache: 1 hits, 1 misses" in out
+        assert "block cache:" in out
+        assert "quarantine: empty" in out
+
+    def test_stats_without_caches(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "stats", snap, "--root", "/demo", "--variable", "potential",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache: disabled" in out
+        assert "block cache: disabled" in out
+
+
 class TestCLIRelayout:
     def test_relayout_roundtrip(self, tmp_path, capsys):
         snap = str(tmp_path / "demo.pfs")

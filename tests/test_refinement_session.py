@@ -1,0 +1,198 @@
+"""Progressive refinement sessions: bit-identical to single-shot queries.
+
+The engine-level contract of :class:`~repro.core.engine.session.
+RefinementSession`: every step at PLoD level *k* returns exactly what a
+fresh single-shot query at level *k* returns — across level orders
+(V-M-S and V-S-M, including under the hierarchical Hilbert curve),
+codecs, decode backends, and under sticky injected faults — while
+fetching strictly fewer bytes than re-querying, because held planes are
+never re-fetched (the session-reuse rule of DESIGN.md §engine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, Query, mloc_col, mloc_isa, mloc_iso
+from repro.datasets import gts_like
+from repro.pfs import SimulatedPFS
+from repro.pfs.faults import FaultPlan, FaultyPFS
+
+LEVEL_STEPS = (2, 4, 7)
+
+
+def _build(config, data=None):
+    data = gts_like((64, 64), seed=11) if data is None else data
+    fs = SimulatedPFS()
+    MLOCWriter(fs, "/store", config).write(data, variable="field")
+    return fs, data
+
+
+def _plod_configs():
+    """PLoD-capable layouts: both level orders x plain/hierarchical curve."""
+    out = []
+    for level_order in ("VMS", "VSM"):
+        for curve in ("hilbert", "hierarchical"):
+            out.append(
+                pytest.param(
+                    mloc_col(
+                        chunk_shape=(16, 16),
+                        n_bins=8,
+                        target_block_bytes=2 * 1024,
+                        level_order=level_order,
+                        curve=curve,
+                    ),
+                    id=f"{level_order}-{curve}",
+                )
+            )
+    return out
+
+
+_QUERIES = [
+    pytest.param(Query(region=((8, 56), (8, 56)), output="values"), id="region"),
+    pytest.param(Query(value_range=(4.0, 6.0), output="values"), id="value"),
+]
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads"])
+@pytest.mark.parametrize("query_proto", _QUERIES)
+@pytest.mark.parametrize("config", _plod_configs())
+def test_steps_bit_identical_to_single_shot(config, query_proto, backend):
+    from dataclasses import replace
+
+    fs, _ = _build(config)
+    store = MLOCStore.open(fs, "/store", "field", n_ranks=4, backend=backend)
+    reference = MLOCStore.open(fs, "/store", "field", n_ranks=4, backend=backend)
+
+    query = replace(query_proto, plod_level=LEVEL_STEPS[0])
+    with store.open_session(query) as session:
+        for level in LEVEL_STEPS[1:]:
+            session.refine(level)
+        assert session.level == LEVEL_STEPS[-1]
+        assert session.refine_steps == len(LEVEL_STEPS) - 1
+        assert session.bytes_reused > 0
+
+        total_step_bytes = 0
+        total_fresh_bytes = 0
+        for level, step in zip(LEVEL_STEPS, session.results):
+            fs.clear_cache()
+            fresh = reference.query(replace(query_proto, plod_level=level))
+            assert np.array_equal(step.positions, fresh.positions), level
+            assert np.array_equal(step.values, fresh.values), level
+            total_step_bytes += int(step.stats["bytes_read"])
+            total_fresh_bytes += int(fresh.stats["bytes_read"])
+        # The session never re-fetches a held plane, so its total bytes
+        # are strictly below the sum of the independent queries.
+        assert total_step_bytes < total_fresh_bytes
+        # Refinement steps fetch only the missing byte-plane blocks.
+        for earlier, later in zip(session.results, session.results[1:]):
+            assert later.stats["bytes_read"] < total_fresh_bytes
+
+
+def test_refine_validation():
+    config = mloc_col(chunk_shape=(16, 16), n_bins=8, target_block_bytes=2 * 1024)
+    fs, _ = _build(config)
+    store = MLOCStore.open(fs, "/store", "field", n_ranks=4)
+    session = store.open_session(Query(region=((0, 32), (0, 32)), plod_level=3))
+    with pytest.raises(ValueError, match="to_level"):
+        session.refine(3)  # not strictly deeper
+    with pytest.raises(ValueError, match="to_level"):
+        session.refine(2)
+    with pytest.raises(ValueError):
+        session.refine(8)  # beyond full precision
+    session.refine(5)
+    assert session.level == 5
+    session.close()
+    with pytest.raises(ValueError, match="closed"):
+        session.refine(6)
+    session.close()  # idempotent
+
+
+@pytest.mark.parametrize("maker", [mloc_iso, mloc_isa], ids=["iso", "isa"])
+def test_refine_rejected_on_whole_value_layouts(maker):
+    """VS layouts have no PLoD planes; refine() must refuse clearly."""
+    config = maker(chunk_shape=(16, 16), n_bins=8, target_block_bytes=2 * 1024)
+    fs, _ = _build(config)
+    store = MLOCStore.open(fs, "/store", "field", n_ranks=4)
+    session = store.open_session(Query(region=((0, 32), (0, 32))))
+    assert session.result.n_results > 0
+    with pytest.raises(ValueError, match="PLoD"):
+        session.refine(7)
+
+
+@pytest.mark.parametrize("level_order", ["VMS", "VSM"])
+def test_steps_identical_under_sticky_faults(level_order, chaos_seed):
+    """Session steps equal fresh queries even when blocks rot on disk.
+
+    Sticky-only faults are deterministic per extent and persistent, so
+    two independent :class:`FaultyPFS` wrappers over the same base
+    store damage exactly the same blocks: the session (which answers
+    repeats from its quarantine without touching the PFS) and the
+    fresh per-level queries must drop exactly the same points.
+    """
+    from dataclasses import replace
+
+    config = mloc_col(
+        chunk_shape=(16, 16),
+        n_bins=8,
+        target_block_bytes=2 * 1024,
+        level_order=level_order,
+    )
+    fs, _ = _build(config)
+    plan = FaultPlan(seed=chaos_seed, sticky_corruption_rate=0.08).sticky_only()
+    ffs_session = FaultyPFS(fs, plan)
+    ffs_fresh = FaultyPFS(fs, plan)
+    store = MLOCStore.open(
+        ffs_session, "/store", "field",
+        n_ranks=4, allow_partial=True, max_read_retries=1,
+    )
+    reference = MLOCStore.open(
+        ffs_fresh, "/store", "field",
+        n_ranks=4, allow_partial=True, max_read_retries=1,
+    )
+
+    query = Query(region=((8, 56), (8, 56)), output="values", plod_level=LEVEL_STEPS[0])
+    with store.open_session(query) as session:
+        for level in LEVEL_STEPS[1:]:
+            session.refine(level)
+        for level, step in zip(LEVEL_STEPS, session.results):
+            ffs_fresh.clear_cache()
+            fresh = reference.query(replace(query, plod_level=level))
+            assert np.array_equal(step.positions, fresh.positions), level
+            assert np.array_equal(step.values, fresh.values), level
+            assert step.stats["dropped_points"] == fresh.stats["dropped_points"]
+            assert step.stats["partial_chunks"] == fresh.stats["partial_chunks"]
+
+
+def test_session_pins_cache_blocks_and_close_releases():
+    config = mloc_col(chunk_shape=(16, 16), n_bins=8, target_block_bytes=2 * 1024)
+    fs, _ = _build(config)
+    store = MLOCStore.open(
+        fs, "/store", "field", n_ranks=4, cache_bytes=1 << 20
+    )
+    session = store.open_session(Query(region=((8, 56), (8, 56)), plod_level=2))
+    assert len(store.cache.pinned_keys()) > 0
+    pinned_at_2 = len(store.cache.pinned_keys())
+    session.refine(7)
+    assert len(store.cache.pinned_keys()) >= pinned_at_2
+    session.close()
+    assert store.cache.pinned_keys() == []
+
+
+def test_concurrent_queries_cannot_evict_session_planes():
+    """A tiny LRU under churn keeps every pinned session plane resident."""
+    config = mloc_col(chunk_shape=(16, 16), n_bins=8, target_block_bytes=2 * 1024)
+    fs, _ = _build(config)
+    # Cache far too small for the whole working set: without pins the
+    # churn queries would evict the session's planes.
+    store = MLOCStore.open(fs, "/store", "field", n_ranks=4, cache_bytes=8 * 1024)
+    with store.open_session(
+        Query(region=((8, 24), (8, 24)), plod_level=2)
+    ) as session:
+        pinned = set(store.cache.pinned_keys())
+        assert pinned
+        for _ in range(3):
+            store.query(Query(region=((32, 64), (32, 64)), output="values"))
+        still_cached = {key for key in pinned if store.cache.get(key) is not None}
+        assert still_cached == pinned

@@ -1,0 +1,121 @@
+"""The canonical stats-counter registry and its aggregators.
+
+Satellite of the engine PR: every path that folds per-query
+``QueryResult.stats`` into an aggregate (``query_many``,
+``replay_trace``, the CLI) must consume the single registry in
+:mod:`repro.core.result` instead of maintaining its own key list — the
+pre-registry ``query_many`` silently dropped ``stall_seconds`` and
+``cache_hit_raw_bytes``, exactly the drift this kills.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MLOCStore, Query
+from repro.core.result import (
+    FAULT_STAT_KEYS,
+    SUMMED_STAT_KEYS,
+    UNION_STAT_KEYS,
+    aggregate_stats,
+)
+
+
+def test_aggregate_stats_sums_and_unions():
+    per_query = [
+        {"seeks": 3, "stall_seconds": 0.5, "partial_chunks": [2, 7]},
+        {"seeks": 4, "stall_seconds": 0.25, "partial_chunks": [7, 1]},
+    ]
+    out = aggregate_stats(per_query)
+    assert out["seeks"] == 7
+    assert out["stall_seconds"] == pytest.approx(0.75)
+    assert out["partial_chunks"] == [1, 2, 7]
+    # Missing keys count as zero, so older recorded stats fold cleanly.
+    assert out["bytes_read"] == 0
+    assert out["crc_failures"] == 0
+
+
+def test_aggregate_stats_empty_is_all_falsy():
+    out = aggregate_stats([])
+    for key, value in out.items():
+        assert not value, key
+
+
+def test_registry_shape():
+    assert set(FAULT_STAT_KEYS) <= set(SUMMED_STAT_KEYS)
+    assert "partial_chunks" in UNION_STAT_KEYS
+    # The engine's new counters are registered.
+    for key in ("vectored_reads", "coalesced_reads", "readahead_hits"):
+        assert key in SUMMED_STAT_KEYS
+    # Non-additive counters must NOT be in the summed list.
+    for key in ("quarantined_blocks", "n_ranks", "backend", "n_queries"):
+        assert key not in SUMMED_STAT_KEYS
+
+
+def test_trace_fault_keys_are_the_registry():
+    from repro.harness.trace import FAULT_STAT_KEYS as TRACE_KEYS
+
+    assert TRACE_KEYS is FAULT_STAT_KEYS
+
+
+def test_query_many_aggregates_every_summed_key(col_store):
+    """The batch aggregate now carries the full registry.
+
+    The hand-rolled pre-registry aggregate dropped ``stall_seconds``
+    and ``cache_hit_raw_bytes``; summing from ``SUMMED_STAT_KEYS``
+    makes the batch total of every registered counter equal the sum of
+    its per-query values.
+    """
+    fs, store = col_store
+    queries = [
+        Query(region=((0, 64), (0, 64)), output="values"),
+        Query(region=((32, 96), (32, 96)), output="values", plod_level=3),
+        Query(value_range=(4.0, 5.0), output="positions"),
+    ]
+    fs.clear_cache()
+    batch = store.query_many(queries)
+    for key in SUMMED_STAT_KEYS:
+        assert key in batch.stats, key
+        expected = sum(r.stats.get(key, 0) for r in batch.results)
+        assert batch.stats[key] == pytest.approx(expected), key
+    assert batch.stats["n_queries"] == 3
+    assert "quarantined_blocks" in batch.stats
+    # Configuration values are per-store, not batch aggregates.
+    assert "backend" not in batch.stats
+    assert "n_ranks" not in batch.stats
+
+
+def test_per_query_stats_cover_the_registry(col_store):
+    """Every registered counter is actually emitted per query."""
+    fs, store = col_store
+    fs.clear_cache()
+    result = store.query(Query(region=((0, 64), (0, 64)), output="values"))
+    for key in SUMMED_STAT_KEYS + UNION_STAT_KEYS:
+        assert key in result.stats, key
+
+
+def test_runtime_stats_snapshot(col_store):
+    fs, base = col_store
+    store = MLOCStore(
+        fs, base.root, base.meta, n_ranks=4,
+        cache_bytes=256 * 1024, plan_cache=8,
+    )
+    q = Query(region=((0, 64), (0, 64)), output="values")
+    store.query(q)
+    store.query(q)
+    snap = store.runtime_stats()
+    assert snap["n_ranks"] == 4
+    assert snap["backend"] == "serial"
+    assert snap["plan_cache"]["hits"] == 1
+    assert snap["plan_cache"]["misses"] == 1
+    assert snap["plan_cache"]["size"] == 1
+    assert snap["plan_cache"]["capacity"] == 8
+    assert snap["block_cache"]["hits"] > 0
+    assert snap["block_cache"]["current_bytes"] > 0
+    assert snap["block_cache"]["pinned_blocks"] == 0
+    assert snap["quarantine"] == {}
+    # Without the optional structures the sections are absent/plain.
+    bare = MLOCStore(fs, base.root, base.meta, n_ranks=4)
+    bare_snap = bare.runtime_stats()
+    assert "plan_cache" not in bare_snap
+    assert "block_cache" not in bare_snap
