@@ -28,7 +28,15 @@ import sys
 
 import numpy as np
 
-from repro.core import MLOCStore, MLOCWriter, Query, mloc_col
+from repro.core import (
+    EXEC_BACKENDS,
+    WRITE_BACKENDS,
+    MLOCStore,
+    MLOCWriter,
+    Query,
+    ShardedMLOCStore,
+    mloc_col,
+)
 from repro.core.aggregate import AGGREGATE_OPS, aggregate_query
 from repro.core.result import FAULT_STAT_KEYS
 from repro.pfs import SimulatedPFS
@@ -165,30 +173,57 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_write_options(sub_parser) -> None:
     sub_parser.add_argument(
         "--write-backend",
-        choices=["serial", "threads"],
+        choices=list(WRITE_BACKENDS),
         default="serial",
-        help="write-pipeline backend (bit-identical output either way)",
+        help="write-pipeline backend (bit-identical output for every choice)",
     )
     sub_parser.add_argument(
         "--write-workers",
         type=int,
         default=None,
-        help="thread-pool width for --write-backend threads (default: CPU count)",
+        help=(
+            "pool width for --write-backend threads/processes "
+            "(default: CPU count)"
+        ),
+    )
+    sub_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "report how the written bins would partition across this "
+            "many store shards (balance diagnostic; sharding itself is "
+            "metadata-level, no bytes change)"
+        ),
     )
 
 
 def _add_execution_options(sub_parser) -> None:
     sub_parser.add_argument(
         "--backend",
-        choices=["serial", "threads"],
+        choices=list(EXEC_BACKENDS),
         default="serial",
         help="decode-phase backend (identical simulated seconds)",
     )
     sub_parser.add_argument(
         "--threads",
+        "--workers",
+        dest="threads",
         type=int,
         default=None,
-        help="thread-pool width for --backend threads (default: CPU count)",
+        help=(
+            "pool width for --backend threads/processes "
+            "(default: CPU count)"
+        ),
+    )
+    sub_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "open the store as this many bin-range shards "
+            "(scatter/gather; identical results, per-shard parallelism)"
+        ),
     )
     sub_parser.add_argument(
         "--cache-mb",
@@ -239,11 +274,10 @@ def _add_execution_options(sub_parser) -> None:
     )
 
 
-def _open_store(fs, args) -> MLOCStore:
-    return MLOCStore.open(
-        fs,
-        args.root,
-        args.variable,
+def _open_store(fs, args) -> MLOCStore | ShardedMLOCStore:
+    if args.shards <= 0:
+        raise SystemExit(f"error: --shards must be positive, got {args.shards}")
+    options = dict(
         n_ranks=args.ranks,
         backend=args.backend,
         n_threads=args.threads,
@@ -254,6 +288,25 @@ def _open_store(fs, args) -> MLOCStore:
         allow_partial=args.allow_partial,
         coalesce_gap=args.coalesce_gap,
         readahead=args.readahead,
+    )
+    if args.shards > 1:
+        return ShardedMLOCStore.open(
+            fs, args.root, args.variable, n_shards=args.shards, **options
+        )
+    return MLOCStore.open(fs, args.root, args.variable, **options)
+
+
+def _print_shard_balance(fs, root: str, variable: str, n_shards: int) -> None:
+    """Report how a sharded open would split the just-written bins."""
+    if n_shards <= 1:
+        return
+    sharded = ShardedMLOCStore.open(fs, root, variable, n_shards=n_shards)
+    weights = sharded.shard_weights()
+    total = float(weights.sum()) or 1.0
+    print(
+        f"shard balance ({n_shards} shards): bin bounds "
+        f"{[int(b) for b in sharded.shard_bounds]}, stored-byte shares "
+        + ", ".join(f"{w / total:.0%}" for w in weights)
     )
 
 
@@ -321,6 +374,7 @@ def _cmd_demo(args) -> int:
         f"wrote /demo/potential: {args.size}x{args.size} field, "
         f"{report.total_ratio:.0%} of raw, snapshot -> {args.snapshot}"
     )
+    _print_shard_balance(fs, "/demo", "potential", args.shards)
     return 0
 
 
@@ -459,6 +513,9 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_refine(args) -> int:
+    if args.shards > 1:
+        print("error: refinement sessions are not sharded (drop --shards)")
+        return 2
     fs = SimulatedPFS.load(args.snapshot)
     store = _open_store(fs, args)
     try:
@@ -518,6 +575,16 @@ def _cmd_stats(args) -> int:
     for query in queries:
         store.query(query)
     snapshot = store.runtime_stats()
+    if args.shards > 1:
+        weights = snapshot["shard_weights"]
+        total = sum(weights) or 1.0
+        print(
+            f"shards: {snapshot['n_shards']}, bin bounds "
+            f"{snapshot['shard_bounds']}, stored-byte shares "
+            + ", ".join(f"{w / total:.0%}" for w in weights)
+        )
+        snapshot = snapshot["shards"][0]
+        print("per-shard handle (shard 0):")
     print(
         f"executor: {snapshot['n_ranks']} ranks, {snapshot['backend']} backend, "
         f"coalesce_gap={snapshot['coalesce_gap']}, "
@@ -580,6 +647,7 @@ def _cmd_relayout(args) -> int:
         f"stored at {report.write_report.total_ratio:.0%} of raw"
         + (" [approximate: lossy source]" if report.approximate else "")
     )
+    _print_shard_balance(fs, args.target_root, args.variable, args.shards)
     return 0
 
 

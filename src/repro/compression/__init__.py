@@ -11,6 +11,7 @@ from repro.compression.base import (
     CodecDecodeError,
     FloatCodec,
     codec_names,
+    from_spec,
     make_codec,
     register_codec,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "codec_names",
     "compress_planes",
     "decompress_planes",
+    "from_spec",
     "make_codec",
     "register_codec",
 ]

@@ -28,6 +28,12 @@ every registered codec must satisfy two rules:
   mutable caches (ISABELA's design matrices) must still guard them,
   because a single instance may also be shared (the read executor
   decodes on a pool with one codec).
+* every codec **round-trips through pickle** and exposes a
+  ``spec()``/:func:`from_spec` pair: the ``processes`` backends ship
+  work to spawned workers as ``(name, params)`` specs, never live
+  instances, so derived state (caches, locks) must either pickle
+  cleanly or be dropped and rebuilt on unpickle
+  (``tests/test_codec_pickle.py`` audits every registered codec).
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ __all__ = [
     "decode_guard",
     "register_codec",
     "make_codec",
+    "from_spec",
     "codec_names",
 ]
 
@@ -90,7 +97,23 @@ def decode_guard(fn: Callable) -> Callable:
     return wrapped
 
 
-class ByteCodec(ABC):
+class _SpecMixin:
+    """Portable ``(name, params)`` identity of a codec instance.
+
+    :func:`make_codec` stamps the constructor params onto every
+    instance it builds, so ``spec()`` captures exactly what is needed
+    to rebuild an equivalent codec anywhere — in particular inside a
+    spawned ``processes``-backend worker, where live instances never
+    travel.  ``params`` is a sorted, hashable items tuple, usable
+    directly as a worker-side cache key.
+    """
+
+    def spec(self) -> tuple[str, tuple]:
+        """``(name, params_items)`` rebuilding this codec via :func:`from_spec`."""
+        return self.name, getattr(self, "_spec_params", ())
+
+
+class ByteCodec(_SpecMixin, ABC):
     """Compressor for opaque byte buffers."""
 
     #: Registry name; set by subclasses.
@@ -119,7 +142,7 @@ class ByteCodec(ABC):
         """Recover the original ``raw_len`` bytes from ``payload``."""
 
 
-class FloatCodec(ABC):
+class FloatCodec(_SpecMixin, ABC):
     """Compressor for 1-D float64 arrays."""
 
     name: str = "abstract-float"
@@ -160,7 +183,15 @@ def make_codec(name: str, **params) -> ByteCodec | FloatCodec:
         raise ValueError(
             f"unknown codec {name!r}; registered: {sorted(_REGISTRY)}"
         ) from None
-    return factory(**params)
+    codec = factory(**params)
+    codec._spec_params = tuple(sorted(params.items()))
+    return codec
+
+
+def from_spec(spec: tuple[str, tuple]) -> ByteCodec | FloatCodec:
+    """Rebuild a codec from a :meth:`_SpecMixin.spec` tuple."""
+    name, params_items = spec
+    return make_codec(name, **dict(params_items))
 
 
 def codec_names() -> list[str]:

@@ -112,6 +112,25 @@ class IsabelaCodec(FloatCodec):
         self._design: dict[int, np.ndarray] = {}
         self._design_lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        """Pickle only the configuration, never the derived state.
+
+        The design cache and its lock are rebuild-on-demand worker
+        state: the lock is unpicklable (it would break the spawn-based
+        ``processes`` backend outright) and shipping cached basis
+        matrices would just bloat the spec for something each process
+        recomputes once per window length.
+        """
+        state = self.__dict__.copy()
+        state["_design"] = {}
+        del state["_design_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._design = {}
+        self._design_lock = threading.Lock()
+
     def _design_matrix(self, w: int) -> np.ndarray:
         """Basis matrix B with ``B[i, j] = B_j(x_i)`` for length ``w``."""
         with self._design_lock:

@@ -21,6 +21,7 @@ from repro.core.aggregate import AGGREGATE_OPS, AggregateResult, aggregate_query
 from repro.core.chunking import ChunkGrid, normalize_region, region_size
 from repro.core.compound import CompoundResult, VariableConstraint, compound_query
 from repro.core.config import (
+    EXEC_BACKENDS,
     LEVEL_ORDERS,
     WRITE_BACKENDS,
     ExecutionConfig,
@@ -38,6 +39,7 @@ from repro.core.multivar import MultiVarResult, multi_variable_query
 from repro.core.planner import PlanCache, PlanContext, QueryPlan, plan_query
 from repro.core.query import Query
 from repro.core.result import BatchResult, ComponentTimes, QueryResult
+from repro.core.sharded import ShardedMLOCStore
 from repro.core.staging import InSituStager, StagingOverflow, StagingReport
 from repro.core.store import MLOCStore, StorageReport
 from repro.core.writer import MLOCWriter, WriteReport
@@ -51,6 +53,7 @@ __all__ = [
     "CompoundResult",
     "ComponentTimes",
     "DegradedResultError",
+    "EXEC_BACKENDS",
     "ExecutionConfig",
     "InSituStager",
     "LEVEL_ORDERS",
@@ -67,6 +70,7 @@ __all__ = [
     "QueryPlan",
     "QueryResult",
     "RefinementSession",
+    "ShardedMLOCStore",
     "StagingOverflow",
     "StagingReport",
     "StorageReport",

@@ -30,6 +30,7 @@ __all__ = [
     "MLOCConfig",
     "ExecutionConfig",
     "LEVEL_ORDERS",
+    "EXEC_BACKENDS",
     "WRITE_BACKENDS",
     "mloc_col",
     "mloc_iso",
@@ -38,9 +39,16 @@ __all__ = [
 
 LEVEL_ORDERS = ("VMS", "VSM", "VS")
 
+#: Execution backends shared by the read path and the write pipeline.
+#: ``threads``/``processes`` are bit-identical to ``serial`` for any
+#: worker count; ``auto`` resolves per call to ``serial`` or
+#: ``processes`` via the workload-size heuristic
+#: (:data:`repro.parallel.procpool.AUTO_PROCESS_MIN_BYTES`).
+EXEC_BACKENDS = ("serial", "threads", "processes", "auto")
+
 #: Write-pipeline backends of :class:`~repro.core.writer.MLOCWriter`;
-#: both produce bit-identical subfiles and metadata.
-WRITE_BACKENDS = ("serial", "threads")
+#: all produce bit-identical subfiles and metadata.
+WRITE_BACKENDS = EXEC_BACKENDS
 
 _CURVES = ("hilbert", "zorder", "rowmajor", "hierarchical")
 
@@ -147,11 +155,19 @@ class ExecutionConfig:
     Attributes
     ----------
     backend:
-        ``"serial"`` (default) or ``"threads"``; the threaded backend
-        runs block decodes on a thread pool (zlib releases the GIL) and
-        produces identical results and simulated seconds.
+        One of :data:`EXEC_BACKENDS` (default ``"serial"``):
+        ``"threads"`` runs block decodes on a thread pool (zlib
+        releases the GIL), ``"processes"`` on the persistent
+        shared-nothing spawned worker pool (the GIL-free path), and
+        ``"auto"`` picks ``serial`` or ``processes`` per query by
+        workload size.  All produce identical results and simulated
+        seconds.
     n_threads:
-        Pool width for the ``"threads"`` backend; ``None`` = CPU count.
+        Pool width for the ``"threads"``/``"processes"`` backends;
+        ``None`` = CPU count (also settable as ``workers``).
+    workers:
+        Backend-neutral alias for ``n_threads`` (ignored when
+        ``n_threads`` is also set).
     cache_bytes:
         Byte budget of the shared decoded-block LRU; 0 disables caching
         (the paper's cold-cache measurement discipline).
@@ -161,13 +177,14 @@ class ExecutionConfig:
         plan a fresh call would produce — the knob trades a little
         memory for skipping the plan phase on repeated query shapes.
     write_backend:
-        ``"serial"`` (default) or ``"threads"``; mirrors ``backend``
-        for :class:`~repro.core.writer.MLOCWriter` — the threaded
-        writer fans per-chunk encoding and block compression out on a
-        pool while committing blocks in serial cell order.
+        One of :data:`WRITE_BACKENDS` (default ``"serial"``); mirrors
+        ``backend`` for :class:`~repro.core.writer.MLOCWriter` — the
+        pool writers fan block compression (and, under ``"threads"``,
+        per-chunk encoding) out while committing blocks in serial cell
+        order.
     write_workers:
-        Pool width for ``write_backend="threads"``; ``None`` = CPU
-        count.
+        Pool width for the ``"threads"``/``"processes"`` write
+        backends; ``None`` = CPU count.
     max_read_retries:
         How many times a failed block read (transient I/O error or CRC
         mismatch) is retried before the block is quarantined (read-path
@@ -196,6 +213,7 @@ class ExecutionConfig:
 
     backend: str = "serial"
     n_threads: int | None = None
+    workers: int | None = None
     cache_bytes: int = 0
     plan_cache: int = 0
     write_backend: str = "serial"
@@ -207,12 +225,14 @@ class ExecutionConfig:
     readahead: int = 0
 
     def __post_init__(self) -> None:
-        if self.backend not in ("serial", "threads"):
+        if self.backend not in EXEC_BACKENDS:
             raise ValueError(
-                f"backend must be 'serial' or 'threads', got {self.backend!r}"
+                f"backend must be one of {EXEC_BACKENDS}, got {self.backend!r}"
             )
         if self.n_threads is not None and self.n_threads <= 0:
             raise ValueError(f"n_threads must be positive, got {self.n_threads}")
+        if self.workers is not None and self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
         if self.cache_bytes < 0:
             raise ValueError(f"cache_bytes must be >= 0, got {self.cache_bytes}")
         if self.plan_cache < 0:
@@ -240,7 +260,7 @@ class ExecutionConfig:
         """Keyword arguments for :meth:`MLOCStore.open`."""
         return {
             "backend": self.backend,
-            "n_threads": self.n_threads,
+            "n_threads": self.n_threads if self.n_threads is not None else self.workers,
             "cache_bytes": self.cache_bytes,
             "plan_cache": self.plan_cache,
             "max_read_retries": self.max_read_retries,

@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.parallel.procpool import PoolBrokenError, ProcessPool
 from repro.pfs.blockcache import BlockCache
 from repro.pfs.faults import TransientIOError
 from repro.pfs.simfs import PFSSession, SimulatedPFS
@@ -46,12 +47,15 @@ _MAX_READAHEAD_SPANS = 16
 class _DecodeJob:
     """One deferred block decode; ``result`` is set by :meth:`run`."""
 
-    __slots__ = ("_fn", "result", "done")
+    __slots__ = ("_fn", "result", "done", "task")
 
     def __init__(self, fn: Callable[[], object] | None = None, result: object = None):
         self._fn = fn
         self.result = result
         self.done = fn is None
+        #: Picklable ``(spec, payload)`` equivalent of the decode
+        #: closure, shipped to ``processes``-backend workers.
+        self.task: tuple | None = None
 
     @classmethod
     def placeholder(cls) -> "_DecodeJob":
@@ -67,6 +71,7 @@ class _DecodeJob:
     def mark_lost(self) -> None:
         """Record that the block's verified read exhausted its retries."""
         self._fn = None
+        self.task = None
         self.result = None
         self.done = True
 
@@ -74,7 +79,15 @@ class _DecodeJob:
         if not self.done:
             self.result = self._fn()
             self._fn = None
+            self.task = None
             self.done = True
+
+    def finish(self, result: object) -> None:
+        """Complete the job with a result computed elsewhere (a worker)."""
+        self.result = result
+        self._fn = None
+        self.task = None
+        self.done = True
 
 
 def _job_lost(job: _DecodeJob) -> bool:
@@ -154,6 +167,11 @@ class PendingRead:
     #: (rank, bin_seq, kind, row) — the pre-refactor plan order, used
     #: to replay decode/cache-insertion order deterministically.
     order_key: tuple
+    #: Picklable decode spec (see :func:`repro.parallel.procpool.run_task`);
+    #: paired with the verified payload it is the shippable equivalent
+    #: of ``decode`` for the ``processes`` backend.  ``None`` pins the
+    #: block to inline/thread execution.
+    spec: tuple | None = None
 
 
 class _BlockFetcher:
@@ -180,6 +198,9 @@ class _BlockFetcher:
         self.lost = 0
         self.hit_raw_bytes = 0
         self.miss_raw_bytes = 0
+        #: Decode batches that fell back inline on a broken process pool.
+        self.pool_failures = 0
+        self._pending_raw = 0
 
     @property
     def caching(self) -> bool:
@@ -189,6 +210,11 @@ class _BlockFetcher:
     def pending_count(self) -> int:
         """Decode jobs enqueued by the plan phase but not yet run."""
         return len(self._pending)
+
+    def pending_raw_bytes(self) -> int:
+        """Raw (decoded) bytes the pending jobs will produce — the
+        decode-work size the ``auto`` backend heuristic thresholds on."""
+        return self._pending_raw
 
     def held_keys(self) -> list[tuple]:
         """Keys whose decoded blocks this fetcher currently retains."""
@@ -233,8 +259,11 @@ class _BlockFetcher:
     def resolve_success(self, read: PendingRead, payload: bytes) -> None:
         """Arm the job with its decode and enqueue it for the decode phase."""
         read.job.arm(lambda payload=payload, decode=read.decode: decode(payload))
+        if read.spec is not None:
+            read.job.task = (read.spec, payload)
         self.misses += 1
         self.miss_raw_bytes += read.raw_bytes
+        self._pending_raw += read.raw_bytes
         read.raw[read.raw_kind] += read.raw_bytes
         self._pending.append((read.order_key, read.key, read.job))
 
@@ -245,17 +274,18 @@ class _BlockFetcher:
         if read.key is not None and self._jobs.get(read.key) is read.job:
             del self._jobs[read.key]
 
-    def run(self, pool: ThreadPoolExecutor | None) -> int:
+    def run(self, pool: ThreadPoolExecutor | ProcessPool | None) -> int:
         """Execute pending decode jobs; returns how many ran.
 
         Cache touches are replayed and insertions performed in plan
-        order (never from worker threads or I/O order), so LRU and
-        eviction state — and therefore later queries' hit patterns —
-        is identical to the pre-refactor executor and independent of
-        backend and coalescing.
+        order (never from worker threads, worker processes, or I/O
+        order), so LRU and eviction state — and therefore later
+        queries' hit patterns — is identical to the pre-refactor
+        executor and independent of backend and coalescing.
         """
         pending, self._pending = self._pending, []
         touches, self._touches = self._touches, []
+        self._pending_raw = 0
         if self.cache is not None and touches:
             for _, key in sorted(touches):
                 self.cache.touch(key)
@@ -263,6 +293,8 @@ class _BlockFetcher:
         if pool is None:
             for _, _, job in pending:
                 job.run()
+        elif isinstance(pool, ProcessPool):
+            self._run_on_processes(pool, pending)
         else:
             list(pool.map(lambda item: item[2].run(), pending))
         if self.cache is not None:
@@ -270,6 +302,33 @@ class _BlockFetcher:
                 if key is not None:
                     self.cache.put(key, job.result)
         return len(pending)
+
+    def _run_on_processes(self, pool: ProcessPool, pending: list) -> None:
+        """Ship the pending decode specs to the worker pool.
+
+        Tasks are submitted — and results committed — in sorted plan
+        order, so the outcome is bit-identical to inline execution.  A
+        broken pool (a worker died mid-batch) falls back to running
+        every job inline from its retained closure: nothing hangs and
+        no block is dropped; the fallback is counted in
+        ``pool_failures`` and surfaced as
+        ``stats["decode_pool_failures"]``.  A job without a picklable
+        spec pins the whole batch inline (correctness over overlap).
+        """
+        tasks = [job.task for _, _, job in pending]
+        if any(task is None for task in tasks):
+            for _, _, job in pending:
+                job.run()
+            return
+        try:
+            results = pool.run_tasks(tasks)
+        except PoolBrokenError:
+            self.pool_failures += 1
+            for _, _, job in pending:
+                job.run()
+            return
+        for (_, _, job), result in zip(pending, results):
+            job.finish(result)
 
 
 class IOScheduler:

@@ -13,9 +13,11 @@ the monolithic executor's control flow rebuilt around explicit stages:
    near-adjacent extents into vectored reads (``coalesce_gap``) and
    prefetching ahead (``readahead``).  All verified-read / retry /
    quarantine semantics live in the scheduler;
-3. **Decode** — pending decode jobs run inline (``serial``) or on a
-   thread pool (``threads``); accounting was fixed during planning, so
-   both backends produce bit-identical results and identical
+3. **Decode** — pending decode jobs run inline (``serial``), on a
+   thread pool (``threads``), or as picklable specs on the persistent
+   spawned worker pool (``processes``, the GIL-free path); accounting
+   was fixed during planning and results commit in plan order, so
+   every backend produces bit-identical results and identical
    simulated seconds;
 4. **Assemble** — positions and values are gathered out of the
    decoded blocks as contiguous runs, byte planes are reassembled,
@@ -67,6 +69,7 @@ from repro.core.query import Query
 from repro.core.result import ComponentTimes, QueryResult
 from repro.index.binindex import decode_position_block_flat
 from repro.index.bitmap import Bitmap
+from repro.parallel.procpool import AUTO_PROCESS_MIN_BYTES, get_pool
 from repro.parallel.scheduler import (
     BlockList,
     column_order_assignment,
@@ -84,6 +87,7 @@ __all__ = [
     "QueryEngine",
     "RankOutput",
     "BACKENDS",
+    "AUTO_PROCESS_MIN_BYTES",
     "INDEX_DECODE_THROUGHPUT",
     "ASSEMBLY_THROUGHPUT",
 ]
@@ -98,8 +102,12 @@ INDEX_DECODE_THROUGHPUT = 240e6
 #: memcpy-class work, calibrated like the codec throughputs.
 ASSEMBLY_THROUGHPUT = 600e6
 
-#: Real-execution backends for the decode phase.
-BACKENDS = ("serial", "threads")
+#: Real-execution backends for the decode phase.  ``"threads"`` and
+#: ``"processes"`` are bit-identical to ``"serial"`` (enforced by
+#: ``tests/test_backend_equivalence.py``); ``"auto"`` resolves per
+#: query to ``serial`` or ``processes`` via the size heuristic below.
+BACKENDS = ("serial", "threads", "processes", "auto")
+
 
 _SCHEDULERS = {
     "column": column_order_assignment,
@@ -191,13 +199,23 @@ class QueryEngine:
     Parameters
     ----------
     backend:
-        ``"serial"`` runs decode jobs inline; ``"threads"`` runs them on
-        a thread pool (zlib/NumPy release the GIL).  Both produce
+        ``"serial"`` runs decode jobs inline; ``"threads"`` runs them
+        on a thread pool (zlib/NumPy release the GIL);
+        ``"processes"`` ships picklable decode specs to the persistent
+        shared-nothing worker pool
+        (:mod:`repro.parallel.procpool`), the only backend that
+        escapes the GIL on CPU-bound codecs.  All three produce
         bit-identical results and identical simulated seconds — the
-        backend only changes real wall-clock time.
+        backend only changes real wall-clock time.  ``"auto"``
+        resolves per query: ``serial`` when only one worker is
+        available or the pending decode work is under
+        :data:`AUTO_PROCESS_MIN_BYTES`, ``processes`` otherwise.
     n_threads:
-        Thread-pool width for the ``"threads"`` backend (default: CPU
-        count).
+        Worker-pool width for the ``"threads"``/``"processes"``
+        backends (default: CPU count).
+    workers:
+        Backend-neutral alias for ``n_threads`` (ignored when
+        ``n_threads`` is also given).
     cache:
         Optional shared :class:`~repro.pfs.blockcache.BlockCache` of
         decoded blocks; hits skip simulated I/O and modeled decode time.
@@ -248,6 +266,7 @@ class QueryEngine:
         comm_cost: CommCostModel | None = None,
         backend: str = "serial",
         n_threads: int | None = None,
+        workers: int | None = None,
         cache: BlockCache | None = None,
         generation: int = 0,
         context: PlanContext | None = None,
@@ -267,6 +286,8 @@ class QueryEngine:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if n_threads is not None and n_threads <= 0:
             raise ValueError(f"n_threads must be positive, got {n_threads}")
+        if workers is not None and workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
         if max_read_retries < 0:
             raise ValueError(
                 f"max_read_retries must be >= 0, got {max_read_retries}"
@@ -285,7 +306,7 @@ class QueryEngine:
         self.n_ranks = n_ranks
         self.scheduler = scheduler
         self.backend = backend
-        self.n_threads = n_threads
+        self.n_threads = n_threads if n_threads is not None else workers
         self.cache = cache
         self.generation = generation
         self.max_read_retries = max_read_retries
@@ -358,8 +379,10 @@ class QueryEngine:
         for state in states:
             self._classify_rank_values(state, fctx)
 
-        # Stage 3 (Decode): the only concurrent part (threads backend).
-        blocks_decoded = self._run_decodes(fetcher)
+        # Stage 3 (Decode): the only concurrent part (threads or
+        # processes backend).
+        pool_failures0 = fetcher.pool_failures
+        blocks_decoded, decode_backend = self._run_decodes(fetcher)
         # Stage 4 (Assemble): measured CPU, deterministic rank order.
         rank_outputs = [
             self._finish_rank(state, query, plan, position_filter, fctx)
@@ -404,6 +427,8 @@ class QueryEngine:
             "chunks_accessed": int(plan.cpos.size),
             "blocks_planned": len(blocks),
             "blocks_decoded": blocks_decoded,
+            "decode_backend": decode_backend,
+            "decode_pool_failures": fetcher.pool_failures - pool_failures0,
             "cache_hits": fetcher.hits - hits0,
             "cache_misses": fetcher.misses - misses0,
             "cache_hit_raw_bytes": fetcher.hit_raw_bytes - hit_raw0,
@@ -425,20 +450,34 @@ class QueryEngine:
         return QueryResult(positions=positions, values=values, times=times, stats=stats)
 
     # ------------------------------------------------------------------
-    def _run_decodes(self, fetcher: _BlockFetcher) -> int:
+    def _run_decodes(self, fetcher: _BlockFetcher) -> tuple[int, str]:
         """Run the decode stage on the configured backend.
 
-        A pool is only spun up when it can actually overlap work: with
-        one effective worker (or fewer than two pending jobs) the
-        threaded backend decodes inline, avoiding pure dispatch
-        overhead on single-core machines.
+        Returns ``(blocks_decoded, resolved_backend)``.  A pool is
+        only engaged when it can actually overlap work: with one
+        effective worker (or fewer than two pending jobs) every
+        backend decodes inline, avoiding pure dispatch overhead on
+        single-core machines.  ``"auto"`` resolves to the process pool
+        only when the pending raw decode bytes clear
+        :data:`AUTO_PROCESS_MIN_BYTES` — below that, pickling payloads
+        to workers costs more than the GIL-free decode saves.
         """
         n_pending = fetcher.pending_count()
-        workers = min(self.n_threads or os.cpu_count() or 1, n_pending)
-        if self.backend == "threads" and workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return fetcher.run(pool)
-        return fetcher.run(None)
+        width = self.n_threads or os.cpu_count() or 1
+        resolved = self.backend
+        if resolved == "auto":
+            resolved = (
+                "processes"
+                if width > 1
+                and fetcher.pending_raw_bytes() >= AUTO_PROCESS_MIN_BYTES
+                else "serial"
+            )
+        if resolved == "threads" and min(width, n_pending) > 1:
+            with ThreadPoolExecutor(max_workers=min(width, n_pending)) as pool:
+                return fetcher.run(pool), resolved
+        if resolved == "processes" and width > 1 and n_pending > 1:
+            return fetcher.run(get_pool(width)), resolved
+        return fetcher.run(None), resolved
 
     # ------------------------------------------------------------------
     def _plan_rank_index(
@@ -523,6 +562,7 @@ class QueryEngine:
                         raw=state.raw,
                         key=key if fetcher.caching else None,
                         order_key=order_key,
+                        spec=("index", counts_slice),
                     )
                 )
             bin_plan.index_entries.append((cpos_start, cpos_end, offset, job))
@@ -619,6 +659,7 @@ class QueryEngine:
         all_cells = np.unique(np.concatenate(cells_per_group))
         jobs: dict[int, _DecodeJob] = {}
         codec = self._codec
+        codec_name, codec_params = codec.spec()
         for row_idx in covering_rows(row_starts, all_cells):
             offset, comp_len, raw_len = (int(v) for v in table[row_idx][2:5])
             crc = int(table[row_idx][5])
@@ -626,10 +667,12 @@ class QueryEngine:
                 decode = lambda payload, raw_len=raw_len: np.frombuffer(  # noqa: E731
                     codec.decode(payload, raw_len), dtype=np.uint8
                 )
+                spec = ("bytes", codec_name, codec_params, raw_len)
             else:
                 decode = lambda payload, raw_len=raw_len: codec.decode(  # noqa: E731
                     payload, raw_len // 8
                 )
+                spec = ("float", codec_name, codec_params, raw_len // 8)
             key = (fetcher.generation, path, offset)
             order_key = (state.rank, bin_plan.seq, 1, row_idx)
             job, hit = fetcher.request_deferred(key, raw_len, order_key)
@@ -648,6 +691,7 @@ class QueryEngine:
                         raw=state.raw,
                         key=key if fetcher.caching else None,
                         order_key=order_key,
+                        spec=spec,
                     )
                 )
             jobs[row_idx] = job

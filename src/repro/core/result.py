@@ -35,6 +35,7 @@ __all__ = [
 SUMMED_STAT_KEYS: tuple[str, ...] = (
     "blocks_planned",
     "blocks_decoded",
+    "decode_pool_failures",
     "cache_hits",
     "cache_misses",
     "cache_hit_raw_bytes",

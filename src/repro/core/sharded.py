@@ -1,0 +1,280 @@
+"""ShardedMLOCStore: bin-range scale-out over independent stores.
+
+One :class:`~repro.core.store.MLOCStore` serves a variable through a
+single executor.  For datasets past what one store instance should
+own (the 512 GB harness configurations), this module partitions the
+*bin axis* across ``n_shards`` independent store handles: shard ``s``
+owns the contiguous bin range ``[bounds[s], bounds[s+1])`` — the
+shard-level extension of the column-order rule (each executor touches
+the fewest bin subfiles, and a narrow value-range query touches the
+fewest shards).  Ranges are cut by
+:func:`~repro.parallel.scheduler.weighted_bin_partition` over per-bin
+stored bytes, so shards carry near-equal data volumes.
+
+Sharding is **metadata-level only**: the on-disk layout (subfiles,
+block tables, metadata — FORMAT.md) is byte-identical to the
+unsharded store; a shard is an ordinary store handle whose queries
+are narrowed to its bin range.  Consequently any store can be opened
+with any shard count, and reads scatter/gather:
+
+* **scatter** — the query is planned once against the shared
+  :class:`~repro.core.planner.PlanContext`, then the plan is narrowed
+  per shard by bin mask.  The narrowed plans exactly partition the
+  planned work (every (bin, chunk) block lands in exactly one shard),
+  and shards whose range contains no planned bin are skipped.
+* **gather** — every stored element belongs to exactly one bin, hence
+  one shard, so concatenating shard results and sorting by position
+  reproduces the unsharded answer bit-for-bit (positions are unique;
+  pinned by ``tests/test_sharded_store.py``).
+
+Shards are notionally concurrent store servers: merged component
+times take the per-component **max** over shards (the slowest shard
+gates the answer), which is what produces the near-linear simulated
+scaling of the harness' per-shard scaling rows.  Stats are merged
+through the canonical :data:`~repro.core.result.SUMMED_STAT_KEYS`
+registry.  Decode work of every shard lands on the same persistent
+process pool under ``backend="processes"`` (one warm pool per width,
+:func:`~repro.parallel.procpool.get_pool`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.planner import QueryPlan
+from repro.core.query import Query
+from repro.core.result import (
+    BatchResult,
+    ComponentTimes,
+    QueryResult,
+    aggregate_stats,
+)
+from repro.core.store import MLOCStore, StorageReport
+from repro.index.bitmap import Bitmap
+from repro.parallel.scheduler import weighted_bin_partition
+from repro.pfs.simfs import SimulatedPFS
+
+__all__ = ["ShardedMLOCStore"]
+
+
+def _max_times(times: list[ComponentTimes]) -> ComponentTimes:
+    """Component-wise max: concurrent shards, slowest gates each phase."""
+    return ComponentTimes(
+        io=max((t.io for t in times), default=0.0),
+        decompression=max((t.decompression for t in times), default=0.0),
+        reconstruction=max((t.reconstruction for t in times), default=0.0),
+        communication=max((t.communication for t in times), default=0.0),
+    )
+
+
+class ShardedMLOCStore:
+    """Scatter/gather façade over per-bin-range :class:`MLOCStore` shards.
+
+    Opens ``n_shards`` independent store handles over one written
+    variable, all sharing a single metadata object and planning
+    context (the per-bin tables are built exactly once).  Every
+    keyword accepted by :meth:`MLOCStore.open` — backend, worker
+    count, caching, fault-tolerance knobs — applies per shard;
+    ``n_ranks`` is each shard's rank count, so total simulated
+    parallelism is ``n_shards * n_ranks``.
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedPFS,
+        root: str,
+        meta,
+        *,
+        n_shards: int = 2,
+        **store_options,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        self.fs = fs
+        self.root = root.rstrip("/")
+        self.meta = meta
+        self.n_shards = n_shards
+        # First shard builds the shared context; the rest reuse it.
+        first = MLOCStore(fs, self.root, meta, **store_options)
+        store_options = dict(store_options)
+        store_options["context"] = first.context
+        store_options.pop("cache_bytes", None)  # already materialized
+        store_options["cache"] = first.cache
+        self.shards = [first] + [
+            MLOCStore(fs, self.root, meta, **store_options)
+            for _ in range(n_shards - 1)
+        ]
+        self.context = first.context
+        #: Bin-range boundaries; shard ``s`` owns ``[b[s], b[s+1])``.
+        self.shard_bounds = weighted_bin_partition(
+            self._bin_weights(), n_shards
+        )
+
+    @classmethod
+    def open(
+        cls,
+        fs: SimulatedPFS,
+        root: str,
+        variable: str = "var",
+        *,
+        n_shards: int = 2,
+        **store_options,
+    ) -> "ShardedMLOCStore":
+        """Open ``root/variable`` as ``n_shards`` bin-range shards."""
+        probe = MLOCStore.open(fs, root, variable)
+        return cls(
+            fs, probe.root, probe.meta, n_shards=n_shards, **store_options
+        )
+
+    # ------------------------------------------------------------------
+    def _bin_weights(self) -> np.ndarray:
+        """Stored bytes per bin (data + index payloads) — the partition
+        weight, so shards balance compressed volume, not bin count."""
+        n_bins = self.meta.config.n_bins
+        weights = np.zeros(n_bins, dtype=np.float64)
+        for b in range(n_bins):
+            data = self.meta.data_blocks[b]
+            index = self.meta.index_blocks[b]
+            weights[b] = (
+                float(data[:, 3].sum()) if data.size else 0.0
+            ) + (float(index[:, 3].sum()) if index.size else 0.0)
+        return weights
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.meta.shape
+
+    @property
+    def n_elements(self) -> int:
+        return self.shards[0].n_elements
+
+    @property
+    def variable(self) -> str:
+        return self.meta.variable
+
+    def shard_of_bin(self, bin_id: int) -> int:
+        """Which shard owns ``bin_id``."""
+        if not (0 <= bin_id < self.meta.config.n_bins):
+            raise ValueError(f"bin {bin_id} out of range")
+        return int(
+            np.searchsorted(self.shard_bounds, bin_id, side="right") - 1
+        )
+
+    def shard_weights(self) -> np.ndarray:
+        """Stored bytes owned by each shard (the balance diagnostic)."""
+        weights = self._bin_weights()
+        return np.array(
+            [
+                float(weights[self.shard_bounds[s] : self.shard_bounds[s + 1]].sum())
+                for s in range(self.n_shards)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def _narrow(self, plan: QueryPlan, shard: int) -> QueryPlan | None:
+        """The sub-plan of ``plan`` restricted to one shard's bin range.
+
+        Returns ``None`` when no planned bin falls in the range.  The
+        chunk columns are kept whole: chunk selection is the spatial
+        half of the plan and is bin-independent, so the narrowed
+        block lists (bins x chunks) exactly partition the original.
+        """
+        lo, hi = int(self.shard_bounds[shard]), int(self.shard_bounds[shard + 1])
+        mask = (plan.bin_ids >= lo) & (plan.bin_ids < hi)
+        if not mask.any():
+            return None
+        return QueryPlan(
+            bin_ids=plan.bin_ids[mask],
+            aligned=plan.aligned[mask],
+            cpos=plan.cpos,
+            chunk_ids=plan.chunk_ids,
+            interior=plan.interior,
+            region=plan.region,
+        )
+
+    def _scatter_gather(
+        self,
+        query: Query,
+        plan: QueryPlan,
+        position_filter: Bitmap | None = None,
+    ) -> QueryResult:
+        """Execute the narrowed sub-plans and merge shard results."""
+        shard_results: list[QueryResult] = []
+        shards_hit = 0
+        for s, store in enumerate(self.shards):
+            sub = self._narrow(plan, s)
+            if sub is None:
+                continue
+            shards_hit += 1
+            shard_results.append(
+                store.executor.execute(query, sub, position_filter=position_filter)
+            )
+
+        if shard_results:
+            positions = np.concatenate([r.positions for r in shard_results])
+            order = np.argsort(positions, kind="stable")
+            positions = positions[order]
+            values = None
+            if query.wants_values:
+                values = np.concatenate([r.values for r in shard_results])[order]
+        else:
+            positions = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=np.float64) if query.wants_values else None
+
+        stats = aggregate_stats(r.stats for r in shard_results)
+        stats["n_shards"] = self.n_shards
+        stats["shards_hit"] = shards_hit
+        stats["n_ranks"] = self.n_shards * self.shards[0].executor.n_ranks
+        stats["backend"] = self.shards[0].executor.backend
+        stats["n_results"] = int(positions.size)
+        return QueryResult(
+            positions=positions,
+            values=values,
+            times=_max_times([r.times for r in shard_results]),
+            stats=stats,
+        )
+
+    def query(
+        self, query: Query, position_filter: Bitmap | None = None
+    ) -> QueryResult:
+        """Plan once, scatter narrowed sub-plans, gather shard results."""
+        plan, plan_stats = self.shards[0]._plan(query)
+        result = self._scatter_gather(query, plan, position_filter)
+        result.stats.update(plan_stats)
+        return result
+
+    def query_many(self, queries: list[Query]) -> BatchResult:
+        """Run a batch; per-query scatter/gather, batch-level aggregate."""
+        results = [self.query(q) for q in queries]
+        times = ComponentTimes()
+        for r in results:
+            times = times + r.times
+        stats = aggregate_stats(r.stats for r in results)
+        stats["n_queries"] = len(results)
+        stats["n_shards"] = self.n_shards
+        stats["quarantined_blocks"] = sum(
+            len(s.executor.quarantine) for s in self.shards
+        )
+        return BatchResult(results=results, times=times, stats=stats)
+
+    def open_session(self, query: Query):
+        """Progressive refinement is a single-store feature for now."""
+        raise NotImplementedError(
+            "refinement sessions are not sharded; open an MLOCStore "
+            "handle on the same root instead"
+        )
+
+    # ------------------------------------------------------------------
+    def storage_report(self) -> StorageReport:
+        """On-disk footprint (sharding adds no bytes: metadata-level only)."""
+        return self.shards[0].storage_report()
+
+    def runtime_stats(self) -> dict:
+        """Open-state counters: shard map plus per-shard handle stats."""
+        return {
+            "n_shards": self.n_shards,
+            "shard_bounds": [int(b) for b in self.shard_bounds],
+            "shard_weights": [float(w) for w in self.shard_weights()],
+            "shards": [s.runtime_stats() for s in self.shards],
+        }

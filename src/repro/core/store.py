@@ -64,9 +64,11 @@ class MLOCStore:
         comm_cost: CommCostModel | None = None,
         backend: str = "serial",
         n_threads: int | None = None,
+        workers: int | None = None,
         cache: BlockCache | None = None,
         cache_bytes: int = 0,
         plan_cache: int = 0,
+        context: PlanContext | None = None,
         max_read_retries: int = 2,
         read_backoff: float = 0.005,
         allow_partial: bool = False,
@@ -87,8 +89,15 @@ class MLOCStore:
         # Store-resident planning context: per-bin prefix sums and
         # block-table row starts computed once at open, plus (when
         # enabled) the LRU of finished plans keyed by query fingerprint.
-        self.context = PlanContext.for_store(
-            meta, self.grid, self.curve, self.scheme, plan_cache=self.plan_cache_size
+        # A sharded store passes one shared context into every shard
+        # handle so the tables are built exactly once.
+        self.context = (
+            context
+            if context is not None
+            else PlanContext.for_store(
+                meta, self.grid, self.curve, self.scheme,
+                plan_cache=self.plan_cache_size,
+            )
         )
         # Fingerprint the metadata so decoded blocks cached by a
         # previous layout of the same paths can never be served after a
@@ -105,6 +114,7 @@ class MLOCStore:
             comm_cost=comm_cost,
             backend=backend,
             n_threads=n_threads,
+            workers=workers,
             cache=cache,
             generation=generation,
             context=self.context,
@@ -162,6 +172,7 @@ class MLOCStore:
             n_threads=self.executor.n_threads,
             cache=self.cache,
             plan_cache=self.plan_cache_size,
+            context=self.context,
             max_read_retries=self.executor.max_read_retries,
             read_backoff=self.executor.read_backoff,
             allow_partial=self.executor.allow_partial,

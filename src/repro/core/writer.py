@@ -38,10 +38,13 @@ work can parallelize without changing a single output byte
 * **compression stage** — when a stream cuts a block, the raw buffer
   is handed to the codec: inline under the ``"serial"`` backend, as a
   pool job under ``"threads"`` (zlib releases the GIL; ISOBAR/ISABELA
-  are numpy/scipy-heavy).  Codec ``encode`` is required to be
-  deterministic (see :mod:`repro.compression.base`), so payloads —
-  and therefore subfiles, block tables, CRCs and metadata — are
-  bit-identical across backends and worker counts.
+  are numpy/scipy-heavy), or as a picklable ``(spec, payload)`` task
+  on the persistent spawned worker pool under ``"processes"`` — the
+  GIL-free path (:mod:`repro.parallel.procpool`).  Codec ``encode``
+  is required to be deterministic (see
+  :mod:`repro.compression.base`), so payloads — and therefore
+  subfiles, block tables, CRCs and metadata — are bit-identical
+  across backends and worker counts.
 """
 
 from __future__ import annotations
@@ -66,6 +69,12 @@ from repro.core.chunking import ChunkGrid
 from repro.core.config import WRITE_BACKENDS, MLOCConfig
 from repro.core.meta import StoreMeta
 from repro.index.binindex import encode_position_block
+from repro.parallel.procpool import (
+    AUTO_PROCESS_MIN_BYTES,
+    PoolBrokenError,
+    get_pool,
+    run_task,
+)
 from repro.pfs.layout import BinFileSet
 from repro.pfs.simfs import SimulatedPFS
 from repro.plod.byteplanes import GROUP_WIDTHS, split_byte_groups
@@ -184,6 +193,62 @@ class _ThreadedBackend:
         self._pool.shutdown(wait=True)
 
 
+class _ProcessBackend:
+    """Compression on the shared spawn-based process pool.
+
+    Only the compression stage leaves the parent: the chunk stage
+    reads the input array in place (shipping chunk-sized slices to
+    workers would move more bytes than the encode saves — shared-
+    nothing means every byte a worker touches is pickled), and the
+    commit stage is serial by design.  Encode jobs travel as picklable
+    ``(spec, payload)`` tasks, are submitted in stream order, and
+    resolve in table order, so committed bytes never depend on
+    scheduling.  If the pool dies mid-write, the affected payloads are
+    re-encoded inline through the same
+    :func:`repro.parallel.procpool.run_task` interpreter — a worker
+    crash costs time, never bytes.
+    """
+
+    def __init__(self, codec: ByteCodec | FloatCodec, workers: int) -> None:
+        self.workers = workers
+        self._pool = get_pool(workers)
+        name, params = codec.spec()
+        self._data_spec = ("encode-data", name, params)
+        #: Encode jobs that fell back inline after a pool break.
+        self.fallbacks = 0
+
+    def chunk_results(self, fn: Callable[[int], tuple], n_chunks: int) -> Iterator[tuple]:
+        for cpos in range(n_chunks):
+            yield fn(cpos)
+
+    def _submit(self, task: tuple) -> tuple:
+        try:
+            return self._pool.submit(task), task
+        except PoolBrokenError:
+            return None, task  # resolve() runs it inline
+
+    def encode_data(self, raw: np.ndarray) -> tuple:
+        return self._submit((self._data_spec, raw))
+
+    def encode_index(self, parts: list[np.ndarray], level: int) -> tuple:
+        return self._submit((("encode-index", level), parts))
+
+    def resolve(self, pending: tuple) -> bytes:
+        future, task = pending
+        if future is not None:
+            try:
+                return self._pool.resolve(future)
+            except PoolBrokenError:
+                pass
+        self.fallbacks += 1
+        return run_task(task)
+
+    def close(self) -> None:
+        # The pool is shared and persistent (``get_pool``): later
+        # writes and the processes read backend reuse its warm workers.
+        pass
+
+
 class _DataStream:
     """Accumulates consecutive cells of one (bin, group-stream) into
     compression blocks of approximately the configured raw size.
@@ -282,16 +347,21 @@ class MLOCWriter:
     ----------
     write_backend:
         ``"serial"`` (default) runs the whole pipeline inline;
-        ``"threads"`` fans the chunk stage and block compression out on
-        a thread pool.  Both backends produce **bit-identical**
+        ``"threads"`` fans the chunk stage and block compression out
+        on a thread pool; ``"processes"`` ships block compression to
+        the persistent shared-nothing worker pool (the GIL-free path);
+        ``"auto"`` picks ``processes`` when more than one worker is
+        available and the input clears
+        :data:`~repro.parallel.procpool.AUTO_PROCESS_MIN_BYTES`,
+        ``serial`` otherwise.  Every backend produces **bit-identical**
         subfiles and metadata (enforced by
         ``tests/test_writer_parallel.py``); only real wall-clock
         differs.
     write_workers:
-        Pool width for the ``"threads"`` backend; ``None`` = CPU
-        count.  On a single-core machine an unsized pool would be pure
-        overhead, so the writer falls back to inline execution unless a
-        width > 1 is requested explicitly.
+        Pool width for the ``"threads"``/``"processes"`` backends;
+        ``None`` = CPU count.  On a single-core machine an unsized
+        pool would be pure overhead, so the writer falls back to
+        inline execution unless a width > 1 is requested explicitly.
     """
 
     def __init__(
@@ -327,7 +397,7 @@ class MLOCWriter:
         curve = make_curve(self.config, grid)
         codec = self._check_codec()
         scheme = self._estimate_bins(data)
-        backend = self._make_backend(codec)
+        backend = self._make_backend(codec, data.nbytes)
         try:
             data_streams, index_streams, counts = self._encode(
                 data, grid, curve, scheme, backend
@@ -355,11 +425,19 @@ class MLOCWriter:
             )
         return codec
 
-    def _make_backend(self, codec: ByteCodec | FloatCodec):
-        if self.write_backend == "threads":
-            workers = self.write_workers or os.cpu_count() or 1
-            if workers > 1:
-                return _ThreadedBackend(self.config, workers)
+    def _make_backend(self, codec: ByteCodec | FloatCodec, data_nbytes: int):
+        backend = self.write_backend
+        workers = self.write_workers or os.cpu_count() or 1
+        if backend == "auto":
+            backend = (
+                "processes"
+                if workers > 1 and data_nbytes >= AUTO_PROCESS_MIN_BYTES
+                else "serial"
+            )
+        if backend == "threads" and workers > 1:
+            return _ThreadedBackend(self.config, workers)
+        if backend == "processes" and workers > 1:
+            return _ProcessBackend(codec, workers)
         return _SerialBackend(codec)
 
     # ------------------------------------------------------------------

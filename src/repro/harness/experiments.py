@@ -29,6 +29,7 @@ __all__ = [
     "fig8_rows",
     "batch_pipeline_rows",
     "writer_backend_rows",
+    "sharded_scaling_rows",
     "planning_rows",
     "fault_tolerance_rows",
     "coalescing_rows",
@@ -235,19 +236,21 @@ def writer_backend_rows(
     *,
     workers: int | None = None,
     rounds: int = 2,
+    backends: tuple[str, ...] = ("serial", "threads", "processes"),
 ):
-    """Serial vs threaded write pipeline on one array.
+    """Serial vs threaded vs process write pipelines on one array.
 
     Writes ``data`` under ``config`` once per backend into fresh
     :class:`SimulatedPFS` instances (best-of-``rounds`` wall-clock,
     the noise-robust statistic the perf smoke suite uses throughout),
-    verifies the produced subfiles *and* metadata are byte-identical,
-    and returns ``(rows, identical)`` with ``rows`` mapping each
-    backend's label to ``[wall_seconds]``.
+    verifies the produced subfiles *and* metadata are byte-identical
+    across every backend, and returns ``(rows, identical)`` with
+    ``rows`` mapping ``"<backend> writer"`` to ``[wall_seconds]``.
     """
     walls: dict[str, float] = {}
     snapshots: dict[str, dict[str, bytes]] = {}
-    for label, backend in (("serial writer", "serial"), ("threaded writer", "threads")):
+    for backend in backends:
+        label = f"{backend} writer"
         best = float("inf")
         for _ in range(max(rounds, 1)):
             fs = SimulatedPFS()
@@ -262,9 +265,90 @@ def writer_backend_rows(
             path: bytes(fs.session().open(path).read_all())
             for path in fs.list_files("/bench/")
         }
-    identical = snapshots["serial writer"] == snapshots["threaded writer"]
+    reference = snapshots[f"{backends[0]} writer"]
+    identical = all(snap == reference for snap in snapshots.values())
     rows = {label: [round(wall, 4)] for label, wall in walls.items()}
     return rows, identical
+
+
+def sharded_scaling_rows(
+    suite: SystemSuite,
+    system: str = "mloc-col",
+    *,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    n_queries: int = 3,
+    fraction: float = 0.5,
+):
+    """Per-shard scaling sweep of :class:`ShardedMLOCStore` on one suite.
+
+    Opens the already-written store as ``n`` bin-range shards for each
+    ``n`` in ``shard_counts`` (one simulated rank per shard, so shard
+    count is the only parallelism axis), runs the same cold-cache
+    value-constraint workload at every count, and verifies the merged
+    answers are identical throughout.  Because merged component times
+    take the per-shard max (shards are notionally concurrent store
+    servers), the simulated io column should fall near-linearly until
+    shards outnumber the touched bins.
+
+    Returns ``(rows, info)``: ``rows`` maps ``"<n> shards"`` to
+    ``[io, decompression, io+decompression, speedup vs 1 shard]``;
+    ``info`` carries the identity verdict and the shard balance of the
+    widest configuration.
+    """
+    from repro.core import ShardedMLOCStore
+
+    base = suite.store(system)
+    # Broad (default 50%-selectivity) constraints: per-shard scaling
+    # only shows on queries whose bins actually spread across shards.
+    constraints = suite.workload.value_constraints(fraction, n_queries)
+    queries = [Query(value_range=tuple(c), output="values") for c in constraints]
+
+    rows: dict[str, list] = {}
+    reference = None
+    identical = True
+    widest = None
+    for n in shard_counts:
+        sharded = ShardedMLOCStore(
+            suite.fs, base.root, base.meta, n_shards=n, n_ranks=1
+        )
+        widest = sharded
+        suite.fs.clear_cache()
+        batch = sharded.query_many(queries)
+        if reference is None:
+            reference = batch
+        else:
+            for got, want in zip(batch.results, reference.results):
+                if not (
+                    _np_equal(got.positions, want.positions)
+                    and _np_equal(got.values, want.values)
+                ):
+                    identical = False
+        io, dec = batch.times.io, batch.times.decompression
+        base_io_dec = (
+            reference.times.io + reference.times.decompression
+        )
+        rows[f"{n} shards"] = [
+            round(io, 4),
+            round(dec, 4),
+            round(io + dec, 4),
+            round(base_io_dec / max(io + dec, 1e-12), 2),
+        ]
+    info = {
+        "identical": identical,
+        "n_queries": len(queries),
+        "shard_counts": list(shard_counts),
+        "shard_bounds": [int(b) for b in widest.shard_bounds],
+        "shard_weights": [round(float(w), 1) for w in widest.shard_weights()],
+    }
+    return rows, info
+
+
+def _np_equal(a, b) -> bool:
+    import numpy as np
+
+    if a is None or b is None:
+        return (a is None) == (b is None)
+    return np.array_equal(a, b)
 
 
 def planning_rows(

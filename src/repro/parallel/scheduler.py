@@ -29,6 +29,7 @@ __all__ = [
     "column_order_assignment",
     "round_robin_assignment",
     "assignment_file_counts",
+    "weighted_bin_partition",
 ]
 
 
@@ -184,6 +185,50 @@ def round_robin_assignment(blocks, n_ranks: int):
         for rank in range(n_ranks)
     ]
     return [span.to_refs() for span in spans] if as_refs else spans
+
+
+def weighted_bin_partition(weights: np.ndarray, n_shards: int) -> np.ndarray:
+    """Partition bins into ``n_shards`` contiguous ranges of near-equal
+    total weight.
+
+    The shard-level extension of the column-order idea: a shard owns a
+    *contiguous* range of bin ids — every bin subfile lives in exactly
+    one shard and a narrow value-range query touches the fewest shards
+    — while the ranges are cut where the cumulative weight (per-bin
+    stored bytes in practice) crosses the ideal equal-share points, so
+    shards carry comparable data volumes rather than comparable bin
+    *counts* (equal-frequency binning balances element counts, not
+    compressed bytes).
+
+    Returns the ``n_shards + 1`` boundary array ``b``; shard ``s`` owns
+    bins ``[b[s], b[s+1])``.  Boundaries are monotone and cover every
+    bin; shards past the weight mass come out empty rather than the cut
+    points going non-monotone.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError(f"weights must be a non-empty 1-D array, got {weights.shape}")
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    n_bins = weights.size
+    if n_shards >= n_bins:
+        # One bin per shard, trailing shards empty.
+        bounds = np.minimum(np.arange(n_shards + 1, dtype=np.int64), n_bins)
+        return bounds
+    cum = np.cumsum(weights)
+    total = cum[-1]
+    if total == 0:
+        return _span_bounds(n_bins, n_shards)
+    ideal = total * np.arange(1, n_shards, dtype=np.float64) / n_shards
+    cuts = np.searchsorted(cum, ideal, side="left") + 1
+    bounds = np.concatenate(([0], cuts, [n_bins])).astype(np.int64)
+    # Weight-driven cuts can collide on one heavy bin; keep them
+    # monotone (an empty shard beats splitting a bin).
+    np.maximum.accumulate(bounds, out=bounds)
+    np.minimum(bounds, n_bins, out=bounds)
+    return bounds
 
 
 def assignment_file_counts(assignment) -> np.ndarray:

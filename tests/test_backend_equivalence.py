@@ -1,14 +1,19 @@
-"""Serial vs threaded decode backend: identical answers, identical
-simulated seconds.
+"""Serial vs threaded vs process decode backends: identical answers,
+identical simulated seconds.
 
 The deterministic components of the cost model — simulated I/O,
 modeled decompression, modeled communication — and every result array
 must be bit-identical across backends (the backend only changes which
-OS threads run the pure block decodes).  Reconstruction is measured
-CPU and therefore only sanity-checked.
+OS threads or worker processes run the pure block decodes).
+Reconstruction is measured CPU and therefore only sanity-checked.
+
+The CI matrix exports ``MLOC_PROC_WORKERS`` to pin extra process-pool
+widths; locally the sweep covers 1, 2 and 8 workers.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -17,6 +22,8 @@ from repro.core import MLOCStore, MLOCWriter, Query, mloc_col, mloc_iso
 from repro.core.executor import QueryExecutor
 from repro.datasets import gts_like, s3d_like
 from repro.pfs import SimulatedPFS
+
+PROC_WORKER_COUNTS = sorted({1, 2, 8, int(os.environ.get("MLOC_PROC_WORKERS", "2"))})
 
 QUERIES = [
     Query(value_range=(0.0, 4.5), output="positions"),
@@ -116,15 +123,73 @@ def test_3d_batch_equivalence():
     assert batch_a.stats["cache_hits"] == batch_b.stats["cache_hits"]
 
 
+@pytest.mark.parametrize("workers", PROC_WORKER_COUNTS)
+@pytest.mark.parametrize("query", QUERIES[:4])
+def test_col_process_backend_equivalence(col_fs, query, workers):
+    serial = MLOCStore.open(col_fs, "/store", "field", backend="serial")
+    proc = MLOCStore.open(
+        col_fs, "/store", "field", backend="processes", workers=workers
+    )
+    col_fs.clear_cache()
+    a = serial.query(query)
+    col_fs.clear_cache()
+    b = proc.query(query)
+    _assert_equivalent(a, b)
+    assert b.stats["backend"] == "processes"
+    assert b.stats["decode_backend"] == "processes"
+    assert b.stats["decode_pool_failures"] == 0
+
+
+@pytest.mark.parametrize("query", QUERIES[:3])
+def test_iso_process_backend_equivalence(iso_fs, query):
+    serial = MLOCStore.open(iso_fs, "/store", "field", backend="serial")
+    proc = MLOCStore.open(
+        iso_fs, "/store", "field", backend="processes", workers=2
+    )
+    iso_fs.clear_cache()
+    a = serial.query(query)
+    iso_fs.clear_cache()
+    b = proc.query(query)
+    _assert_equivalent(a, b)
+
+
+@pytest.mark.parametrize("query", QUERIES[:3])
+def test_auto_backend_equivalence(col_fs, query):
+    """``auto`` must resolve to serial or processes — never change the
+    answer or the simulated seconds, whichever it picks."""
+    serial = MLOCStore.open(col_fs, "/store", "field", backend="serial")
+    auto = MLOCStore.open(col_fs, "/store", "field", backend="auto", workers=2)
+    col_fs.clear_cache()
+    a = serial.query(query)
+    col_fs.clear_cache()
+    b = auto.query(query)
+    _assert_equivalent(a, b)
+    assert b.stats["backend"] == "auto"
+    assert b.stats["decode_backend"] in ("serial", "processes")
+
+
+def test_auto_resolves_by_workload_size(col_fs):
+    """Tiny decode workloads stay inline under ``auto`` (the pending
+    raw bytes here are far below AUTO_PROCESS_MIN_BYTES)."""
+    auto = MLOCStore.open(col_fs, "/store", "field", backend="auto", workers=4)
+    col_fs.clear_cache()
+    result = auto.query(QUERIES[0])
+    assert result.stats["decode_backend"] == "serial"
+
+
 def test_backend_validation():
     fs = _build(mloc_col, gts_like((64, 64), seed=1), (32, 32))
     store = MLOCStore.open(fs, "/store", "field")
     ex = store.executor
     with pytest.raises(ValueError, match="backend"):
         QueryExecutor(
-            fs, ex.files, ex.meta, ex.grid, ex.curve, backend="processes"
+            fs, ex.files, ex.meta, ex.grid, ex.curve, backend="mpi"
         )
     with pytest.raises(ValueError, match="n_threads"):
         QueryExecutor(
             fs, ex.files, ex.meta, ex.grid, ex.curve, backend="threads", n_threads=0
+        )
+    with pytest.raises(ValueError, match="workers"):
+        QueryExecutor(
+            fs, ex.files, ex.meta, ex.grid, ex.curve, backend="processes", workers=-1
         )

@@ -2,7 +2,7 @@
 
 The suite's headline invariants, exercised across codecs (zlib byte
 columns, ISOBAR, ISABELA), level orders (VMS, VSM, VS), and decode
-backends (serial, threads):
+backends (serial, threads, processes):
 
 * a faults-disabled :class:`FaultyPFS` is bit-identical to the plain
   :class:`SimulatedPFS` — same results, same simulated io /
@@ -33,6 +33,10 @@ STORE_KINDS = ("col", "vsm", "iso", "isa")
 
 
 def _open(fs, **options):
+    if options.get("backend") == "processes":
+        # Force a real pool even on single-core CI boxes; width <= 1
+        # would silently fall back inline and test nothing new.
+        options.setdefault("workers", 2)
     return MLOCStore.open(fs, "/store", "field", n_ranks=4, **options)
 
 
@@ -92,7 +96,7 @@ def _degradation_record(result) -> bool:
 # ----------------------------------------------------------------------
 # Zero-fault equivalence
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("backend", ["serial", "threads"])
+@pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
 @pytest.mark.parametrize("kind", STORE_KINDS)
 def test_zero_fault_plans_are_bit_identical(kind, backend, request):
     fs, reference = request.getfixturevalue(f"{kind}_store")
@@ -143,7 +147,7 @@ def test_every_fault_surfaces_or_raises(kind, data, request, chaos_seed):
         latency_spike_rate=data.draw(st.sampled_from([0.0, 0.2]), label="latency"),
     )
     query = data.draw(st.sampled_from(_queries_for(reference)), label="query")
-    backend = data.draw(st.sampled_from(["serial", "threads"]), label="backend")
+    backend = data.draw(st.sampled_from(["serial", "threads", "processes"]), label="backend")
 
     fs.clear_cache()
     expected = reference.query(query)

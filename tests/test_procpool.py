@@ -1,0 +1,225 @@
+"""Process-pool unit and fault tests: ordering, crash recovery, fallback.
+
+Three layers of coverage for the shared-nothing ``processes`` backend:
+
+* the pool itself — results in submission order, spec semantics
+  identical to inline :func:`run_task`, a crashed worker raising
+  :class:`PoolBrokenError` exactly once and the pool recovering on the
+  next batch (never hanging, never dropping work);
+* the query engine — a broken pool mid-decode falls back inline, the
+  answer stays bit-identical to serial, and the failure is disclosed
+  through ``stats["decode_pool_failures"]``;
+* the writer — a broken pool at submit time falls back inline per
+  task, output bytes stay identical to serial, and the backend counts
+  the fallbacks.
+
+The real-crash tests use the ``("__crash__",)`` spec (worker calls
+``os._exit``); the engine/writer tests monkeypatch the pool instead so
+the *point* of failure is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, Query, mloc_col
+from repro.core.writer import MLOCWriter as _WriterClass
+from repro.datasets import gts_like
+from repro.index.binindex import decode_position_block_flat, encode_position_block
+from repro.parallel.procpool import (
+    AUTO_PROCESS_MIN_BYTES,
+    PoolBrokenError,
+    ProcessPool,
+    get_pool,
+    run_task,
+)
+from repro.pfs import SimulatedPFS
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """A private pool so crash tests never reset the shared ones."""
+    p = ProcessPool(2)
+    yield p
+    p.shutdown()
+
+
+def _encode_tasks(n):
+    rng = np.random.default_rng(3)
+    spec = ("encode-data", "zlib-bytes", (("level", 6),))
+    return [
+        (spec, rng.integers(0, 50, size=512 + i, dtype=np.uint8).tobytes())
+        for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Pool semantics
+# ----------------------------------------------------------------------
+class TestPoolSemantics:
+    def test_results_in_submission_order(self, pool):
+        tasks = _encode_tasks(12)
+        assert pool.run_tasks(tasks) == [run_task(t) for t in tasks]
+
+    def test_decode_specs_match_inline(self, pool):
+        rng = np.random.default_rng(4)
+        planes = rng.integers(0, 8, size=2048, dtype=np.uint8).tobytes()
+        floats = rng.normal(size=512)
+        parts = [np.flatnonzero(rng.random(64) < 0.4) for _ in range(5)]
+        counts = np.array([len(p) for p in parts], dtype=np.uint32)
+        tasks = [
+            (("bytes", "zlib-bytes", (), len(planes)),
+             run_task((("encode-data", "zlib-bytes", ()), planes))),
+            (("float", "zlib-float", (), floats.size),
+             run_task((("encode-data", "zlib-float", ()), floats))),
+            (("index", counts), encode_position_block(parts)),
+        ]
+        got = pool.run_tasks(tasks)
+        assert np.array_equal(got[0], run_task(tasks[0]))
+        assert np.array_equal(got[1], floats)
+        assert np.array_equal(
+            got[2], decode_position_block_flat(tasks[2][1], counts)
+        )
+
+    def test_task_errors_propagate_without_breaking_pool(self, pool):
+        before = pool.broken_batches
+        with pytest.raises(ValueError, match="unknown task spec"):
+            pool.run_tasks([(("no-such-kind",), b"")])
+        assert pool.broken_batches == before  # error != pool death
+        assert pool.run_tasks(_encode_tasks(2)) == [
+            run_task(t) for t in _encode_tasks(2)
+        ]
+
+    def test_worker_crash_raises_and_pool_recovers(self, pool):
+        """A worker dying mid-batch surfaces as PoolBrokenError (never a
+        hang, never a silently short result list) and the pool is usable
+        again on the very next batch."""
+        before = pool.broken_batches
+        tasks = _encode_tasks(3)
+        tasks.insert(1, (("__crash__",), None))
+        with pytest.raises(PoolBrokenError):
+            pool.run_tasks(tasks)
+        assert pool.broken_batches == before + 1
+        # Recovery: a fresh batch on the same ProcessPool object works.
+        good = _encode_tasks(4)
+        assert pool.run_tasks(good) == [run_task(t) for t in good]
+        assert pool.broken_batches == before + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessPool(0)
+        with pytest.raises(ValueError, match="unknown task spec"):
+            run_task((("bogus", 1), b""))
+
+    def test_shared_pools_keyed_by_width(self):
+        assert get_pool(3) is get_pool(3)
+        assert get_pool(3) is not get_pool(5)
+
+    def test_auto_threshold_is_sane(self):
+        # Guard against an accidental unit slip (MB vs bytes) that would
+        # make "auto" either always or never pick processes.
+        assert 1 << 20 <= AUTO_PROCESS_MIN_BYTES <= 64 << 20
+
+
+# ----------------------------------------------------------------------
+# Engine fallback: broken pool mid-query never changes the answer
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def store_fs():
+    fs = SimulatedPFS()
+    config = mloc_col(
+        chunk_shape=(32, 32), n_bins=8, target_block_bytes=8 * 1024
+    )
+    MLOCWriter(fs, "/store", config).write(
+        gts_like((128, 128), seed=9), variable="field"
+    )
+    return fs
+
+
+def _broken(monkeypatch, method):
+    def boom(self, *args, **kwargs):
+        raise PoolBrokenError("injected pool death")
+
+    monkeypatch.setattr(ProcessPool, method, boom)
+
+
+class TestEngineFallback:
+    def test_broken_pool_falls_back_bit_identical(self, store_fs, monkeypatch):
+        query = Query(value_range=(2.0, 6.0), output="values")
+        serial = MLOCStore.open(store_fs, "/store", "field", backend="serial")
+        store_fs.clear_cache()
+        expected = serial.query(query)
+
+        _broken(monkeypatch, "run_tasks")
+        proc = MLOCStore.open(
+            store_fs, "/store", "field", backend="processes", workers=2
+        )
+        store_fs.clear_cache()
+        result = proc.query(query)
+
+        assert np.array_equal(result.positions, expected.positions)
+        assert np.array_equal(result.values, expected.values)
+        assert result.times.io == expected.times.io
+        assert result.times.decompression == expected.times.decompression
+        assert result.stats["decode_backend"] == "processes"
+        assert result.stats["decode_pool_failures"] == 1
+
+    def test_pool_failures_sum_across_batch(self, store_fs, monkeypatch):
+        _broken(monkeypatch, "run_tasks")
+        proc = MLOCStore.open(
+            store_fs, "/store", "field", backend="processes", workers=2
+        )
+        store_fs.clear_cache()
+        batch = proc.query_many(
+            [
+                Query(value_range=(2.0, 6.0), output="values"),
+                Query(region=((8, 100), (0, 64)), output="values"),
+            ]
+        )
+        assert batch.stats["decode_pool_failures"] == 2
+        assert batch.stats["n_results"] > 0
+
+    def test_healthy_pool_reports_zero_failures(self, store_fs):
+        proc = MLOCStore.open(
+            store_fs, "/store", "field", backend="processes", workers=2
+        )
+        store_fs.clear_cache()
+        result = proc.query(Query(value_range=(2.0, 6.0), output="values"))
+        assert result.stats["decode_pool_failures"] == 0
+
+
+# ----------------------------------------------------------------------
+# Writer fallback: broken pool at submit time, bytes still serial's
+# ----------------------------------------------------------------------
+class TestWriterFallback:
+    def test_broken_pool_write_is_bit_identical(self, monkeypatch):
+        data = gts_like((64, 64), seed=12)
+        config = mloc_col((16, 16), n_bins=8, target_block_bytes=2048)
+
+        def files_of(fs):
+            session = fs.session()
+            return {
+                p: bytes(session.open(p).read_all()) for p in fs.list_files("/w/")
+            }
+
+        fs_serial = SimulatedPFS()
+        MLOCWriter(fs_serial, "/w", config).write(data, variable="f")
+
+        captured = {}
+        orig = _WriterClass._make_backend
+
+        def spy(self, codec, nbytes):
+            captured["backend"] = orig(self, codec, nbytes)
+            return captured["backend"]
+
+        monkeypatch.setattr(_WriterClass, "_make_backend", spy)
+        _broken(monkeypatch, "submit")
+
+        fs_proc = SimulatedPFS()
+        MLOCWriter(
+            fs_proc, "/w", config, write_backend="processes", write_workers=2
+        ).write(data, variable="f")
+
+        assert files_of(fs_proc) == files_of(fs_serial)
+        assert captured["backend"].fallbacks > 0  # every task fell back
