@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Layer-boundary lint for the staged query engine.
 
-Two architectural rules, checked by AST import scan (no imports are
+Three architectural rules, checked by AST import scan (no imports are
 executed):
 
 1. **PFS below core.**  ``repro.pfs`` is the storage substrate; no
@@ -13,6 +13,13 @@ executed):
    ``stages`` (1) → ``session`` (2); each module may import only
    strictly lower engine layers.  ``engine/__init__.py`` is exempt (it
    is the package's re-export surface, not a layer).
+3. **Serving above core.**  ``repro.server`` (the broker layer) sits
+   on top of the whole library: it may import downward freely, but no
+   module under ``src/repro/`` outside ``repro/server/`` may import
+   ``repro.server`` — the store/engine must stay usable (and testable)
+   without the serving layer.  ``repro/cli.py`` is exempt: the CLI is
+   the composition root (the application shell above every layer,
+   including serving).
 
 Exits non-zero listing every violation.  Wired into ``make verify``
 and CI; run directly with ``python scripts/check_layers.py``.
@@ -90,6 +97,20 @@ def check() -> list[str]:
                     f"{path.relative_to(REPO)}:{lineno}: engine layer "
                     f"{name} (height {height}) may not import {module} "
                     f"(height {other}); stages import strictly downward"
+                )
+
+    server_dir = SRC / "repro" / "server"
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        if server_dir in path.parents:
+            continue
+        if path == SRC / "repro" / "cli.py":
+            continue  # composition root: sits above every layer
+        for lineno, module in _imported_modules(path):
+            if module == "repro.server" or module.startswith("repro.server."):
+                violations.append(
+                    f"{path.relative_to(REPO)}:{lineno}: {_module_name(path)} "
+                    f"must not import {module} (repro.server sits above "
+                    f"repro.core; imports go downward only)"
                 )
 
     return violations

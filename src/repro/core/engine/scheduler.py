@@ -198,8 +198,20 @@ class _BlockFetcher:
         self.lost = 0
         self.hit_raw_bytes = 0
         self.miss_raw_bytes = 0
+        #: Hits served from this fetcher's own decoded-job table — the
+        #: cross-query (batch / session / broker) dedup component of
+        #: ``hits``, as opposed to hits served by the persistent LRU.
+        self.dedup_hits = 0
+        #: Raw bytes of those dedup hits.
+        self.dedup_raw_bytes = 0
+        #: Hits served from the persistent :class:`BlockCache`.
+        self.lru_hits = 0
         #: Decode batches that fell back inline on a broken process pool.
         self.pool_failures = 0
+        #: Keys inserted into the persistent cache, in insertion order
+        #: (cumulative); lets a caller attribute insertions to whoever
+        #: triggered the surrounding :meth:`run` (per-tenant quotas).
+        self.inserted_keys: list[tuple] = []
         self._pending_raw = 0
 
     @property
@@ -241,6 +253,8 @@ class _BlockFetcher:
             if job is not None:
                 self.hits += 1
                 self.hit_raw_bytes += raw_bytes
+                self.dedup_hits += 1
+                self.dedup_raw_bytes += raw_bytes
                 return job, True
             if self.cache is not None:
                 cached = self.cache.get(key)
@@ -250,6 +264,7 @@ class _BlockFetcher:
                     self._touches.append((order_key, key))
                     self.hits += 1
                     self.hit_raw_bytes += raw_bytes
+                    self.lru_hits += 1
                     return job, True
             job = _DecodeJob.placeholder()
             self._jobs[key] = job
@@ -300,8 +315,30 @@ class _BlockFetcher:
         if self.cache is not None:
             for _, key, job in pending:
                 if key is not None:
-                    self.cache.put(key, job.result)
+                    if self.cache.put(key, job.result):
+                        self.inserted_keys.append(key)
         return len(pending)
+
+    def release_retained(self) -> int:
+        """Forget the decoded-job table; returns how many jobs dropped.
+
+        A *shared* fetcher retains every decoded job so later queries
+        of the batch/session dedup against it.  A continuous consumer
+        (the broker's fetch-merge loop) must bound that retention:
+        once no admitted query still waits on the round's blocks, the
+        jobs are released — re-requests are then answered by the
+        persistent :class:`BlockCache` (if configured) or re-read.
+        Pending (not yet decoded) jobs are never dropped.
+        """
+        if self._pending:
+            raise RuntimeError(
+                f"cannot release retained jobs with {len(self._pending)} "
+                "decodes still pending"
+            )
+        dropped = len(self._jobs)
+        self._jobs.clear()
+        self.inserted_keys.clear()
+        return dropped
 
     def _run_on_processes(self, pool: ProcessPool, pending: list) -> None:
         """Ship the pending decode specs to the worker pool.

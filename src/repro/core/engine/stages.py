@@ -343,6 +343,32 @@ class QueryEngine:
         return _BlockFetcher(self.cache, self.generation, shared=shared)
 
     # ------------------------------------------------------------------
+    def estimated_raw_bytes(self, query: Query, plan: QueryPlan) -> int:
+        """Raw (decoded) bytes this planned query will demand, estimated.
+
+        Used for admission control and fair-scheduling cost accounting
+        (the broker layer); never consulted by execution, so it can
+        stay cheap: per planned bin, the position index contributes
+        8 B/point, and — when the bin needs its data subfile at all —
+        the data payload contributes one byte per point per requested
+        PLoD group (8 B/point on whole-value layouts).  Block rounding
+        is ignored, so this is a slight underestimate of the exact
+        per-block raw footprint.
+        """
+        config = self.meta.config
+        n_groups = (
+            min(query.plod_level, config.n_groups) if config.plod_enabled else 8
+        )
+        total = 0
+        for i in range(plan.bin_ids.size):
+            bin_id = int(plan.bin_ids[i])
+            n_elem = int(self.context.counts64[bin_id][plan.cpos].sum())
+            total += n_elem * 8  # index positions
+            if query.wants_values or not bool(plan.aligned[i]):
+                total += n_elem * n_groups
+        return total
+
+    # ------------------------------------------------------------------
     def execute(
         self,
         query: Query,
@@ -355,6 +381,7 @@ class QueryEngine:
             fetcher = self.new_fetcher()
         hits0, misses0 = fetcher.hits, fetcher.misses
         hit_raw0 = fetcher.hit_raw_bytes
+        dedup0, dedup_raw0 = fetcher.dedup_hits, fetcher.dedup_raw_bytes
         fctx = _FaultContext()
         counters = _IOCounters()
 
@@ -432,6 +459,8 @@ class QueryEngine:
             "cache_hits": fetcher.hits - hits0,
             "cache_misses": fetcher.misses - misses0,
             "cache_hit_raw_bytes": fetcher.hit_raw_bytes - hit_raw0,
+            "dedup_blocks": fetcher.dedup_hits - dedup0,
+            "dedup_raw_bytes": fetcher.dedup_raw_bytes - dedup_raw0,
             "bytes_read": int(sum(s.stats.bytes_read for s in sessions)),
             "files_opened": int(sum(s.stats.opens for s in sessions)),
             "seeks": int(sum(s.stats.seeks for s in sessions)),
@@ -446,6 +475,16 @@ class QueryEngine:
             "quarantined_blocks": len(fctx.quarantined),
             "partial_chunks": sorted(fctx.partial_chunks),
             "n_results": int(positions.size),
+            # Broker request-lifecycle counters (repro.server stamps the
+            # real values on requests it serves); zero for direct queries
+            # so every registered counter is emitted on every path.
+            "admitted": 0,
+            "rejected": 0,
+            "queued": 0,
+            "completed": 0,
+            "cancelled": 0,
+            "quota_rejections": 0,
+            "quota_evictions": 0,
         }
         return QueryResult(positions=positions, values=values, times=times, stats=stats)
 

@@ -53,6 +53,19 @@ SUMMED_STAT_KEYS: tuple[str, ...] = (
     "n_results",
     "plan_cache_hits",
     "plan_cache_misses",
+    # Cross-query fetch-merge dedup (shared fetchers: batches, sessions,
+    # and the broker's continuous merge loop).
+    "dedup_blocks",
+    "dedup_raw_bytes",
+    # Broker-level counters (repro.server): per-tenant dicts fold into
+    # broker totals through the same registry as everything else.
+    "admitted",
+    "rejected",
+    "queued",
+    "completed",
+    "cancelled",
+    "quota_rejections",
+    "quota_evictions",
 )
 
 #: The fault-accounting subset (printed by the CLI, swept by the

@@ -198,8 +198,16 @@ class ShardedMLOCStore:
         query: Query,
         plan: QueryPlan,
         position_filter: Bitmap | None = None,
+        fetcher=None,
     ) -> QueryResult:
-        """Execute the narrowed sub-plans and merge shard results."""
+        """Execute the narrowed sub-plans and merge shard results.
+
+        A shared ``fetcher`` is passed to every shard's executor:
+        cache keys are ``(generation, path, offset)`` and shard bin
+        ranges are disjoint, so one fetcher dedups across the whole
+        scatter (and, when the broker shares it further, across
+        queries) without shards ever colliding on a key.
+        """
         shard_results: list[QueryResult] = []
         shards_hit = 0
         for s, store in enumerate(self.shards):
@@ -208,7 +216,9 @@ class ShardedMLOCStore:
                 continue
             shards_hit += 1
             shard_results.append(
-                store.executor.execute(query, sub, position_filter=position_filter)
+                store.executor.execute(
+                    query, sub, position_filter=position_filter, fetcher=fetcher
+                )
             )
 
         if shard_results:
@@ -235,12 +245,25 @@ class ShardedMLOCStore:
             stats=stats,
         )
 
+    def plan(self, query: Query) -> tuple[QueryPlan, dict[str, int]]:
+        """Plan ``query`` once against the shared context."""
+        return self.shards[0]._plan(query)
+
+    def estimated_raw_bytes(self, query: Query, plan: QueryPlan) -> int:
+        """Estimated raw decode bytes of a planned query (admission cost)."""
+        return self.shards[0].executor.estimated_raw_bytes(query, plan)
+
     def query(
-        self, query: Query, position_filter: Bitmap | None = None
+        self,
+        query: Query,
+        position_filter: Bitmap | None = None,
+        *,
+        fetcher=None,
+        planned: tuple[QueryPlan, dict[str, int]] | None = None,
     ) -> QueryResult:
         """Plan once, scatter narrowed sub-plans, gather shard results."""
-        plan, plan_stats = self.shards[0]._plan(query)
-        result = self._scatter_gather(query, plan, position_filter)
+        plan, plan_stats = self.plan(query) if planned is None else planned
+        result = self._scatter_gather(query, plan, position_filter, fetcher=fetcher)
         result.stats.update(plan_stats)
         return result
 
@@ -271,10 +294,34 @@ class ShardedMLOCStore:
         return self.shards[0].storage_report()
 
     def runtime_stats(self) -> dict:
-        """Open-state counters: shard map plus per-shard handle stats."""
-        return {
-            "n_shards": self.n_shards,
-            "shard_bounds": [int(b) for b in self.shard_bounds],
-            "shard_weights": [float(w) for w in self.shard_weights()],
-            "shards": [s.runtime_stats() for s in self.shards],
+        """Open-state counters, aggregated across shards.
+
+        Shaped like :meth:`MLOCStore.runtime_stats` so consumers (the
+        CLI ``stats`` subcommand, the broker) handle flat and sharded
+        stores uniformly.  Shards share one planning context and one
+        block cache, so those structures are reported exactly once;
+        the per-shard quarantine registries are unioned (the same
+        block extent can only be quarantined by the shard that owns
+        its bin).  The shard map rides alongside, and the unaggregated
+        per-shard handles stay available under ``"shards"``.
+        """
+        first = self.shards[0].runtime_stats()
+        out: dict = {
+            "n_ranks": self.n_shards * self.shards[0].executor.n_ranks,
+            "backend": first["backend"],
+            "coalesce_gap": first["coalesce_gap"],
+            "readahead": first["readahead"],
         }
+        if "plan_cache" in first:  # shared context: one cache for all shards
+            out["plan_cache"] = first["plan_cache"]
+        if "block_cache" in first:  # shared cache object
+            out["block_cache"] = first["block_cache"]
+        quarantine: dict[str, str] = {}
+        for shard in self.shards:
+            quarantine.update(shard.runtime_stats()["quarantine"])
+        out["quarantine"] = dict(sorted(quarantine.items()))
+        out["n_shards"] = self.n_shards
+        out["shard_bounds"] = [int(b) for b in self.shard_bounds]
+        out["shard_weights"] = [float(w) for w in self.shard_weights()]
+        out["shards"] = [s.runtime_stats() for s in self.shards]
+        return out

@@ -212,10 +212,40 @@ class MLOCStore:
             "plan_cache_misses": int(not hit),
         }
 
-    def query(self, query: Query, position_filter: Bitmap | None = None) -> QueryResult:
-        """Plan and execute one access request."""
-        plan, plan_stats = self._plan(query)
-        result = self.executor.execute(query, plan, position_filter=position_filter)
+    def plan(self, query: Query) -> tuple[QueryPlan, dict[str, int]]:
+        """Plan ``query``, returning the plan and its cache counters.
+
+        Public planning entry for front-ends that separate admission
+        from execution (the broker layer plans at admission to cost a
+        request, then executes the same plan later via the ``planned``
+        argument of :meth:`query`).
+        """
+        return self._plan(query)
+
+    def estimated_raw_bytes(self, query: Query, plan: QueryPlan) -> int:
+        """Estimated raw decode bytes of a planned query (admission cost)."""
+        return self.executor.estimated_raw_bytes(query, plan)
+
+    def query(
+        self,
+        query: Query,
+        position_filter: Bitmap | None = None,
+        *,
+        fetcher=None,
+        planned: tuple[QueryPlan, dict[str, int]] | None = None,
+    ) -> QueryResult:
+        """Plan and execute one access request.
+
+        ``fetcher`` optionally shares a block fetcher with other
+        queries (batch/broker dedup: a block already decoded for an
+        earlier sharer is never decoded again); ``planned`` supplies a
+        plan obtained earlier from :meth:`plan`.  Neither changes the
+        result — only what work is re-done.
+        """
+        plan, plan_stats = self._plan(query) if planned is None else planned
+        result = self.executor.execute(
+            query, plan, position_filter=position_filter, fetcher=fetcher
+        )
         result.stats.update(plan_stats)
         return result
 

@@ -201,12 +201,25 @@ class ProcessPool:
 #: every shard of a :class:`~repro.core.sharded.ShardedMLOCStore`)
 #: share one set of warm workers per width.
 _POOLS: dict[int, ProcessPool] = {}
+_ATEXIT_REGISTERED = False
 
 
 def get_pool(workers: int) -> ProcessPool:
-    """The shared persistent pool of the given width (lazily created)."""
+    """The shared persistent pool of the given width (lazily created).
+
+    The atexit shutdown hook is registered here, on first use, rather
+    than at module import: importing ``repro`` must stay side-effect
+    free (embedders that never touch the process backend get no hook),
+    and first-use registration orders the hook *after* any hooks the
+    host application registered before creating a pool — so ours runs
+    first at exit, while worker processes are still join-able.
+    """
+    global _ATEXIT_REGISTERED
     pool = _POOLS.get(workers)
     if pool is None:
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_pools)
+            _ATEXIT_REGISTERED = True
         pool = ProcessPool(workers)
         _POOLS[workers] = pool
     return pool
@@ -217,6 +230,3 @@ def shutdown_pools() -> None:
     for pool in _POOLS.values():
         pool.shutdown()
     _POOLS.clear()
-
-
-atexit.register(shutdown_pools)

@@ -191,26 +191,52 @@ class BlockCache:
                 self.stats.evictions += 1
             return True
 
-    # ------------------------------------------------------------------
-    def invalidate(self, path_prefix: str | None = None) -> int:
-        """Drop entries whose path starts with ``path_prefix`` (all if None).
+    def entry_nbytes(self, key: tuple) -> int | None:
+        """Budgeted size of a resident entry, or ``None`` if absent.
 
-        Returns the number of entries dropped.  Generation fingerprints
-        already prevent *stale* hits after a store rewrite; eager
-        invalidation just returns the budget immediately.
+        Does not touch recency or hit/miss counters — this is an
+        accounting probe (per-tenant cache quotas), not an access.
         """
         with self._lock:
-            if path_prefix is None:
-                dropped = len(self._entries)
-                self._entries.clear()
-                self._pins.clear()
-                self.stats.current_bytes = 0
-                return dropped
+            entry = self._entries.get(key)
+            return None if entry is None else entry[1]
+
+    def drop(self, key: tuple) -> bool:
+        """Evict one entry by key (quota enforcement); pins win.
+
+        Returns True when the entry was resident and unpinned and is
+        now gone.  A pinned entry is never dropped — a session or
+        broker waiter still holds it — and an absent key is a no-op.
+        """
+        with self._lock:
+            if key not in self._entries or key in self._pins:
+                return False
+            _, nbytes = self._entries.pop(key)
+            self.stats.current_bytes -= nbytes
+            self.stats.evictions += 1
+            return True
+
+    # ------------------------------------------------------------------
+    def invalidate(self, path_prefix: str | None = None) -> int:
+        """Drop unpinned entries under ``path_prefix`` (all if None).
+
+        Returns the number of entries dropped.  **Pinned keys always
+        survive**: a pin marks a block some refinement session (or
+        broker waiter) has verified and still depends on — silently
+        invalidating it would break the session-reuse rule, so
+        invalidation skips pinned entries and the owner keeps serving
+        from them until it releases.  Generation fingerprints already
+        prevent *stale* hits after a store rewrite; eager invalidation
+        just returns the budget immediately.
+        """
+        with self._lock:
             doomed = [
-                k for k in self._entries if str(k[1]).startswith(path_prefix)
+                k
+                for k in self._entries
+                if k not in self._pins
+                and (path_prefix is None or str(k[1]).startswith(path_prefix))
             ]
             for k in doomed:
                 _, nbytes = self._entries.pop(k)
-                self._pins.pop(k, None)
                 self.stats.current_bytes -= nbytes
             return len(doomed)

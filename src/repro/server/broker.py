@@ -1,0 +1,552 @@
+"""Multi-tenant query broker: admission, fair scheduling, shared fetch.
+
+The broker fronts one opened store — flat
+:class:`~repro.core.store.MLOCStore` or
+:class:`~repro.core.sharded.ShardedMLOCStore`, transparently — and
+multiplexes query streams from many *tenants* onto it:
+
+* **Admission control** (:meth:`BrokerCore.submit`): every request is
+  planned up front (plans are deterministic and cheap next to
+  execution, DESIGN.md §6) and costed with
+  :meth:`~repro.core.store.MLOCStore.estimated_raw_bytes`.  A request
+  is rejected — never silently dropped — when the broker-wide pending
+  raw-byte ceiling, the per-tenant queue depth, or the tenant's byte
+  quota would be exceeded.
+* **Fair scheduling** (:meth:`BrokerCore.select_round`): deficit
+  round-robin over tenants with the estimated raw bytes as the cost
+  function, so one tenant's huge scans cannot starve another's point
+  lookups: each round every waiting tenant earns ``quantum_bytes`` of
+  deficit and dequeues requests while its head fits.
+* **Shared fetch-merge** (:class:`.fetchmerge.FetchMergeLoop`): all
+  queries of a round — and, while any waiter remains queued, across
+  rounds — share one block fetcher, so overlapping block demand from
+  different tenants is read and decoded once and fanned out.
+
+Results are **bit-identical** to direct ``store.query`` calls: both
+the plan (deterministic) and the shared fetcher (the ``query_many``
+precedent) only change what work is *re-done*, never what is
+computed.  ``tests/test_broker.py`` pins this per tenant.
+
+Stats flow through the canonical registry
+(:data:`~repro.core.result.SUMMED_STAT_KEYS`): per-tenant aggregates
+fold every per-query counter plus the broker lifecycle counters
+(``admitted``/``rejected``/``queued``/``completed``/``cancelled``/
+``quota_rejections``/``quota_evictions``) with
+:func:`~repro.core.result.aggregate_stats`, and broker totals fold the
+tenant dicts through the same function.
+
+Synchronous core, async façade: :class:`BrokerCore` is deterministic
+and drives both the traffic-replay benchmark (simulated clock) and
+:class:`QueryBroker`, the asyncio front end whose serve task yields
+between queries so a tenant can cancel mid-round.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.core.query import Query
+from repro.core.result import QueryResult, aggregate_stats
+from repro.server.fetchmerge import FetchMergeLoop
+
+__all__ = [
+    "BrokerConfig",
+    "TenantQuota",
+    "BrokerRejected",
+    "QuotaExceededError",
+    "Request",
+    "BrokerCore",
+    "QueryBroker",
+]
+
+
+class BrokerRejected(RuntimeError):
+    """Admission control refused the request (retry later)."""
+
+
+class QuotaExceededError(BrokerRejected):
+    """The tenant's byte quota cannot cover the request."""
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Broker-wide admission and scheduling knobs."""
+
+    #: Queries served per scheduling round (in-flight ceiling).
+    max_inflight: int = 8
+    #: Ceiling on the summed estimated raw bytes of all queued
+    #: requests; ``None`` disables the broker-wide backlog bound.
+    max_pending_bytes: int | None = None
+    #: Per-tenant queue-depth ceiling (``None`` = unbounded).
+    max_queued_per_tenant: int | None = None
+    #: Deficit-round-robin quantum: raw bytes of service credit each
+    #: waiting tenant earns per round.
+    quantum_bytes: int = 4 << 20
+
+    def __post_init__(self) -> None:
+        if self.max_inflight <= 0:
+            raise ValueError(f"max_inflight must be positive, got {self.max_inflight}")
+        if self.quantum_bytes <= 0:
+            raise ValueError(f"quantum_bytes must be positive, got {self.quantum_bytes}")
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant resource limits (all optional)."""
+
+    #: Lifetime raw-byte budget, in the planner's estimated raw bytes
+    #: (the same unit admission and DRR costing use, so the check is
+    #: deterministic and cache-independent).  A submit whose estimate
+    #: would overrun the remaining budget raises
+    #: :class:`QuotaExceededError`; completed requests charge their
+    #: estimate.
+    max_bytes: int | None = None
+    #: Ceiling on this tenant's resident decoded bytes in the shared
+    #: persistent cache; overrun evicts the tenant's oldest insertions
+    #: (counted as ``quota_evictions``), never other tenants' blocks.
+    max_cache_bytes: int | None = None
+
+
+_LIFECYCLE_KEYS = (
+    "admitted",
+    "rejected",
+    "queued",
+    "completed",
+    "cancelled",
+    "quota_rejections",
+    "quota_evictions",
+)
+
+
+@dataclass
+class Request:
+    """One admitted (or rejected) tenant query, with its lifecycle."""
+
+    ticket: int
+    tenant: str
+    query: Query
+    plan: object
+    plan_stats: dict
+    est_bytes: int
+    status: str = "queued"  # queued | done | cancelled | failed
+    result: QueryResult | None = None
+    error: BaseException | None = None
+    #: Simulated completion time, stamped by the replay driver.
+    completed_at: float | None = None
+
+
+@dataclass
+class _Tenant:
+    """Broker-side state of one tenant."""
+
+    name: str
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    queue: deque = field(default_factory=deque)
+    deficit: float = 0.0
+    charged_bytes: int = 0
+    #: Persistent-cache keys this tenant's queries inserted, oldest
+    #: first (the cache-quota eviction order).
+    cache_keys: "OrderedDict[tuple, None]" = field(default_factory=OrderedDict)
+    lifecycle: dict = field(
+        default_factory=lambda: {k: 0 for k in _LIFECYCLE_KEYS}
+    )
+    #: Running aggregate of completed-query stats (registry keys).
+    agg: dict = field(default_factory=dict)
+
+
+class BrokerCore:
+    """Deterministic, synchronous broker engine.
+
+    Drives the simulated-clock replay benchmark directly and backs
+    the :class:`QueryBroker` asyncio façade.  All methods must be
+    called from one thread (the serve loop / the replay driver).
+    """
+
+    def __init__(
+        self,
+        store,
+        config: BrokerConfig | None = None,
+        tenants: dict[str, TenantQuota] | None = None,
+    ) -> None:
+        self.store = store
+        self.config = config or BrokerConfig()
+        self.loop = FetchMergeLoop(store)
+        self._tenants: "OrderedDict[str, _Tenant]" = OrderedDict()
+        for name, quota in (tenants or {}).items():
+            self.register(name, quota)
+        #: Round-robin resume point: the tenant after the last one
+        #: served starts the next round's deficit scan.
+        self._rr_next = 0
+        self._pending_bytes = 0
+        self._next_ticket = 0
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, quota: TenantQuota | None = None) -> None:
+        """Declare a tenant (idempotent; submit auto-registers)."""
+        if name not in self._tenants:
+            self._tenants[name] = _Tenant(name, quota or TenantQuota())
+        elif quota is not None:
+            self._tenants[name].quota = quota
+
+    def _tenant(self, name: str) -> _Tenant:
+        if name not in self._tenants:
+            self.register(name)
+        return self._tenants[name]
+
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, query: Query) -> Request:
+        """Plan, cost, and admit one request (or raise).
+
+        Planning happens here — at admission — so the scheduler has a
+        real cost for the deficit accounting and admission can bound
+        the backlog in raw bytes rather than request counts.
+        """
+        t = self._tenant(tenant)
+        plan, plan_stats = self.store.plan(query)
+        est = self.store.estimated_raw_bytes(query, plan)
+        quota = t.quota
+        if quota.max_bytes is not None and t.charged_bytes + est > quota.max_bytes:
+            t.lifecycle["rejected"] += 1
+            t.lifecycle["quota_rejections"] += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r}: estimated {est} raw bytes would exceed "
+                f"quota ({t.charged_bytes}/{quota.max_bytes} used)"
+            )
+        cap = self.config.max_queued_per_tenant
+        if cap is not None and len(t.queue) >= cap:
+            t.lifecycle["rejected"] += 1
+            raise BrokerRejected(
+                f"tenant {tenant!r}: queue depth {len(t.queue)} at limit {cap}"
+            )
+        ceiling = self.config.max_pending_bytes
+        if ceiling is not None and self._pending_bytes + est > ceiling:
+            t.lifecycle["rejected"] += 1
+            raise BrokerRejected(
+                f"broker backlog full: {self._pending_bytes} + {est} pending "
+                f"raw bytes exceeds {ceiling}"
+            )
+        req = Request(
+            ticket=self._next_ticket,
+            tenant=tenant,
+            query=query,
+            plan=plan,
+            plan_stats=plan_stats,
+            est_bytes=est,
+        )
+        self._next_ticket += 1
+        t.queue.append(req)
+        t.lifecycle["admitted"] += 1
+        t.lifecycle["queued"] += 1
+        self._pending_bytes += est
+        return req
+
+    def cancel(self, req: Request) -> bool:
+        """Withdraw a still-queued request; no-op once served."""
+        if req.status != "queued":
+            return False
+        t = self._tenant(req.tenant)
+        try:
+            t.queue.remove(req)
+        except ValueError:
+            return False
+        req.status = "cancelled"
+        t.lifecycle["cancelled"] += 1
+        self._pending_bytes -= req.est_bytes
+        return True
+
+    def pending(self) -> int:
+        """Requests admitted but not yet served."""
+        return sum(len(t.queue) for t in self._tenants.values())
+
+    def pending_bytes(self) -> int:
+        """Summed estimated raw bytes of the backlog."""
+        return self._pending_bytes
+
+    # ------------------------------------------------------------------
+    def select_round(self) -> list[Request]:
+        """Deficit-round-robin: pick the next round's service order.
+
+        Every tenant with queued work earns ``quantum_bytes`` of
+        deficit, then dequeues from its head while the head's
+        estimated cost fits the deficit — so cheap interactive streams
+        drain every round while a tenant issuing giant scans gets one
+        every few rounds, in proportion to bytes, not request count.
+        An idle tenant's deficit resets (classic DRR: credit does not
+        accrue while there is nothing to schedule), and an expensive
+        head always runs eventually because an active tenant's deficit
+        grows every round.  The rotation resumes after the last tenant
+        scanned first, so tenant order carries no permanent advantage.
+        """
+        names = list(self._tenants)
+        selected: list[Request] = []
+        if not names:
+            return selected
+        n = len(names)
+        start = self._rr_next % n
+        for i in range(n):
+            if len(selected) >= self.config.max_inflight:
+                break
+            t = self._tenants[names[(start + i) % n]]
+            if not t.queue:
+                t.deficit = 0.0
+                continue
+            t.deficit += self.config.quantum_bytes
+            while (
+                t.queue
+                and len(selected) < self.config.max_inflight
+                and t.queue[0].est_bytes <= t.deficit
+            ):
+                req = t.queue.popleft()
+                t.deficit -= req.est_bytes
+                selected.append(req)
+            if not t.queue:
+                t.deficit = 0.0
+            self._rr_next = (start + i + 1) % n
+        return selected
+
+    # ------------------------------------------------------------------
+    def execute(self, req: Request) -> QueryResult:
+        """Serve one selected request through the shared fetcher."""
+        if req.status != "queued":
+            raise RuntimeError(
+                f"request {req.ticket} is {req.status!r}, not executable"
+            )
+        t = self._tenant(req.tenant)
+        try:
+            result, inserted = self.loop.execute(
+                req.query, (req.plan, req.plan_stats)
+            )
+        except Exception as exc:
+            req.status = "failed"
+            req.error = exc
+            self._pending_bytes -= req.est_bytes
+            raise
+        req.status = "done"
+        req.result = result
+        self._pending_bytes -= req.est_bytes
+        t.lifecycle["completed"] += 1
+        t.charged_bytes += req.est_bytes
+        for key in inserted:
+            t.cache_keys[key] = None
+        self._enforce_cache_quota(t)
+        t.agg = aggregate_stats([t.agg, result.stats])
+        return result
+
+    def skip(self, req: Request) -> None:
+        """Drop a selected-but-cancelled request without serving it."""
+        if req.status != "queued":
+            return
+        req.status = "cancelled"
+        t = self._tenant(req.tenant)
+        t.lifecycle["cancelled"] += 1
+        self._pending_bytes -= req.est_bytes
+
+    def _enforce_cache_quota(self, t: _Tenant) -> None:
+        """Evict the tenant's oldest cache insertions past its quota.
+
+        Only entries *this tenant* inserted are candidates; pinned
+        entries survive (``BlockCache.drop`` refuses them) and entries
+        the LRU already evicted just fall out of the attribution map.
+        """
+        limit = t.quota.max_cache_bytes
+        cache = self.loop.cache
+        if limit is None or cache is None:
+            return
+        sizes: dict[tuple, int] = {}
+        for key in list(t.cache_keys):
+            nbytes = cache.entry_nbytes(key)
+            if nbytes is None:
+                del t.cache_keys[key]  # evicted by the LRU meanwhile
+            else:
+                sizes[key] = nbytes
+        resident = sum(sizes.values())
+        for key in list(t.cache_keys):
+            if resident <= limit:
+                break
+            if cache.drop(key):
+                t.lifecycle["quota_evictions"] += 1
+            resident -= sizes[key]
+            del t.cache_keys[key]
+
+    # ------------------------------------------------------------------
+    def finish_round(self) -> int:
+        """Close the round; release retained decodes iff no waiter is left.
+
+        This is the enforcement point of the DESIGN.md §8 invariant:
+        decoded jobs stay retained in the shared fetcher for as long
+        as any admitted request remains queued, so no block is ever
+        decoded twice while a waiter exists.  Only when the backlog is
+        empty are the retained jobs dropped (the persistent LRU keeps
+        the hot subset).
+        """
+        return self.loop.end_round(release=self.pending() == 0)
+
+    def run_round(self) -> list[Request]:
+        """Convenience: select, serve, and close one round."""
+        batch = self.select_round()
+        for req in batch:
+            if req.status == "queued":
+                self.execute(req)
+        self.finish_round()
+        return batch
+
+    def drain(self) -> int:
+        """Serve rounds until the backlog is empty; returns rounds run."""
+        rounds = 0
+        while self.pending():
+            self.run_round()
+            rounds += 1
+        return rounds
+
+    # ------------------------------------------------------------------
+    def tenant_stats(self, name: str) -> dict:
+        """One tenant's aggregate: registry counters + lifecycle."""
+        t = self._tenant(name)
+        out = aggregate_stats([t.agg])  # normalize: every key present
+        for key, value in t.lifecycle.items():
+            out[key] = value  # lifecycle counters are broker-owned
+        out["charged_bytes"] = t.charged_bytes
+        out["queue_depth"] = len(t.queue)
+        return out
+
+    def stats(self) -> dict:
+        """Broker snapshot: totals folded from the per-tenant dicts.
+
+        Totals go through :func:`aggregate_stats` — the same registry
+        every other aggregator uses — so broker counters line up with
+        CLI and harness reporting without bespoke summation.
+        """
+        tenants = {name: self.tenant_stats(name) for name in self._tenants}
+        totals = aggregate_stats(list(tenants.values()))
+        dedup_rate = 0.0
+        requested = totals["dedup_blocks"] + totals["blocks_decoded"] + totals["cache_hits"]
+        if requested:
+            dedup_rate = totals["dedup_blocks"] / requested
+        return {
+            "tenants": tenants,
+            "totals": totals,
+            "n_tenants": len(self._tenants),
+            "rounds": self.loop.rounds,
+            "retained_jobs": self.loop.retained_jobs(),
+            "released_jobs": self.loop.released_jobs,
+            "pending": self.pending(),
+            "pending_bytes": self._pending_bytes,
+            "dedup_rate": dedup_rate,
+        }
+
+
+class QueryBroker:
+    """Asyncio façade over :class:`BrokerCore`.
+
+    One serve task owns the core; tenants submit concurrently and
+    await futures.  The serve loop yields to the event loop between
+    queries of a round, so a tenant cancelling its future mid-round
+    takes effect before its request is served (the core then skips
+    it).  Use as an async context manager::
+
+        async with QueryBroker(store) as broker:
+            result = await broker.query("tenant-a", q)
+    """
+
+    def __init__(
+        self,
+        store,
+        config: BrokerConfig | None = None,
+        tenants: dict[str, TenantQuota] | None = None,
+    ) -> None:
+        self.core = BrokerCore(store, config, tenants)
+        self._wake: asyncio.Event | None = None
+        self._serve_task: asyncio.Task | None = None
+        self._futures: dict[int, asyncio.Future] = {}
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "QueryBroker":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        if self._serve_task is not None:
+            raise RuntimeError("broker already started")
+        self._closing = False
+        self._wake = asyncio.Event()
+        self._serve_task = asyncio.create_task(self._serve())
+
+    async def close(self) -> None:
+        """Drain the backlog, then stop the serve task."""
+        if self._serve_task is None:
+            return
+        self._closing = True
+        self._wake.set()
+        await self._serve_task
+        self._serve_task = None
+
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, query: Query) -> "asyncio.Future[QueryResult]":
+        """Admit a query; returns a future (cancel it to withdraw).
+
+        Raises :class:`BrokerRejected` / :class:`QuotaExceededError`
+        synchronously — admission is immediate, only service queues.
+        """
+        if self._serve_task is None or self._closing:
+            raise RuntimeError("broker is not serving")
+        req = self.core.submit(tenant, query)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._futures[req.ticket] = future
+        future.add_done_callback(
+            lambda fut, r=req: self._on_future_done(fut, r)
+        )
+        self._wake.set()
+        return future
+
+    async def query(self, tenant: str, query: Query) -> QueryResult:
+        """Submit and await one query."""
+        return await self.submit(tenant, query)
+
+    def stats(self) -> dict:
+        return self.core.stats()
+
+    # ------------------------------------------------------------------
+    def _on_future_done(self, future: asyncio.Future, req: Request) -> None:
+        if future.cancelled() and not self.core.cancel(req):
+            # Already selected for the current round: leave the future
+            # registered so the serve loop's pre-execute check sees the
+            # cancellation and skips the request (popping there).
+            return
+        self._futures.pop(req.ticket, None)
+
+    async def _serve(self) -> None:
+        core = self.core
+        while True:
+            if not core.pending():
+                if self._closing:
+                    break
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            batch = core.select_round()
+            for req in batch:
+                # Yield so cancellations queued on the event loop land
+                # before this request is served.
+                await asyncio.sleep(0)
+                future = self._futures.get(req.ticket)
+                if future is not None and future.cancelled():
+                    core.skip(req)
+                    self._futures.pop(req.ticket, None)
+                    continue
+                if req.status != "queued":  # cancelled via the core
+                    continue
+                try:
+                    result = core.execute(req)
+                except Exception as exc:
+                    if future is not None and not future.done():
+                        future.set_exception(exc)
+                    continue
+                if future is not None and not future.done():
+                    future.set_result(result)
+            core.finish_round()

@@ -69,6 +69,49 @@ class TestBlockCacheUnit:
         assert cache.invalidate() == 1
         assert len(cache) == 0 and cache.stats.current_bytes == 0
 
+    def test_invalidate_spares_pinned_keys(self):
+        # Regression: prefix invalidation used to drop pinned entries,
+        # yanking verified planes out from under refinement sessions.
+        cache = BlockCache(1000)
+        cache.put((0, "/a/data", 0), _arr(10))
+        cache.put((0, "/a/data", 64), _arr(10))
+        cache.pin((0, "/a/data", 0), owner="session")
+        assert cache.invalidate("/a/") == 1
+        assert (0, "/a/data", 0) in cache
+        assert (0, "/a/data", 64) not in cache
+        assert cache.pinned_keys() == [(0, "/a/data", 0)]
+        assert cache.stats.current_bytes == 10
+        # Full invalidation spares pins too...
+        assert cache.invalidate() == 0
+        assert (0, "/a/data", 0) in cache
+        # ...until the owner releases, after which the entry is fair game.
+        cache.release("session")
+        assert cache.invalidate() == 1
+        assert len(cache) == 0 and cache.stats.current_bytes == 0
+
+    def test_drop_evicts_one_unpinned_entry(self):
+        cache = BlockCache(1000)
+        cache.put((0, "/a", 0), _arr(10))
+        cache.put((0, "/a", 64), _arr(20))
+        cache.pin((0, "/a", 64), owner="s")
+        assert cache.drop((0, "/a", 0))
+        assert (0, "/a", 0) not in cache
+        assert cache.stats.current_bytes == 20
+        assert cache.stats.evictions == 1
+        # Pinned and absent keys refuse.
+        assert not cache.drop((0, "/a", 64))
+        assert not cache.drop((0, "/ghost", 0))
+        assert (0, "/a", 64) in cache
+        assert cache.stats.evictions == 1
+
+    def test_entry_nbytes_probe_is_stat_free(self):
+        cache = BlockCache(1000)
+        cache.put((0, "/a", 0), _arr(42))
+        hits0, misses0 = cache.stats.hits, cache.stats.misses
+        assert cache.entry_nbytes((0, "/a", 0)) == 42
+        assert cache.entry_nbytes((0, "/ghost", 0)) is None
+        assert (cache.stats.hits, cache.stats.misses) == (hits0, misses0)
+
     def test_rejects_bad_budget_and_value(self):
         with pytest.raises(ValueError):
             BlockCache(0)

@@ -1,0 +1,436 @@
+"""Multi-tenant query broker: identity, fairness, admission, dedup.
+
+The two tentpole guarantees of ``repro.server``:
+
+* **bit-identity** — a result served through the broker (shared
+  fetcher, deferred execution, sharded or flat store) is identical to
+  the same query run directly on a fresh store handle;
+* **the §8 invariant** — the broker never decodes a block twice while
+  any waiter exists, proven here with *no* persistent cache configured
+  (so retained fetcher jobs are the only possible source of reuse).
+
+Async tests drive the :class:`QueryBroker` façade through
+``asyncio.run`` (the suite has no asyncio plugin on purpose — the
+broker must stay testable with a stock pytest).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, Query, ShardedMLOCStore, mloc_col
+from repro.core.result import SUMMED_STAT_KEYS, aggregate_stats
+from repro.datasets import gts_like
+from repro.pfs import SimulatedPFS
+from repro.pfs.faults import FaultPlan, FaultyPFS
+from repro.server import (
+    BrokerConfig,
+    BrokerCore,
+    BrokerRejected,
+    QueryBroker,
+    QuotaExceededError,
+    TenantQuota,
+    open_loop_events,
+    replay_closed_loop,
+    replay_open_loop,
+)
+
+
+@pytest.fixture(scope="module")
+def broker_fs():
+    fs = SimulatedPFS()
+    config = mloc_col(chunk_shape=(32, 32), n_bins=16, target_block_bytes=8 * 1024)
+    MLOCWriter(fs, "/s", config).write(gts_like((256, 256), seed=7), variable="f")
+    return fs
+
+
+def _open(fs, **options):
+    return MLOCStore.open(fs, "/s", "f", n_ranks=4, **options)
+
+
+QUERIES = [
+    Query(region=((0, 64), (0, 64)), output="values"),
+    Query(region=((32, 96), (32, 96)), output="values"),
+    Query(region=((16, 80), (16, 80)), output="values", plod_level=3),
+    Query(value_range=(4.0, 5.0), output="positions"),
+    Query(value_range=(3.5, 4.5), region=((64, 192), (64, 192)), output="values"),
+]
+
+
+def _assert_identical(result, expected):
+    assert np.array_equal(result.positions, expected.positions)
+    if expected.values is None:
+        assert result.values is None
+    else:
+        assert np.array_equal(result.values, expected.values)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    def test_broker_results_match_direct_queries(self, broker_fs):
+        direct = [_open(broker_fs).query(q) for q in QUERIES]
+        core = BrokerCore(
+            _open(broker_fs, cache_bytes=4 << 20),
+            BrokerConfig(max_inflight=2),
+        )
+        reqs = [
+            core.submit(f"tenant-{i % 3}", q) for i, q in enumerate(QUERIES)
+        ]
+        core.drain()
+        for req, expected in zip(reqs, direct):
+            assert req.status == "done"
+            _assert_identical(req.result, expected)
+
+    def test_sharded_store_scatter_gather_identical(self, broker_fs):
+        direct = [_open(broker_fs).query(q) for q in QUERIES]
+        sharded = ShardedMLOCStore.open(
+            broker_fs, "/s", "f", n_shards=3, n_ranks=2, cache_bytes=4 << 20
+        )
+        core = BrokerCore(sharded, BrokerConfig(max_inflight=2))
+        reqs = [
+            core.submit(f"tenant-{i % 2}", q) for i, q in enumerate(QUERIES)
+        ]
+        core.drain()
+        for req, expected in zip(reqs, direct):
+            assert req.status == "done"
+            _assert_identical(req.result, expected)
+
+
+# ----------------------------------------------------------------------
+# The §8 invariant: no re-decode while a waiter exists
+# ----------------------------------------------------------------------
+class TestFetchMergeDedup:
+    def test_never_decodes_twice_while_waiters_exist(self, broker_fs):
+        # No persistent cache: cross-round reuse can only come from the
+        # fetch-merge loop retaining decoded jobs for queued waiters.
+        core = BrokerCore(_open(broker_fs), BrokerConfig(max_inflight=1))
+        q = QUERIES[0]
+        first = core.submit("a", q)
+        second = core.submit("b", q)
+        core.run_round()  # serves only tenant a; b still waits
+        assert first.status == "done" and second.status == "queued"
+        assert core.loop.retained_jobs() > 0
+        core.run_round()
+        assert second.status == "done"
+        assert second.result.stats["blocks_decoded"] == 0
+        assert second.result.stats["dedup_blocks"] > 0
+        _assert_identical(second.result, first.result)
+        # Queue drained: the retained jobs were released at round end.
+        assert core.loop.retained_jobs() == 0
+        assert core.loop.released_jobs > 0
+
+    def test_overlapping_tenants_coalesce_within_a_round(self, broker_fs):
+        core = BrokerCore(_open(broker_fs), BrokerConfig(max_inflight=4))
+        overlapping = [
+            Query(region=((0, 96), (0, 96)), output="values"),
+            Query(region=((32, 128), (32, 128)), output="values"),
+            Query(region=((0, 64), (32, 128)), output="values"),
+        ]
+        for i, q in enumerate(overlapping):
+            core.submit(f"t{i}", q)
+        core.drain()
+        totals = core.stats()["totals"]
+        assert totals["dedup_blocks"] > 0
+        assert totals["dedup_raw_bytes"] > 0
+        # Dedup hits are exactly the gap between block requests and
+        # actual decodes (no LRU configured to blur the accounting).
+        assert totals["cache_hits"] == totals["dedup_blocks"]
+
+    def test_quarantined_blocks_degrade_identically_for_all_tenants(
+        self, broker_fs
+    ):
+        # Sticky rot on data subfiles; allow_partial degrades instead
+        # of failing.  Both tenants ask for everything in different
+        # rounds: the second answer must come from the quarantine
+        # registry (no fresh retries) and match the first bit-for-bit.
+        ffs = FaultyPFS(
+            broker_fs,
+            FaultPlan(seed=1, sticky_corruption_rate=0.4, fault_suffixes=(".data",)),
+        )
+        store = _open(ffs, max_read_retries=1, allow_partial=True)
+        core = BrokerCore(store, BrokerConfig(max_inflight=1))
+        q = Query(output="values")
+        first = core.submit("a", q)
+        second = core.submit("b", q)
+        core.drain()
+        assert first.result.stats["quarantined_blocks"] > 0
+        _assert_identical(second.result, first.result)
+        assert second.result.stats["io_retries"] == 0
+        assert (
+            second.result.stats["degraded_points"]
+            == first.result.stats["degraded_points"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Admission control and quotas
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_per_tenant_queue_depth(self, broker_fs):
+        core = BrokerCore(
+            _open(broker_fs), BrokerConfig(max_queued_per_tenant=1)
+        )
+        core.submit("a", QUERIES[0])
+        with pytest.raises(BrokerRejected):
+            core.submit("a", QUERIES[1])
+        core.submit("b", QUERIES[1])  # other tenants are unaffected
+        stats = core.stats()
+        assert stats["tenants"]["a"]["rejected"] == 1
+        assert stats["tenants"]["a"]["quota_rejections"] == 0
+        assert stats["totals"]["admitted"] == 2
+        core.drain()
+
+    def test_pending_bytes_ceiling(self, broker_fs):
+        store = _open(broker_fs)
+        plan, _ = store.plan(QUERIES[0])
+        est = store.estimated_raw_bytes(QUERIES[0], plan)
+        assert est > 0
+        core = BrokerCore(store, BrokerConfig(max_pending_bytes=est))
+        core.submit("a", QUERIES[0])
+        assert core.pending_bytes() == est
+        with pytest.raises(BrokerRejected):
+            core.submit("b", QUERIES[0])
+        core.drain()
+        assert core.pending_bytes() == 0
+        core.submit("b", QUERIES[0])  # capacity freed by completion
+        core.drain()
+
+    def test_byte_quota_exhaustion_under_allow_partial(self, broker_fs):
+        store = _open(broker_fs, allow_partial=True)
+        plan, _ = store.plan(QUERIES[0])
+        est = store.estimated_raw_bytes(QUERIES[0], plan)
+        core = BrokerCore(
+            store, tenants={"a": TenantQuota(max_bytes=int(est * 1.5))}
+        )
+        req = core.submit("a", QUERIES[0])
+        core.drain()
+        assert req.status == "done"
+        charged = core.stats()["tenants"]["a"]["charged_bytes"]
+        assert charged > 0
+        with pytest.raises(QuotaExceededError):
+            core.submit("a", QUERIES[0])
+        stats = core.stats()["tenants"]["a"]
+        assert stats["quota_rejections"] == 1
+        assert stats["rejected"] == 1
+        # Another tenant still gets service.
+        other = core.submit("b", QUERIES[0])
+        core.drain()
+        assert other.status == "done"
+
+    def test_cache_quota_evicts_own_insertions_only(self, broker_fs):
+        store = _open(broker_fs, cache_bytes=32 << 20)
+        core = BrokerCore(
+            store, tenants={"hog": TenantQuota(max_cache_bytes=4096)}
+        )
+        core.submit("hog", QUERIES[4])
+        core.submit("polite", QUERIES[0])
+        core.drain()
+        stats = core.stats()
+        assert stats["tenants"]["hog"]["quota_evictions"] > 0
+        assert stats["tenants"]["polite"]["quota_evictions"] == 0
+        # Quota pressure changes residency, never answers: a repeat
+        # matches a direct query bit for bit.
+        repeat = core.submit("polite", QUERIES[0])
+        core.drain()
+        _assert_identical(repeat.result, _open(broker_fs).query(QUERIES[0]))
+
+
+# ----------------------------------------------------------------------
+# Fair scheduling
+# ----------------------------------------------------------------------
+class TestFairScheduling:
+    def test_drr_interleaves_cheap_tenant_with_expensive_one(self, broker_fs):
+        store = _open(broker_fs)
+        cheap = Query(region=((0, 32), (0, 32)), output="values")
+        expensive = Query(output="values")  # whole domain
+        plan, _ = store.plan(cheap)
+        cheap_cost = store.estimated_raw_bytes(cheap, plan)
+        core = BrokerCore(
+            store,
+            BrokerConfig(max_inflight=8, quantum_bytes=2 * cheap_cost),
+        )
+        big_reqs = [core.submit("big", expensive) for _ in range(3)]
+        small_reqs = [core.submit("small", cheap) for _ in range(3)]
+        order: list[str] = []
+        while core.pending():
+            for req in core.select_round():
+                core.execute(req)
+                order.append(req.tenant)
+            core.finish_round()
+        assert all(r.status == "done" for r in big_reqs + small_reqs)
+        # The small tenant drains while the big tenant's deficit is
+        # still accruing: every cheap query is served before the last
+        # expensive one, not FIFO behind the big tenant's backlog.
+        assert order.index("small") < len(order) - 1 - order[::-1].index("big")
+        assert order.count("small") == 3
+
+    def test_deficit_accrues_until_expensive_head_runs(self, broker_fs):
+        store = _open(broker_fs)
+        expensive = Query(output="values")
+        plan, _ = store.plan(expensive)
+        cost = store.estimated_raw_bytes(expensive, plan)
+        # Quantum far below the request cost: several rounds of credit
+        # are needed before the head is dequeued, but it must run.
+        core = BrokerCore(store, BrokerConfig(quantum_bytes=max(cost // 4, 1)))
+        req = core.submit("a", expensive)
+        rounds = core.drain()
+        assert req.status == "done"
+        assert rounds >= 4
+
+    def test_empty_queue_drain_is_a_noop(self, broker_fs):
+        core = BrokerCore(_open(broker_fs))
+        assert core.pending() == 0
+        assert core.select_round() == []
+        assert core.drain() == 0
+        stats = core.stats()
+        assert stats["n_tenants"] == 0
+        assert stats["totals"]["admitted"] == 0
+        assert stats["rounds"] == 0
+
+
+# ----------------------------------------------------------------------
+# Stats registry integration
+# ----------------------------------------------------------------------
+class TestBrokerStats:
+    def test_totals_fold_through_canonical_registry(self, broker_fs):
+        core = BrokerCore(_open(broker_fs, cache_bytes=4 << 20))
+        for i, q in enumerate(QUERIES):
+            core.submit(f"t{i % 2}", q)
+        core.drain()
+        stats = core.stats()
+        recomputed = aggregate_stats(list(stats["tenants"].values()))
+        for key in SUMMED_STAT_KEYS:
+            assert stats["totals"][key] == recomputed[key], key
+        assert stats["totals"]["admitted"] == len(QUERIES)
+        assert stats["totals"]["completed"] == len(QUERIES)
+        assert stats["totals"]["n_results"] == sum(
+            t["n_results"] for t in stats["tenants"].values()
+        )
+        assert 0.0 <= stats["dedup_rate"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Async façade
+# ----------------------------------------------------------------------
+class TestQueryBroker:
+    def test_concurrent_tenants_get_identical_results(self, broker_fs):
+        direct = [_open(broker_fs).query(q) for q in QUERIES[:3]]
+
+        async def main():
+            store = _open(broker_fs, cache_bytes=4 << 20)
+            async with QueryBroker(store) as broker:
+                results = await asyncio.gather(
+                    *(
+                        broker.query(f"t{i}", q)
+                        for i, q in enumerate(QUERIES[:3])
+                    )
+                )
+            return results, broker.stats()
+
+        results, stats = asyncio.run(main())
+        for result, expected in zip(results, direct):
+            _assert_identical(result, expected)
+        assert stats["totals"]["completed"] == 3
+
+    def test_cancellation_mid_fetch_skips_without_serving(self, broker_fs):
+        async def main():
+            store = _open(broker_fs)
+            # One query per round, so the later submissions are still
+            # queued (mid-fetch from the tenant's view) when cancelled.
+            async with QueryBroker(
+                store, BrokerConfig(max_inflight=1)
+            ) as broker:
+                keep = broker.submit("a", QUERIES[0])
+                doomed = broker.submit("b", QUERIES[1])
+                also_kept = broker.submit("c", QUERIES[2])
+                doomed.cancel()
+                first, third = await asyncio.gather(keep, also_kept)
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed
+            return first, third, broker.stats()
+
+        first, third, stats = asyncio.run(main())
+        _assert_identical(first, _open(broker_fs).query(QUERIES[0]))
+        _assert_identical(third, _open(broker_fs).query(QUERIES[2]))
+        assert stats["totals"]["cancelled"] == 1
+        assert stats["totals"]["completed"] == 2
+        assert stats["tenants"]["b"]["completed"] == 0
+
+    def test_zero_tenant_start_and_close(self, broker_fs):
+        async def main():
+            async with QueryBroker(_open(broker_fs)) as broker:
+                await asyncio.sleep(0)
+            return broker.stats()
+
+        stats = asyncio.run(main())
+        assert stats["totals"]["admitted"] == 0
+        assert stats["pending"] == 0
+
+    def test_submit_after_close_raises(self, broker_fs):
+        async def main():
+            broker = QueryBroker(_open(broker_fs))
+            await broker.start()
+            await broker.close()
+            with pytest.raises(RuntimeError):
+                broker.submit("a", QUERIES[0])
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Traffic replay
+# ----------------------------------------------------------------------
+class TestReplay:
+    def _tenant_queries(self, n_tenants=4):
+        return {
+            f"t{t}": [QUERIES[(t + i) % len(QUERIES)] for i in range(3)]
+            for t in range(n_tenants)
+        }
+
+    def test_open_loop_replay_is_deterministic(self, broker_fs):
+        # Component times include *measured* CPU seconds (DESIGN.md §5),
+        # so exact latencies carry timer noise; everything the broker
+        # decides — admission, service order, blocks touched — and every
+        # simulated counter must replay identically.
+        def run():
+            broker_fs.clear_cache()  # same simulated OS-cache start state
+            core = BrokerCore(_open(broker_fs, cache_bytes=4 << 20))
+            events = open_loop_events(self._tenant_queries(), rate=50.0, seed=3)
+            return replay_open_loop(core, events)
+
+        a, b = run(), run()
+        assert [(t, arr) for t, arr, _ in a.samples] == [
+            (t, arr) for t, arr, _ in b.samples
+        ]
+        for key in ("dedup_blocks", "blocks_decoded", "cache_hits", "bytes_read"):
+            assert a.broker["totals"][key] == b.broker["totals"][key], key
+        assert a.broker["rounds"] == b.broker["rounds"]
+        assert a.as_dict()["n_requests"] == 12
+        assert a.percentile(99) >= a.percentile(50) > 0.0
+
+    def test_open_loop_latency_includes_queueing(self, broker_fs):
+        # Everything arrives at t=0 but only one query serves per
+        # round: later completions carry the backlog's service time.
+        core = BrokerCore(_open(broker_fs), BrokerConfig(max_inflight=1))
+        events = open_loop_events(self._tenant_queries(2), rate=1e9, seed=0)
+        report = replay_open_loop(core, events)
+        lat = report.latencies()
+        assert lat.size == 6
+        assert lat.max() > lat.min()
+
+    def test_closed_loop_completes_every_stream(self, broker_fs):
+        core = BrokerCore(_open(broker_fs, cache_bytes=4 << 20))
+        report = replay_closed_loop(
+            core, self._tenant_queries(), think_time=0.002
+        )
+        assert report.as_dict()["n_requests"] == 12
+        assert report.broker["totals"]["completed"] == 12
+        assert report.broker["pending"] == 0
+        # The simulated clock only moves forward; no request can take
+        # longer than the whole replay.
+        assert report.clock >= report.latencies().max() > 0.0

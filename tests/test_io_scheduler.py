@@ -214,16 +214,19 @@ def test_pin_missing_key_is_noop():
     assert cache.release("s") == 0
 
 
-def test_invalidate_drops_pins():
+def test_invalidate_spares_pinned_keys():
     cache = BlockCache(100)
     cache.put(_key("f"), b"A" * 10)
     cache.pin(_key("f"), owner="s")
-    cache.invalidate("/f")
-    assert cache.pinned_keys() == []
+    assert cache.invalidate("/f") == 0
+    assert cache.pinned_keys() == [_key("f")]
+    assert cache.get(_key("f")) == b"A" * 10
     cache.put(_key("g"), b"B" * 10)
-    cache.pin(_key("g"), owner="s")
-    cache.invalidate()
-    assert cache.pinned_keys() == []
+    assert cache.invalidate() == 1  # only the unpinned entry goes
+    assert _key("f") in cache
+    assert _key("g") not in cache
+    cache.release("s")
+    assert cache.invalidate() == 1
 
 
 def test_touch_refreshes_recency_without_stats():
