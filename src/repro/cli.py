@@ -18,6 +18,8 @@ against those snapshot files, giving the library a shell-level surface:
         --plan-cache 8 --cache-mb 64 --spec 'vmin=4.0' --spec 'vmin=4.0'
     python -m repro.cli serve-replay out.pfs --root /demo --variable potential \\
         --tenants 16 --queries 4 --mode open --rate 50 --cache-mb 64
+    python -m repro.cli index build out.pfs --root /demo --variable potential
+    python -m repro.cli index stats out.pfs --root /demo --variable potential
 
 Every command prints human-readable text and exits non-zero on failure
 (or when fsck finds issues).
@@ -210,6 +212,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission ceiling on queued estimated raw MiB (0 = unbounded)",
     )
     _add_execution_options(serve)
+
+    index = sub.add_parser(
+        "index",
+        help="build or inspect a store's hierarchical bitmap index",
+    )
+    index.add_argument(
+        "action",
+        choices=["build", "stats"],
+        help=(
+            "'build' (re)creates the persisted hbi record from the flat "
+            "bin index; 'stats' prints its tree shape and size versus "
+            "the flat index and a FastBit-style whole-domain baseline"
+        ),
+    )
+    index.add_argument("snapshot")
+    index.add_argument("--root", required=True)
+    index.add_argument("--variable", required=True)
+    index.add_argument(
+        "--leaf-span",
+        type=int,
+        default=None,
+        help="chunks per leaf bitmap (build only; default 8, see docs/tuning.md)",
+    )
+    index.add_argument(
+        "--fanout",
+        type=int,
+        default=None,
+        help="bins per interior summary node (build only; default 4)",
+    )
 
     relayout_p = sub.add_parser(
         "relayout", help="migrate a store to a different level order"
@@ -745,6 +776,81 @@ def _cmd_serve_replay(args) -> int:
     return 0
 
 
+def _cmd_index(args) -> int:
+    from repro.index import HBIndex, build_from_store, hbi_path, wah_from_positions
+
+    fs = SimulatedPFS.load(args.snapshot)
+    store = MLOCStore.open(fs, args.root, args.variable)
+    path = hbi_path(store.root)
+
+    if args.action == "build":
+        options = {}
+        if args.leaf_span is not None:
+            options["leaf_span"] = args.leaf_span
+        if args.fanout is not None:
+            options["fanout"] = args.fanout
+        try:
+            hbi = build_from_store(store, **options)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        blob = hbi.to_bytes()
+        fs.write_file(path, blob)
+        fs.save(args.snapshot)
+        print(
+            f"built {path}: {len(blob)} bytes "
+            f"(leaf_span={hbi.leaf_span}, fanout={hbi.fanout})"
+        )
+        return 0
+
+    if fs.exists(path):
+        hbi = HBIndex.from_bytes(bytes(fs.session().open(path).read_all()))
+        source, hbi_bytes = "persisted", fs.size(path)
+    else:
+        hbi = store.hbi  # lazy rebuild from the flat bin index
+        source, hbi_bytes = "rebuilt in memory (no persisted record)", len(
+            hbi.to_bytes()
+        )
+    try:
+        hbi.validate()
+    except ValueError as exc:
+        print(f"error: index fails validation: {exc}")
+        return 1
+    s = hbi.stats()
+    print(f"hierarchical index {path} ({source}): {hbi_bytes} bytes")
+    print(
+        f"tree: {s['n_bins']} bins x {s['n_runs']} chunk-runs of "
+        f"{s['leaf_span']} chunks, {s['n_levels']} levels (fanout "
+        f"{s['fanout']}), {s['nonempty_leaves']}/{s['n_leaves']} "
+        f"non-empty leaves, {s['interior_nodes']} interior nodes"
+    )
+    print(
+        f"breakdown: {s['leaf_bytes']} WAH leaf bytes, "
+        f"{s['summary_bytes']} cardinality-summary bytes"
+    )
+    flat_bytes = sum(
+        fs.size(store.files.index_path(b)) for b in range(s["n_bins"])
+    )
+    print(
+        f"vs flat MLOC bin index: {flat_bytes} bytes "
+        f"(hierarchical = {hbi_bytes / flat_bytes:.0%})"
+    )
+    # FastBit-style baseline: one whole-domain WAH bitmap per bin, the
+    # layout a standalone bitmap index would persist (Table I's blowup).
+    fastbit_bytes = sum(
+        wah_from_positions(
+            hbi.bin_positions(b, store.grid, store.curve), store.n_elements
+        ).nbytes
+        for b in range(s["n_bins"])
+    )
+    print(
+        f"vs FastBit-style whole-domain WAH index: {fastbit_bytes} bytes "
+        f"(hierarchical = {hbi_bytes / fastbit_bytes:.0%})"
+    )
+    print("validate: OK")
+    return 0
+
+
 def _cmd_relayout(args) -> int:
     from dataclasses import replace as dc_replace
 
@@ -787,6 +893,7 @@ _COMMANDS = {
     "refine": _cmd_refine,
     "stats": _cmd_stats,
     "serve-replay": _cmd_serve_replay,
+    "index": _cmd_index,
     "relayout": _cmd_relayout,
 }
 

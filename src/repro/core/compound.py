@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.query import Query
-from repro.core.result import ComponentTimes, QueryResult
+from repro.core.result import ComponentTimes, QueryResult, aggregate_stats
 from repro.core.store import MLOCStore
 from repro.index.bitmap import Bitmap
 from repro.parallel.simmpi import SimCommunicator
@@ -71,7 +71,14 @@ class CompoundResult:
     values: dict[str, np.ndarray]
     times: ComponentTimes
     #: Per constrained variable: the region-only selection result(s).
+    #: With hierarchical-index pushdown these reflect the *pruned*
+    #: work (later variables only scan chunks the running intersection
+    #: still touches); the final ``positions``/``values`` are
+    #: bit-identical either way.
     selections: dict[str, list[QueryResult]] = field(default_factory=dict)
+    #: Aggregated execution counters over every selection and fetch
+    #: step (the canonical SUMMED_STAT_KEYS registry).
+    stats: dict = field(default_factory=dict)
 
     @property
     def n_results(self) -> int:
@@ -81,17 +88,38 @@ class CompoundResult:
 def _estimated_selectivity(store: MLOCStore, ranges) -> float:
     """Fraction of elements the constraint can select, from bin counts.
 
-    Uses only in-memory metadata: the element counts of the bins each
-    range overlaps — an upper bound on the true selectivity, good
+    Uses only in-memory summaries: the per-bin totals hoisted into the
+    store's :class:`~repro.core.planner.PlanContext`, or — when the
+    hierarchical index is enabled — its interior-node cardinalities
+    (same exact values, resolved from O(log n_bins) tree nodes instead
+    of a per-bin sum).  An upper bound on the true selectivity, good
     enough to order the evaluation most-selective-first.
     """
-    counts = store.meta.counts.sum(axis=1).astype(np.float64)
-    total = counts.sum()
-    selected = np.zeros(store.meta.config.n_bins, dtype=bool)
+    totals = store.context.bin_totals
+    total = float(totals.sum())
+    if not total:
+        return 1.0
+    # Merge each range's (contiguous) overlapping-bin span so a union
+    # of overlapping ranges never double-counts a bin.
+    spans = []
     for lo, hi in ranges:
         bin_ids, _ = store.scheme.bins_overlapping(float(lo), float(hi))
-        selected[bin_ids] = True
-    return float(counts[selected].sum() / total) if total else 1.0
+        if bin_ids.size:
+            spans.append((int(bin_ids[0]), int(bin_ids[-1]) + 1))
+    if not spans:
+        return 0.0
+    spans.sort()
+    merged = [spans[0]]
+    for lo, hi in spans[1:]:
+        if lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(hi, merged[-1][1]))
+        else:
+            merged.append((lo, hi))
+    if store.use_hbi:
+        selected = sum(store.hbi.cardinality(lo, hi) for lo, hi in merged)
+    else:
+        selected = sum(int(totals[lo:hi].sum()) for lo, hi in merged)
+    return float(selected / total)
 
 
 def compound_query(
@@ -153,12 +181,21 @@ def compound_query(
         store = stores[constraint.variable]
         if intersection is not None and intersection.count() == 0:
             break  # conjunction already empty: skip remaining variables
+        # Hierarchical pushdown: a later variable only needs to scan
+        # chunks where the running intersection still has set bits —
+        # positions it would contribute elsewhere are ANDed away
+        # regardless, so the conjunction is unchanged (DESIGN.md §6).
+        chunk_subset = None
+        if store.use_hbi and intersection is not None:
+            live = intersection.to_positions()
+            chunk_subset = np.unique(store.grid.chunk_of_positions(live))
         variable_bitmap = Bitmap(n_elements)
         selections[constraint.variable] = []
         for lo, hi in constraint.ranges:
             result = store.query(
                 Query(value_range=(float(lo), float(hi)), region=region,
-                      output="positions")
+                      output="positions"),
+                chunk_subset=chunk_subset,
             )
             selections[constraint.variable].append(result)
             times = times + result.times
@@ -179,17 +216,24 @@ def compound_query(
     positions = intersection.to_positions()
 
     values: dict[str, np.ndarray] = {}
+    fetches: list[QueryResult] = []
     for name in fetch:
         store = stores[name]
         fetched = store.fetch_positions(
             intersection, region=region, plod_level=plod_level
         )
+        fetches.append(fetched)
         values[name] = fetched.values
         times = times + fetched.times
 
+    stats = aggregate_stats(
+        [r.stats for results in selections.values() for r in results]
+        + [r.stats for r in fetches]
+    )
     return CompoundResult(
         positions=positions,
         values=values,
         times=times,
         selections=selections,
+        stats=stats,
     )

@@ -19,6 +19,7 @@ from repro.core.query import Query
 from repro.core.result import ComponentTimes, QueryResult
 from repro.core.store import MLOCStore
 from repro.index.bitmap import Bitmap
+from repro.index.hbi import encode_hierarchical_bitmap
 from repro.parallel.simmpi import SimCommunicator
 
 __all__ = ["MultiVarResult", "multi_variable_query"]
@@ -36,6 +37,12 @@ class MultiVarResult:
     times: ComponentTimes
     #: The region-only selection result, for inspection.
     selection: QueryResult
+    #: Bytes of the exchanged selection payload — the whole-domain WAH
+    #: bitmap, or the hierarchical run-directory + leaves form when the
+    #: selecting store has ``use_hbi`` (what the allreduce was charged).
+    exchange_bytes: int = 0
+    #: The whole-domain WAH size, always recorded for comparison.
+    flat_exchange_bytes: int = 0
 
 
 def multi_variable_query(
@@ -73,9 +80,25 @@ def multi_variable_query(
     )
 
     # Synchronize the qualifying positions as a bitmap across ranks
-    # (allreduce-OR); the modeled payload is the WAH-compressed form.
+    # (allreduce-OR).  The modeled payload is the whole-domain
+    # WAH-compressed form — or, when the selecting store carries the
+    # hierarchical index, the hierarchical encoding (a directory of
+    # non-empty chunk-runs plus one run-local WAH leaf each): empty
+    # runs cost nothing and receivers can prune per run before touching
+    # leaf bits, at a few directory bytes per non-empty run.  The
+    # exchanged *set* is identical either way (the codec is lossless),
+    # so retrievals are unaffected.
     bitmap = Bitmap.from_positions(selection.positions, select_store.n_elements)
-    wah_payload = bitmap.wah_bytes()
+    flat_payload = bitmap.wah_bytes()
+    if select_store.use_hbi:
+        wah_payload = encode_hierarchical_bitmap(
+            selection.positions,
+            select_store.grid,
+            select_store.curve,
+            select_store.hbi.leaf_span,
+        )
+    else:
+        wah_payload = flat_payload
     comm = SimCommunicator(select_store.executor.n_ranks, select_store.executor.comm_cost)
     comm.allreduce([wah_payload] * comm.size, lambda a, b: a)
 
@@ -95,4 +118,6 @@ def multi_variable_query(
         values=values,
         times=times,
         selection=selection,
+        exchange_bytes=len(wah_payload),
+        flat_exchange_bytes=len(flat_payload),
     )

@@ -117,6 +117,35 @@ class QueryPlan:
         :meth:`block_list`)."""
         return self.block_list().to_refs()
 
+    def narrow(self, keep: np.ndarray) -> int:
+        """Drop the chunks where ``keep`` is False, in place.
+
+        Only valid on caller-owned plans (:meth:`PlanContext.
+        plan_uncached`) — plans served by the cache are shared and must
+        not be mutated.  Keeping a subsequence preserves the sorted
+        order the ``searchsorted`` lookups rely on.  Returns the number
+        of chunks dropped.
+        """
+        dropped = int(self.cpos.size - np.count_nonzero(keep))
+        if dropped:
+            self.cpos = self.cpos[keep]
+            self.chunk_ids = self.chunk_ids[keep]
+            self.interior = self.interior[keep]
+        return dropped
+
+    def narrow_bins(self, keep: np.ndarray) -> int:
+        """Drop the bins where ``keep`` is False, in place.
+
+        The bin-axis counterpart of :meth:`narrow`, with the same
+        caller-owned-plan contract.  Returns the number of bins
+        dropped.
+        """
+        dropped = int(self.bin_ids.size - np.count_nonzero(keep))
+        if dropped:
+            self.bin_ids = self.bin_ids[keep]
+            self.aligned = self.aligned[keep]
+        return dropped
+
     @property
     def n_blocks(self) -> int:
         return int(self.bin_ids.size) * int(self.cpos.size)
@@ -211,11 +240,15 @@ class PlanContext:
         self.cache = PlanCache(plan_cache) if plan_cache > 0 else None
         self.counts64: np.ndarray | None = None
         self.pos_offsets: np.ndarray | None = None
+        #: Per-bin element totals (``counts.sum(axis=1)``), hoisted here
+        #: so selectivity estimation never rebuilds them per call.
+        self.bin_totals: np.ndarray | None = None
         self.cell_offsets: list[np.ndarray] = []
         self.index_row_starts: list[np.ndarray] = []
         self.data_row_starts: list[np.ndarray] = []
         if meta is not None:
             self.counts64 = meta.counts.astype(np.int64)
+            self.bin_totals = self.counts64.sum(axis=1)
             n_bins, n_chunks = self.counts64.shape
             self.pos_offsets = np.zeros((n_bins, n_chunks + 1), dtype=np.int64)
             np.cumsum(self.counts64, axis=1, out=self.pos_offsets[:, 1:])
@@ -294,6 +327,34 @@ class PlanContext:
             hierarchical=self.hierarchical,
             prefixes=self.level_prefixes,
         )
+
+    def prune_plan(self, plan: QueryPlan, hbi) -> int:
+        """Drop plan chunks the hierarchical index proves empty.
+
+        Two-stage refinement over a caller-owned plan: interior tree
+        nodes first rule out whole chunk-runs whose cardinality over
+        the plan's bin range is zero (no per-chunk work at all), then
+        the exact per-chunk counts narrow the surviving runs.  A chunk
+        holding zero elements of the selected bins contributes no
+        positions and no values, so dropping it cannot change the
+        answer — pruned plans stay bit-identical to unpruned ones
+        (DESIGN.md §6).  Returns the number of chunks dropped.
+        """
+        if plan.bin_ids.size == 0 or plan.cpos.size == 0:
+            return 0
+        bins = plan.bin_ids.astype(np.int64)
+        bin_lo, bin_hi = int(bins[0]), int(bins[-1]) + 1
+        run_totals, _ = hbi.range_run_counts(bin_lo, bin_hi)
+        keep = run_totals[plan.cpos // hbi.leaf_span] > 0
+        survivors = np.flatnonzero(keep)
+        if survivors.size:
+            sub = plan.cpos[survivors]
+            if bin_hi - bin_lo == bins.size:  # contiguous bin range
+                exact = self.counts64[bin_lo:bin_hi, sub].sum(axis=0)
+            else:
+                exact = self.counts64[bins][:, sub].sum(axis=0)
+            keep[survivors[exact == 0]] = False
+        return plan.narrow(keep)
 
 
 def plan_query(

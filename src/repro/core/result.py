@@ -53,6 +53,12 @@ SUMMED_STAT_KEYS: tuple[str, ...] = (
     "n_results",
     "plan_cache_hits",
     "plan_cache_misses",
+    # Chunks dropped by hierarchical-index pruning / compound pushdown
+    # (repro.index.hbi): proven-empty plan chunks never fetched.
+    "chunks_pruned",
+    # Bins dropped from a position-masked fetch by the group-domain
+    # AND against the hierarchical index's leaves.
+    "bins_pruned",
     # Cross-query fetch-merge dedup (shared fetchers: batches, sessions,
     # and the broker's continuous merge loop).
     "dedup_blocks",

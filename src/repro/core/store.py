@@ -9,6 +9,8 @@ and parallel executor.  Storage accounting for Table I is exposed via
 
 from __future__ import annotations
 
+import copy
+import os
 import zlib
 from dataclasses import dataclass
 
@@ -29,6 +31,7 @@ from repro.core.result import (
 )
 from repro.core.writer import make_curve
 from repro.index.bitmap import Bitmap
+from repro.index.hbi import HBIndex, build_from_store, hbi_path
 from repro.parallel.simmpi import CommCostModel
 from repro.pfs.blockcache import BlockCache
 from repro.pfs.layout import BinFileSet
@@ -74,10 +77,18 @@ class MLOCStore:
         allow_partial: bool = False,
         coalesce_gap: int = 0,
         readahead: int = 0,
+        use_hbi: bool | None = None,
     ) -> None:
         self.fs = fs
         self.root = root.rstrip("/")
         self.meta = meta
+        # Hierarchical bitmap index: opt-in per handle (or fleet-wide
+        # via MLOC_HBI=1) because enabling it changes plan *work*, not
+        # results — the flat path stays the accounting baseline.
+        if use_hbi is None:
+            use_hbi = os.environ.get("MLOC_HBI") == "1"
+        self.use_hbi = bool(use_hbi)
+        self._hbi: HBIndex | None = None
         self.grid = ChunkGrid(meta.shape, meta.config.chunk_shape)
         self.curve = make_curve(meta.config, self.grid)
         self.scheme = BinScheme(meta.edges)
@@ -159,9 +170,27 @@ class MLOCStore:
     def variable(self) -> str:
         return self.meta.variable
 
+    @property
+    def hbi(self) -> HBIndex:
+        """The hierarchical bitmap index, loaded or built on first use.
+
+        Prefers the ``hbi`` file persisted at write time (read through
+        an uncharged session, like the metadata at open); stores
+        written before the file existed fall back to building it from
+        the flat position index — both paths yield identical bytes.
+        """
+        if self._hbi is None:
+            path = hbi_path(self.root)
+            if self.fs.exists(path):
+                raw = bytes(self.fs.session().open(path).read_all())
+                self._hbi = HBIndex.from_bytes(raw)
+            else:
+                self._hbi = build_from_store(self)
+        return self._hbi
+
     def with_ranks(self, n_ranks: int) -> "MLOCStore":
         """A view of the same store using a different rank count."""
-        return MLOCStore(
+        clone = MLOCStore(
             self.fs,
             self.root,
             self.meta,
@@ -178,7 +207,10 @@ class MLOCStore:
             allow_partial=self.executor.allow_partial,
             coalesce_gap=self.executor.coalesce_gap,
             readahead=self.executor.readahead,
+            use_hbi=self.use_hbi,
         )
+        clone._hbi = self._hbi
+        return clone
 
     @property
     def quarantined_blocks(self) -> dict[tuple[str, int], str]:
@@ -203,6 +235,8 @@ class MLOCStore:
             return self.context.plan(query), {
                 "plan_cache_hits": 0,
                 "plan_cache_misses": 0,
+                "chunks_pruned": 0,
+                "bins_pruned": 0,
             }
         hits_before = cache.hits
         plan = self.context.plan(query)
@@ -210,6 +244,8 @@ class MLOCStore:
         return plan, {
             "plan_cache_hits": int(hit),
             "plan_cache_misses": int(not hit),
+            "chunks_pruned": 0,
+            "bins_pruned": 0,
         }
 
     def plan(self, query: Query) -> tuple[QueryPlan, dict[str, int]]:
@@ -233,6 +269,7 @@ class MLOCStore:
         *,
         fetcher=None,
         planned: tuple[QueryPlan, dict[str, int]] | None = None,
+        chunk_subset: np.ndarray | None = None,
     ) -> QueryResult:
         """Plan and execute one access request.
 
@@ -241,8 +278,28 @@ class MLOCStore:
         earlier sharer is never decoded again); ``planned`` supplies a
         plan obtained earlier from :meth:`plan`.  Neither changes the
         result — only what work is re-done.
+
+        ``chunk_subset`` restricts the plan to the given chunk ids
+        (compound-query pushdown: the running intersection's surviving
+        chunks); with ``use_hbi`` a value-constrained plan is
+        additionally pruned through the hierarchical index.  Both only
+        drop chunks proven to contribute nothing, so results stay
+        bit-identical to the unpruned plan.
         """
+        prune = self.use_hbi and query.value_range is not None
         plan, plan_stats = self._plan(query) if planned is None else planned
+        if chunk_subset is not None or prune:
+            # Cached plans are shared and must not change; narrowing
+            # only rebinds the chunk/bin-axis fields, so a shallow copy
+            # keeps the cache's arrays intact while this query prunes.
+            plan = copy.copy(plan)
+            plan_stats = dict(plan_stats)
+            pruned = 0
+            if chunk_subset is not None:
+                pruned += plan.narrow(np.isin(plan.chunk_ids, chunk_subset))
+            if prune:
+                pruned += self.context.prune_plan(plan, self.hbi)
+            plan_stats["chunks_pruned"] = pruned
         result = self.executor.execute(
             query, plan, position_filter=position_filter, fetcher=fetcher
         )
@@ -348,17 +405,26 @@ class MLOCStore:
         # Uncached on purpose: the plan is narrowed in place below, and
         # cached plans are shared between queries.
         plan = self.context.plan_uncached(query)
+        bins_pruned = 0
         if positions.size:
             hit_chunks = np.unique(self.grid.chunk_of_positions(positions))
-            keep = np.isin(plan.chunk_ids, hit_chunks)
-            plan.chunk_ids = plan.chunk_ids[keep]
-            plan.cpos = plan.cpos[keep]
-            plan.interior = plan.interior[keep]
+            plan.narrow(np.isin(plan.chunk_ids, hit_chunks))
+            if self.use_hbi:
+                # AND-pushdown over the bin axis: the plan spans every
+                # bin (no value constraint), but the mask's values live
+                # only in bins whose leaves intersect it — proven by a
+                # group-domain AND, so dropping the rest reads fewer
+                # blocks without changing a result byte.
+                touched = self.hbi.bins_intersecting(
+                    positions, self.grid, self.curve
+                )
+                bins_pruned = plan.narrow_bins(touched[plan.bin_ids])
         else:
-            plan.chunk_ids = plan.chunk_ids[:0]
-            plan.cpos = plan.cpos[:0]
-            plan.interior = plan.interior[:0]
-        return self.executor.execute(query, plan, position_filter=bitmap)
+            plan.narrow(np.zeros(plan.cpos.size, dtype=bool))
+        result = self.executor.execute(query, plan, position_filter=bitmap)
+        result.stats.setdefault("chunks_pruned", 0)
+        result.stats["bins_pruned"] = bins_pruned
+        return result
 
     # ------------------------------------------------------------------
     def storage_report(self) -> StorageReport:

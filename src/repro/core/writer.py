@@ -69,6 +69,7 @@ from repro.core.chunking import ChunkGrid
 from repro.core.config import WRITE_BACKENDS, MLOCConfig
 from repro.core.meta import StoreMeta
 from repro.index.binindex import encode_position_block
+from repro.index.hbi import HBIBuilder, hbi_path
 from repro.parallel.procpool import (
     AUTO_PROCESS_MIN_BYTES,
     PoolBrokenError,
@@ -100,6 +101,10 @@ class WriteReport:
     data_bytes: int
     index_bytes: int
     meta_bytes: int
+    #: Hierarchical bitmap index file size (0 when ``build_hbi=False``).
+    #: Kept out of ``total_bytes`` so Table I storage accounting is
+    #: unchanged by the optional summary structure.
+    hbi_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -362,6 +367,13 @@ class MLOCWriter:
         ``None`` = CPU count.  On a single-core machine an unsized
         pool would be pure overhead, so the writer falls back to
         inline execution unless a width > 1 is requested explicitly.
+    build_hbi:
+        Build and persist the hierarchical bitmap index
+        (:mod:`repro.index.hbi`) alongside the flat position index
+        (default on).  The builder consumes the ordered commit
+        stream, so the ``hbi`` file is bit-identical across write
+        backends like every other subfile.  Stores opened without
+        ``use_hbi`` ignore the file entirely.
     """
 
     def __init__(
@@ -372,6 +384,7 @@ class MLOCWriter:
         *,
         write_backend: str = "serial",
         write_workers: int | None = None,
+        build_hbi: bool = True,
     ) -> None:
         if write_backend not in WRITE_BACKENDS:
             raise ValueError(
@@ -384,6 +397,7 @@ class MLOCWriter:
         self.config = config
         self.write_backend = write_backend
         self.write_workers = write_workers
+        self.build_hbi = build_hbi
 
     def variable_root(self, variable: str) -> str:
         """Directory of one variable's subfiles under this writer's root."""
@@ -399,11 +413,12 @@ class MLOCWriter:
         scheme = self._estimate_bins(data)
         backend = self._make_backend(codec, data.nbytes)
         try:
-            data_streams, index_streams, counts = self._encode(
+            data_streams, index_streams, counts, hbi = self._encode(
                 data, grid, curve, scheme, backend
             )
             return self._commit(
-                data, variable, scheme, counts, data_streams, index_streams, backend
+                data, variable, scheme, counts, data_streams, index_streams, backend,
+                hbi,
             )
         finally:
             backend.close()
@@ -463,6 +478,12 @@ class MLOCWriter:
             _IndexStream(backend.encode_index, config.target_block_bytes)
             for _ in range(n_bins)
         ]
+        # The hierarchical index builder rides the ordered commit loop
+        # below, which consumes chunk results in serial cpos order under
+        # every backend — so the hbi file is backend-invariant too.
+        hbi = (
+            HBIBuilder(n_bins, n_chunks, grid.chunk_size) if self.build_hbi else None
+        )
 
         def chunk_stage(cpos: int) -> tuple:
             chunk_id = int(curve.order[cpos])
@@ -476,6 +497,8 @@ class MLOCWriter:
         results = backend.chunk_results(chunk_stage, n_chunks)
         for cpos, (perm, offsets, planes) in enumerate(results):
             counts[:, cpos] = np.diff(offsets).astype(np.uint32)
+            if hbi is not None:
+                hbi.add_chunk(cpos, perm, offsets)
             for b in range(n_bins):
                 lo, hi = int(offsets[b]), int(offsets[b + 1])
                 index_streams[b].add(cpos, perm[lo:hi])
@@ -486,11 +509,12 @@ class MLOCWriter:
                         data_streams[b][g].add(g * n_chunks + cpos, part)
                     else:
                         data_streams[b][0].add(cpos * n_groups + g, part)
-        return data_streams, index_streams, counts
+        return data_streams, index_streams, counts, hbi
 
     # ------------------------------------------------------------------
     def _commit(
-        self, data, variable, scheme, counts, data_streams, index_streams, backend
+        self, data, variable, scheme, counts, data_streams, index_streams, backend,
+        hbi=None,
     ) -> WriteReport:
         """Materialize subfiles and metadata in deterministic order."""
         n_bins = self.config.n_bins
@@ -551,12 +575,19 @@ class MLOCWriter:
         meta.validate()
         self.fs.write_file(files.meta_path, meta.to_bytes())
 
+        hbi_bytes = 0
+        if hbi is not None:
+            blob = hbi.finish().to_bytes()
+            self.fs.write_file(hbi_path(self.variable_root(variable)), blob)
+            hbi_bytes = len(blob)
+
         return WriteReport(
             variable=variable,
             raw_bytes=data.nbytes,
             data_bytes=files.data_bytes(self.fs),
             index_bytes=files.index_bytes(self.fs),
             meta_bytes=self.fs.size(files.meta_path),
+            hbi_bytes=hbi_bytes,
         )
 
     # ------------------------------------------------------------------

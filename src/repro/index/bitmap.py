@@ -23,6 +23,7 @@ import numpy as np
 __all__ = [
     "Bitmap",
     "groups_to_bitmap",
+    "wah_cardinality",
     "wah_decode",
     "wah_encode",
     "wah_expand_groups",
@@ -34,6 +35,13 @@ _FILL_FLAG = np.uint64(1) << np.uint64(63)
 _FILL_ONE = np.uint64(1) << np.uint64(62)
 _COUNT_MASK = _FILL_ONE - np.uint64(1)
 _ALL_ONES_GROUP = (np.uint64(1) << np.uint64(_GROUP_BITS)) - np.uint64(1)
+
+#: Per-byte popcount lookup table: emptiness and cardinality checks run
+#: as one table gather + sum over the uint8 buffer instead of expanding
+#: every bit through ``np.unpackbits``.
+_POPCOUNT = np.unpackbits(
+    np.arange(256, dtype=np.uint8).reshape(256, 1), axis=1
+).sum(axis=1).astype(np.uint8)
 
 
 class Bitmap:
@@ -77,8 +85,20 @@ class Bitmap:
         return ((self.buffer[pos >> 3] >> (pos & 7).astype(np.uint8)) & 1).astype(bool)
 
     def count(self) -> int:
-        """Number of set bits."""
-        return int(np.unpackbits(self.buffer, bitorder="little")[: self.nbits].sum())
+        """Number of set bits (vectorized per-byte popcount).
+
+        The final byte's padding bits (little-endian: its high bits)
+        are masked out, so the count is exact even for buffers whose
+        padding was dirtied by external writes.
+        """
+        if self.nbits == 0:
+            return 0
+        tail_bits = self.nbits % 8
+        if tail_bits == 0:
+            return int(_POPCOUNT[self.buffer].sum(dtype=np.int64))
+        total = int(_POPCOUNT[self.buffer[:-1]].sum(dtype=np.int64))
+        last = self.buffer[-1] & np.uint8((1 << tail_bits) - 1)
+        return total + int(_POPCOUNT[last])
 
     @property
     def nbytes(self) -> int:
@@ -225,6 +245,26 @@ def wah_expand_groups(words: np.ndarray) -> np.ndarray:
     fill_values = np.where((words & _FILL_ONE) != 0, _ALL_ONES_GROUP, np.uint64(0))
     values = np.where(is_fill, fill_values, words)
     return np.repeat(values, counts)
+
+
+def wah_cardinality(words: np.ndarray) -> int:
+    """Number of set bits in a WAH encoding, without decoding it.
+
+    One-fill words contribute ``63 * run_length`` bits; literal words
+    are popcounted directly through the per-byte table (their MSB is 0
+    by construction, so no correction is needed).  The tail group's
+    padding bits are zero in every encoding produced by this module —
+    a one-fill can only cover all-ones groups — so the returned count
+    equals ``Bitmap.count()`` of the decoded bitmap for any ``nbits``.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.size == 0:
+        return 0
+    is_fill = (words & _FILL_FLAG) != 0
+    one_fill = is_fill & ((words & _FILL_ONE) != 0)
+    filled = int((words[one_fill] & _COUNT_MASK).sum()) * _GROUP_BITS
+    literals = words[~is_fill]
+    return filled + int(_POPCOUNT[literals.view(np.uint8)].sum(dtype=np.int64))
 
 
 def groups_to_bitmap(groups: np.ndarray, nbits: int) -> "Bitmap":

@@ -1,0 +1,656 @@
+"""Hierarchical compressed bitmap index (HBI) over (bin, chunk-run)s.
+
+The flat per-bin position index answers "which elements of bin *b*
+qualify" only by decoding index blocks; it gives the planner nothing to
+prune with and makes multi-variable exchanges ship whole-domain
+bitmaps.  Following the hierarchical bitmap indexing idea of
+Krčál/Ho/Holub (PAPERS.md), this module adds a tree on top of the
+existing WAH machinery:
+
+* **Leaves** — one WAH-compressed bitmap per (bin, chunk-run), where a
+  *run* is ``leaf_span`` consecutive chunks in curve order and the
+  bitmap's domain is run-local (bit = ``chunk_offset_in_run *
+  chunk_size + local_id``).  Run-local domains keep every leaf small,
+  make cross-bin OR a same-domain operation in the 63-bit group space
+  (:func:`~repro.index.bitmap.wah_expand_groups`), and concatenate
+  across runs without overlap (runs partition the chunk space).
+* **Interior nodes** — per-level cardinality matrices over the bin
+  axis: level 0 is the exact (bin, run) element-count matrix, level
+  *k*+1 aggregates ``fanout`` children of level *k*.  A bin-range
+  predicate decomposes into O(fanout · log n_bins) covering nodes, so
+  range cardinalities — per run and total — resolve from interior
+  nodes alone, without touching a single leaf.
+
+The index is built at write time by :class:`HBIBuilder` (streaming, one
+run of state, consumed in the writer's serial commit order so the
+persisted bytes are identical across write backends) and lazily by
+:func:`build_from_store` for stores written before the index existed;
+both paths produce byte-identical serializations.  The on-disk record
+(``<variable>/hbi``, see FORMAT.md) is versioned and CRC-terminated.
+
+Everything here is *summary* data derived from the authoritative flat
+index: queries answered with HBI pruning are bit-identical to the flat
+path (DESIGN.md §6), because dropping a (bin, chunk) whose summary
+cardinality is zero can never remove a qualifying element.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.index.binindex import decode_position_block_flat
+from repro.index.bitmap import (
+    _GROUP_BITS,
+    Bitmap,
+    _groups_to_words,
+    groups_to_bitmap,
+    wah_cardinality,
+    wah_decode,
+    wah_expand_groups,
+)
+
+__all__ = [
+    "DEFAULT_FANOUT",
+    "DEFAULT_LEAF_SPAN",
+    "HBIndex",
+    "HBIBuilder",
+    "build_from_store",
+    "decode_hierarchical_bitmap",
+    "encode_hierarchical_bitmap",
+    "hbi_path",
+]
+
+#: Chunks per leaf run (curve order).  Pruning granularity: a compound
+#: pushdown can drop work only in whole runs at the tree level (exact
+#: per-chunk counts refine below it), so smaller spans prune finer at
+#: the cost of more leaves.  See docs/tuning.md.
+DEFAULT_LEAF_SPAN = 8
+#: Tree fanout over the bin axis.
+DEFAULT_FANOUT = 4
+
+_MAGIC = b"MLOCHBI\x00"
+FORMAT_VERSION = 1
+
+
+def hbi_path(root: str) -> str:
+    """On-disk path of a variable's hierarchical index file."""
+    return f"{root.rstrip('/')}/hbi"
+
+
+def _aggregate_levels(run_counts: np.ndarray, fanout: int) -> list[np.ndarray]:
+    """Interior count matrices, bottom-up, until a single root row."""
+    levels: list[np.ndarray] = []
+    current = run_counts
+    while current.shape[0] > 1:
+        rows = current.shape[0]
+        padded_rows = -(-rows // fanout) * fanout
+        if padded_rows != rows:
+            padded = np.zeros((padded_rows, current.shape[1]), dtype=np.int64)
+            padded[:rows] = current
+            current = padded
+        current = current.reshape(-1, fanout, current.shape[1]).sum(axis=1)
+        levels.append(current)
+    return levels
+
+
+def _encode_sorted_leaf(leaf_bits: np.ndarray, n_groups: int) -> np.ndarray:
+    """WAH words of a run-local leaf from its sorted set-bit positions."""
+    keys = leaf_bits // _GROUP_BITS
+    vals = np.uint64(1) << (leaf_bits % _GROUP_BITS).astype(np.uint64)
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(keys)) + 1))
+    groups = np.zeros(n_groups, dtype=np.uint64)
+    groups[keys[starts]] = np.bitwise_or.reduceat(vals, starts)
+    return _groups_to_words(groups)
+
+
+class HBIndex:
+    """The hierarchical bitmap index of one stored variable.
+
+    Construct through :class:`HBIBuilder` (write time),
+    :func:`build_from_store` (lazy fallback), or :meth:`from_bytes`
+    (persisted form); the constructor itself just wires pre-built
+    arrays together.
+    """
+
+    def __init__(
+        self,
+        *,
+        leaf_span: int,
+        fanout: int,
+        n_bins: int,
+        n_chunks: int,
+        chunk_size: int,
+        run_counts: np.ndarray,
+        levels: list[np.ndarray],
+        leaf_offsets: np.ndarray,
+        leaf_words: np.ndarray,
+    ) -> None:
+        if leaf_span <= 0 or fanout <= 1:
+            raise ValueError(
+                f"need leaf_span >= 1 and fanout >= 2, got {leaf_span}/{fanout}"
+            )
+        self.leaf_span = int(leaf_span)
+        self.fanout = int(fanout)
+        self.n_bins = int(n_bins)
+        self.n_chunks = int(n_chunks)
+        self.chunk_size = int(chunk_size)
+        self.run_counts = np.asarray(run_counts, dtype=np.int64)
+        self.levels = [np.asarray(m, dtype=np.int64) for m in levels]
+        self.leaf_offsets = np.asarray(leaf_offsets, dtype=np.int64)
+        self.leaf_words = np.asarray(leaf_words, dtype=np.uint64)
+        self.n_runs = self.run_counts.shape[1]
+        self.leaf_nbits = self.leaf_span * self.chunk_size
+        self.n_leaf_groups = -(-self.leaf_nbits // _GROUP_BITS)
+        #: Interior matrices bottom-up; level 0 is the exact run matrix.
+        self._matrices = [self.run_counts] + self.levels
+        #: Per-bin element totals (root of the per-bin axis).
+        self.bin_totals = self.run_counts.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Interior-node queries (no leaf decode)
+    # ------------------------------------------------------------------
+    def range_run_counts(self, bin_lo: int, bin_hi: int) -> tuple[np.ndarray, int]:
+        """Per-run element counts of bins ``[bin_lo, bin_hi)``.
+
+        Decomposes the bin range into covering tree nodes — unaligned
+        edges are peeled at each level, fully-covered subtrees are
+        answered by one interior node — and sums their per-run count
+        vectors.  Returns ``(counts, nodes_visited)``; the node count
+        is O(fanout · log n_bins), which the tests pin.
+        """
+        if not (0 <= bin_lo <= bin_hi <= self.n_bins):
+            raise ValueError(f"bad bin range [{bin_lo}, {bin_hi}) of {self.n_bins}")
+        counts = np.zeros(self.n_runs, dtype=np.int64)
+        lo, hi, level, visited = bin_lo, bin_hi, 0, 0
+        while lo < hi:
+            matrix = self._matrices[level]
+            if level + 1 >= len(self._matrices):
+                counts += matrix[lo:hi].sum(axis=0)
+                visited += hi - lo
+                break
+            while lo < hi and lo % self.fanout != 0:
+                counts += matrix[lo]
+                lo += 1
+                visited += 1
+            while lo < hi and hi % self.fanout != 0:
+                hi -= 1
+                counts += matrix[hi]
+                visited += 1
+            lo //= self.fanout
+            hi //= self.fanout
+            level += 1
+        return counts, visited
+
+    def cardinality(self, bin_lo: int, bin_hi: int) -> int:
+        """Total element count of bins ``[bin_lo, bin_hi)`` (tree-resolved)."""
+        counts, _ = self.range_run_counts(bin_lo, bin_hi)
+        return int(counts.sum())
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def leaf(self, bin_id: int, run: int) -> np.ndarray:
+        """WAH words of one (bin, run) leaf (empty for an empty leaf)."""
+        idx = bin_id * self.n_runs + run
+        return self.leaf_words[self.leaf_offsets[idx] : self.leaf_offsets[idx + 1]]
+
+    def range_run_groups(self, bin_lo: int, bin_hi: int, run: int) -> np.ndarray:
+        """OR of the leaves of bins ``[bin_lo, bin_hi)`` in one run,
+        as dense 63-bit group values (the compressed-domain AND/OR
+        representation)."""
+        groups = np.zeros(self.n_leaf_groups, dtype=np.uint64)
+        for b in range(bin_lo, bin_hi):
+            words = self.leaf(b, run)
+            if words.size:
+                groups |= wah_expand_groups(words)
+        return groups
+
+    def _leaf_bits_to_positions(self, run: int, leaf_bits: np.ndarray, grid, curve):
+        """Map sorted run-local bit indices to global positions."""
+        if leaf_bits.size == 0:
+            return np.empty(0, dtype=np.int64)
+        cpos = run * self.leaf_span + leaf_bits // self.chunk_size
+        local = leaf_bits % self.chunk_size
+        u_cpos, counts = np.unique(cpos, return_counts=True)
+        chunk_ids = np.asarray(curve.order, dtype=np.int64)[u_cpos]
+        return grid.global_positions_batch(chunk_ids, local, counts)
+
+    def range_positions(self, bin_lo: int, bin_hi: int, grid, curve) -> np.ndarray:
+        """Sorted global positions of every element of bins
+        ``[bin_lo, bin_hi)``, answered from leaves alone.
+
+        Runs whose interior-node count is zero are skipped without any
+        leaf access — the hierarchical fast path.
+        """
+        run_counts, _ = self.range_run_counts(bin_lo, bin_hi)
+        parts = []
+        for run in np.flatnonzero(run_counts):
+            groups = self.range_run_groups(bin_lo, bin_hi, int(run))
+            leaf_bits = groups_to_bitmap(groups, self.leaf_nbits).to_positions()
+            parts.append(self._leaf_bits_to_positions(int(run), leaf_bits, grid, curve))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    def bin_positions(self, bin_id: int, grid, curve) -> np.ndarray:
+        """Sorted global positions of one bin's elements."""
+        return self.range_positions(bin_id, bin_id + 1, grid, curve)
+
+    def bins_intersecting(self, positions: np.ndarray, grid, curve) -> np.ndarray:
+        """Per-bin boolean mask: does the bin hold any of ``positions``?
+
+        The AND-pushdown primitive for masked fetches: each (bin, run)
+        leaf is ANDed against the positions' run-local group vector in
+        the compressed 63-bit group domain, and interior-node counts
+        skip empty cells without touching a leaf.  Exact, not an upper
+        bound — leaves record true membership — so dropping the False
+        bins from a position-masked value fetch is answer-preserving.
+        """
+        out = np.zeros(self.n_bins, dtype=bool)
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return out
+        runs, leaf_bits = _positions_to_run_bits(pos, grid, curve, self.leaf_span)
+        u_runs, starts = np.unique(runs, return_index=True)
+        bounds = np.append(starts, runs.size)
+        for i, run in enumerate(u_runs):
+            bits = leaf_bits[bounds[i] : bounds[i + 1]]
+            groups = np.zeros(self.n_leaf_groups, dtype=np.uint64)
+            keys = bits // _GROUP_BITS
+            vals = np.uint64(1) << (bits % _GROUP_BITS).astype(np.uint64)
+            seg = np.concatenate(([0], np.flatnonzero(np.diff(keys)) + 1))
+            groups[keys[seg]] = np.bitwise_or.reduceat(vals, seg)
+            candidates = np.flatnonzero(~out & (self.run_counts[:, run] > 0))
+            for b in candidates:
+                if np.any(wah_expand_groups(self.leaf(b, run)) & groups):
+                    out[b] = True
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection / integrity
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Structural counters for ``mloc index stats`` and benches."""
+        n_leaves = self.n_bins * self.n_runs
+        nonempty = int(np.count_nonzero(np.diff(self.leaf_offsets)))
+        return {
+            "leaf_span": self.leaf_span,
+            "fanout": self.fanout,
+            "n_bins": self.n_bins,
+            "n_chunks": self.n_chunks,
+            "n_runs": self.n_runs,
+            "n_levels": len(self.levels) + 1,
+            "n_leaves": n_leaves,
+            "nonempty_leaves": nonempty,
+            "interior_nodes": int(sum(m.shape[0] for m in self.levels)) * self.n_runs,
+            "leaf_bytes": int(self.leaf_words.nbytes),
+            "summary_bytes": int(
+                self.run_counts.nbytes + sum(m.nbytes for m in self.levels)
+            ),
+            "total_elements": int(self.run_counts.sum()),
+        }
+
+    def validate(self) -> None:
+        """Cross-check the tree against the leaves; raise on mismatch.
+
+        Every interior level must sum to its children and every leaf's
+        WAH cardinality must equal its level-0 count — the invariant
+        that makes interior-node pruning answer-preserving.
+        """
+        for level, matrix in enumerate(self._matrices[1:]):
+            child = self._matrices[level]
+            rows = child.shape[0]
+            padded_rows = -(-rows // self.fanout) * self.fanout
+            padded = np.zeros((padded_rows, self.n_runs), dtype=np.int64)
+            padded[:rows] = child
+            expected = padded.reshape(-1, self.fanout, self.n_runs).sum(axis=1)
+            if not np.array_equal(expected, matrix):
+                raise ValueError(f"interior level {level + 1} disagrees with children")
+        if self.leaf_offsets.size != self.n_bins * self.n_runs + 1:
+            raise ValueError("leaf offset table has the wrong length")
+        for b in range(self.n_bins):
+            for r in range(self.n_runs):
+                if wah_cardinality(self.leaf(b, r)) != self.run_counts[b, r]:
+                    raise ValueError(
+                        f"leaf ({b}, {r}) cardinality disagrees with its node count"
+                    )
+
+    # ------------------------------------------------------------------
+    # Serialization (FORMAT.md: hierarchical index record)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Versioned, CRC-terminated serialization."""
+        parts = [
+            _MAGIC,
+            struct.pack(
+                "<IIIqqq",
+                FORMAT_VERSION,
+                self.leaf_span,
+                self.fanout,
+                self.n_bins,
+                self.n_chunks,
+                self.chunk_size,
+            ),
+            struct.pack("<I", len(self.levels)),
+            self.run_counts.astype("<i8").tobytes(),
+        ]
+        for matrix in self.levels:
+            parts.append(struct.pack("<I", matrix.shape[0]))
+            parts.append(matrix.astype("<i8").tobytes())
+        parts.append(self.leaf_offsets.astype("<i8").tobytes())
+        parts.append(self.leaf_words.astype("<u8").tobytes())
+        body = b"".join(parts)
+        return body + struct.pack("<I", zlib.crc32(body))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "HBIndex":
+        """Parse a serialized index, verifying magic, version, and CRC."""
+        if len(raw) < len(_MAGIC) + 4 or raw[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not a hierarchical bitmap index record")
+        body, (crc,) = raw[:-4], struct.unpack("<I", raw[-4:])
+        if zlib.crc32(body) != crc:
+            raise ValueError("hierarchical index record failed its CRC check")
+        off = len(_MAGIC)
+        version, leaf_span, fanout, n_bins, n_chunks, chunk_size = struct.unpack_from(
+            "<IIIqqq", body, off
+        )
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported hierarchical index version {version}")
+        off += struct.calcsize("<IIIqqq")
+        (n_levels,) = struct.unpack_from("<I", body, off)
+        off += 4
+        n_runs = -(-n_chunks // leaf_span)
+
+        def take_i64(count: int) -> np.ndarray:
+            nonlocal off
+            arr = np.frombuffer(body, dtype="<i8", count=count, offset=off)
+            off += count * 8
+            return arr.astype(np.int64)
+
+        run_counts = take_i64(n_bins * n_runs).reshape(n_bins, n_runs)
+        levels = []
+        for _ in range(n_levels):
+            (rows,) = struct.unpack_from("<I", body, off)
+            off += 4
+            levels.append(take_i64(rows * n_runs).reshape(rows, n_runs))
+        leaf_offsets = take_i64(n_bins * n_runs + 1)
+        n_words = int(leaf_offsets[-1])
+        leaf_words = np.frombuffer(body, dtype="<u8", count=n_words, offset=off).astype(
+            np.uint64
+        )
+        return cls(
+            leaf_span=leaf_span,
+            fanout=fanout,
+            n_bins=n_bins,
+            n_chunks=n_chunks,
+            chunk_size=chunk_size,
+            run_counts=run_counts,
+            levels=levels,
+            leaf_offsets=leaf_offsets,
+            leaf_words=leaf_words,
+        )
+
+
+class HBIBuilder:
+    """Streaming write-time builder: one run of leaf state in memory.
+
+    The writer's ordered commit loop calls :meth:`add_chunk` once per
+    curve position, in order, with the same bin-segmented chunk-local
+    ids it feeds the flat index streams; the builder accumulates the
+    current run's group matrix and WAH-encodes its leaves when the run
+    closes.  Because it only ever consumes the deterministic chunk-
+    stage output in serial commit order, the finished index bytes are
+    identical across write backends and worker counts (DESIGN.md §6).
+    """
+
+    def __init__(
+        self,
+        n_bins: int,
+        n_chunks: int,
+        chunk_size: int,
+        *,
+        leaf_span: int = DEFAULT_LEAF_SPAN,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        self.n_bins = int(n_bins)
+        self.n_chunks = int(n_chunks)
+        self.chunk_size = int(chunk_size)
+        self.leaf_span = int(leaf_span)
+        self.fanout = int(fanout)
+        self.n_runs = -(-self.n_chunks // self.leaf_span)
+        self.n_leaf_groups = -(-self.leaf_span * self.chunk_size // _GROUP_BITS)
+        self.run_counts = np.zeros((self.n_bins, self.n_runs), dtype=np.int64)
+        self._groups = np.zeros((self.n_bins, self.n_leaf_groups), dtype=np.uint64)
+        self._leaves: list[list[np.ndarray | None]] = [
+            [None] * self.n_runs for _ in range(self.n_bins)
+        ]
+        self._run = 0
+        self._next_cpos = 0
+
+    def add_chunk(self, cpos: int, local_ids: np.ndarray, offsets: np.ndarray) -> None:
+        """Fold one chunk's bin-segmented local ids into the current run.
+
+        ``local_ids`` concatenates each bin's strictly-increasing
+        chunk-local element ids; ``offsets`` holds the per-bin
+        boundaries (the writer's ``per_bin_segments`` output).
+        """
+        if cpos != self._next_cpos:
+            raise ValueError(f"chunks must arrive in order: expected {self._next_cpos}")
+        self._next_cpos = cpos + 1
+        run, k = divmod(cpos, self.leaf_span)
+        if run != self._run:
+            self._close_run()
+            self._run = run
+        per_bin = np.diff(np.asarray(offsets, dtype=np.int64))
+        self.run_counts[:, run] += per_bin
+        ids = np.asarray(local_ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        leaf_bits = k * self.chunk_size + ids
+        bins = np.repeat(np.arange(self.n_bins, dtype=np.int64), per_bin)
+        # Keys are sorted (bin-major, increasing local ids within a
+        # bin), so a reduceat per constant-key segment ORs each group's
+        # bits in one vectorized pass — no ufunc.at.
+        keys = bins * self.n_leaf_groups + leaf_bits // _GROUP_BITS
+        vals = np.uint64(1) << (leaf_bits % _GROUP_BITS).astype(np.uint64)
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(keys)) + 1))
+        flat = self._groups.reshape(-1)
+        flat[keys[starts]] |= np.bitwise_or.reduceat(vals, starts)
+
+    def _close_run(self) -> None:
+        run = self._run
+        for b in range(self.n_bins):
+            if self.run_counts[b, run]:
+                self._leaves[b][run] = _groups_to_words(self._groups[b])
+            else:
+                self._leaves[b][run] = np.empty(0, dtype=np.uint64)
+        self._groups.fill(0)
+
+    def finish(self) -> HBIndex:
+        """Close the final run and assemble the index."""
+        if self._next_cpos != self.n_chunks:
+            raise ValueError(
+                f"saw {self._next_cpos} of {self.n_chunks} chunks before finish"
+            )
+        if self.n_chunks:
+            self._close_run()
+        lengths = [
+            leaf.size if leaf is not None else 0
+            for per_bin in self._leaves
+            for leaf in per_bin
+        ]
+        leaf_offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=leaf_offsets[1:])
+        words = [
+            leaf
+            for per_bin in self._leaves
+            for leaf in per_bin
+            if leaf is not None and leaf.size
+        ]
+        leaf_words = (
+            np.concatenate(words) if words else np.empty(0, dtype=np.uint64)
+        )
+        return HBIndex(
+            leaf_span=self.leaf_span,
+            fanout=self.fanout,
+            n_bins=self.n_bins,
+            n_chunks=self.n_chunks,
+            chunk_size=self.chunk_size,
+            run_counts=self.run_counts,
+            levels=_aggregate_levels(self.run_counts, self.fanout),
+            leaf_offsets=leaf_offsets,
+            leaf_words=leaf_words,
+        )
+
+
+def build_from_store(
+    store,
+    *,
+    leaf_span: int = DEFAULT_LEAF_SPAN,
+    fanout: int = DEFAULT_FANOUT,
+) -> HBIndex:
+    """Build the hierarchical index from a store's flat position index.
+
+    The lazy fallback for stores written before the hierarchical index
+    existed: reads each bin's index subfile once (outside any query's
+    accounting, like the metadata read at open), decodes the chunk-
+    local ids, and assembles leaves bin by bin.  Produces bytes
+    identical to the write-time :class:`HBIBuilder` for the same store.
+    """
+    meta = store.meta
+    grid = store.grid
+    counts = meta.counts.astype(np.int64)
+    n_bins, n_chunks = counts.shape
+    chunk_size = grid.chunk_size
+    n_runs = -(-n_chunks // leaf_span)
+    n_leaf_groups = -(-leaf_span * chunk_size // _GROUP_BITS)
+    session = store.fs.session()
+
+    lengths: list[int] = []
+    words: list[np.ndarray] = []
+    for b in range(n_bins):
+        raw = bytes(session.open(store.files.index_path(b)).read_all())
+        parts = []
+        for cs, ce, offset, comp_len, _crc in meta.index_blocks[b]:
+            payload = raw[offset : offset + comp_len]
+            parts.append(decode_position_block_flat(payload, counts[b, cs:ce]))
+        local = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        cpos_rep = np.repeat(np.arange(n_chunks, dtype=np.int64), counts[b])
+        leaf_bits = (cpos_rep % leaf_span) * chunk_size + local
+        run_rep = cpos_rep // leaf_span
+        boundaries = np.searchsorted(run_rep, np.arange(n_runs + 1))
+        for r in range(n_runs):
+            lo, hi = boundaries[r], boundaries[r + 1]
+            if hi == lo:
+                lengths.append(0)
+                continue
+            leaf = _encode_sorted_leaf(leaf_bits[lo:hi], n_leaf_groups)
+            lengths.append(leaf.size)
+            words.append(leaf)
+
+    run_counts = np.zeros((n_bins, n_runs * leaf_span), dtype=np.int64)
+    run_counts[:, :n_chunks] = counts
+    run_counts = run_counts.reshape(n_bins, n_runs, leaf_span).sum(axis=2)
+    leaf_offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=leaf_offsets[1:])
+    return HBIndex(
+        leaf_span=leaf_span,
+        fanout=fanout,
+        n_bins=n_bins,
+        n_chunks=n_chunks,
+        chunk_size=chunk_size,
+        run_counts=run_counts,
+        levels=_aggregate_levels(run_counts, fanout),
+        leaf_offsets=leaf_offsets,
+        leaf_words=(
+            np.concatenate(words) if words else np.empty(0, dtype=np.uint64)
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Hierarchical bitmap exchange encoding (multi-variable access)
+# ----------------------------------------------------------------------
+_PAYLOAD_HEADER = struct.Struct("<III")  # version, leaf_span, runs present
+_RUN_HEADER = struct.Struct("<II")  # run id, word count
+
+
+def _positions_to_run_bits(
+    pos: np.ndarray, grid, curve, leaf_span: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map global positions to sorted (chunk-run, run-local bit) pairs."""
+    coords = grid.positions_to_coords(pos)
+    chunk_shape = np.array(grid.chunk_shape, dtype=np.int64)
+    chunk_strides = np.array(
+        [int(np.prod(grid.chunk_shape[d + 1 :])) for d in range(grid.ndims)],
+        dtype=np.int64,
+    )
+    local = (coords % chunk_shape) @ chunk_strides
+    cpos = np.asarray(curve.positions_of(grid.chunk_ids(coords // chunk_shape)))
+    leaf_bits = (cpos % leaf_span) * grid.chunk_size + local
+    runs = cpos // leaf_span
+    order = np.lexsort((leaf_bits, runs))
+    return runs[order], leaf_bits[order]
+
+
+def encode_hierarchical_bitmap(
+    positions: np.ndarray, grid, curve, leaf_span: int = DEFAULT_LEAF_SPAN
+) -> bytes:
+    """Encode qualifying positions as a run directory + WAH leaves.
+
+    The multi-variable exchange payload (Section III-D4): instead of
+    one WAH bitmap over the whole domain, ship a summary directory of
+    the non-empty chunk-runs plus one run-local WAH leaf each.  Empty
+    runs cost nothing (the whole-domain form pays a fill word per gap),
+    and receivers can prune per run before touching leaf bits.
+    """
+    pos = np.asarray(positions, dtype=np.int64)
+    leaf_nbits = leaf_span * grid.chunk_size
+    n_leaf_groups = -(-leaf_nbits // _GROUP_BITS)
+    if pos.size == 0:
+        return _PAYLOAD_HEADER.pack(1, leaf_span, 0)
+    runs, leaf_bits = _positions_to_run_bits(pos, grid, curve, leaf_span)
+    u_runs, starts = np.unique(runs, return_index=True)
+    bounds = np.append(starts, runs.size)
+    headers, blobs = [], []
+    for i, run in enumerate(u_runs):
+        words = _encode_sorted_leaf(leaf_bits[bounds[i] : bounds[i + 1]], n_leaf_groups)
+        headers.append(_RUN_HEADER.pack(int(run), words.size))
+        blobs.append(words.astype("<u8").tobytes())
+    return b"".join(
+        [_PAYLOAD_HEADER.pack(1, leaf_span, len(u_runs))] + headers + blobs
+    )
+
+
+def decode_hierarchical_bitmap(payload: bytes, grid, curve) -> np.ndarray:
+    """Inverse of :func:`encode_hierarchical_bitmap`: sorted positions."""
+    version, leaf_span, n_runs = _PAYLOAD_HEADER.unpack_from(payload, 0)
+    if version != 1:
+        raise ValueError(f"unsupported hierarchical payload version {version}")
+    chunk_size = grid.chunk_size
+    leaf_nbits = leaf_span * chunk_size
+    off = _PAYLOAD_HEADER.size
+    runs_meta = []
+    for _ in range(n_runs):
+        runs_meta.append(_RUN_HEADER.unpack_from(payload, off))
+        off += _RUN_HEADER.size
+    order = np.asarray(curve.order, dtype=np.int64)
+    parts = []
+    for run, n_words in runs_meta:
+        words = np.frombuffer(payload, dtype="<u8", count=n_words, offset=off).astype(
+            np.uint64
+        )
+        off += n_words * 8
+        leaf_bits = Bitmap(leaf_nbits, wah_decode(words, leaf_nbits)).to_positions()
+        cpos = run * leaf_span + leaf_bits // chunk_size
+        local = leaf_bits % chunk_size
+        u_cpos, counts = np.unique(cpos, return_counts=True)
+        parts.append(grid.global_positions_batch(order[u_cpos], local, counts))
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(parts))

@@ -16,7 +16,11 @@ between metadata, block tables, subfiles, codecs, and position indices
   exactly (every element in exactly one bin);
 * decoded values actually fall inside their bin's value interval
   (within the lossy codec's error bound for ISABELA stores); for PLoD
-  stores the values are first reassembled from all seven byte planes.
+  stores the values are first reassembled from all seven byte planes;
+* when the hierarchical bitmap index file is present: it parses (CRC,
+  version, geometry), its interior levels sum to their children, every
+  leaf's WAH cardinality matches its tree node, and its per-(bin, run)
+  counts agree with the metadata's chunk counts.
 
 Returns a list of :class:`Issue` records; an empty list means the store
 is sound.  Used by the CLI (``python -m repro.cli fsck``) and the test
@@ -35,6 +39,7 @@ from repro.core.chunking import ChunkGrid
 from repro.core.executor import _cell_sizes
 from repro.core.meta import StoreMeta
 from repro.index.binindex import decode_position_block
+from repro.index.hbi import HBIndex, hbi_path
 from repro.pfs.layout import BinFileSet
 from repro.pfs.simfs import SimulatedPFS
 
@@ -260,6 +265,8 @@ def check_store(fs: SimulatedPFS, root: str, variable: str) -> list[Issue]:
                         )
                 chunk_locals[cpos].append(local_ids)
 
+    issues += _check_hbi(fs, var_root, meta, grid)
+
     # Cross-bin coverage: every chunk partitioned exactly.
     for cpos in range(n_chunks):
         merged = (
@@ -278,6 +285,55 @@ def check_store(fs: SimulatedPFS, root: str, variable: str) -> list[Issue]:
                     "elements (must partition exactly)",
                 )
             )
+    return issues
+
+
+def _check_hbi(
+    fs: SimulatedPFS, var_root: str, meta: StoreMeta, grid: ChunkGrid
+) -> list[Issue]:
+    """Integrity of the optional hierarchical bitmap index file.
+
+    The file is summary data derived from the flat index, so beyond
+    parsing (magic/version/CRC) the check cross-validates it against
+    the authoritative metadata: same geometry, and per-(bin, run)
+    cardinalities equal to the aggregated chunk counts — the invariant
+    that makes index-driven pruning answer-preserving.
+    """
+    path = hbi_path(var_root)
+    if not fs.exists(path):
+        return []  # optional: stores may predate the hierarchical index
+    loc = "hbi"
+    try:
+        hbi = HBIndex.from_bytes(bytes(fs.session().open(path).read_all()))
+    except Exception as exc:
+        return [
+            Issue(
+                "error", loc, f"hierarchical index unreadable: {exc}",
+                kind="decode-error", path=path, offset=0,
+            )
+        ]
+    issues: list[Issue] = []
+    geometry = (hbi.n_bins, hbi.n_chunks, hbi.chunk_size)
+    expected = (meta.config.n_bins, meta.n_chunks, grid.chunk_size)
+    if geometry != expected:
+        return [
+            Issue(
+                "error", loc,
+                f"geometry {geometry} disagrees with metadata {expected}",
+            )
+        ]
+    try:
+        hbi.validate()
+    except Exception as exc:
+        issues.append(Issue("error", loc, f"internal consistency: {exc}"))
+    counts = meta.counts.astype(np.int64)
+    padded = np.zeros((hbi.n_bins, hbi.n_runs * hbi.leaf_span), dtype=np.int64)
+    padded[:, : hbi.n_chunks] = counts
+    expected_runs = padded.reshape(hbi.n_bins, hbi.n_runs, hbi.leaf_span).sum(axis=2)
+    if not np.array_equal(expected_runs, hbi.run_counts):
+        issues.append(
+            Issue("error", loc, "run cardinalities disagree with metadata counts")
+        )
     return issues
 
 

@@ -1,0 +1,110 @@
+"""Property tests for the WAH codec (Hypothesis).
+
+The hierarchical index and the multi-variable exchange both lean on
+three WAH contracts: encode/decode is lossless, the positions-based
+encoder agrees with the dense one, and compressed-domain operations
+(group AND/OR, pad-blind cardinality) match their dense counterparts.
+Each is pinned here over randomized lengths and densities, including
+the all-zeros / all-ones extremes where fill runs dominate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.index.bitmap as bitmap_mod
+from repro.index.bitmap import (
+    Bitmap,
+    groups_to_bitmap,
+    wah_cardinality,
+    wah_decode,
+    wah_encode,
+    wah_expand_groups,
+    wah_from_positions,
+)
+
+# Lengths straddle several 63-bit group boundaries, including exact
+# multiples (no tail padding) and off-by-one neighbours.
+_NBITS = st.one_of(
+    st.integers(min_value=1, max_value=300),
+    st.sampled_from([63, 64, 125, 126, 127, 630, 1260, 1261]),
+)
+
+
+@st.composite
+def _bit_sets(draw, nbits=None):
+    """(nbits, sorted unique positions) across sparse/dense regimes."""
+    if nbits is None:
+        nbits = draw(_NBITS)
+    density = draw(st.sampled_from([0.0, 0.02, 0.2, 0.5, 0.95, 1.0]))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    positions = np.flatnonzero(rng.random(nbits) < density).astype(np.int64)
+    return nbits, positions
+
+
+@settings(max_examples=80, deadline=None)
+@given(case=_bit_sets())
+def test_encode_decode_roundtrip(case):
+    nbits, positions = case
+    bm = Bitmap.from_positions(positions, nbits)
+    words = wah_encode(bm.buffer, nbits)
+    assert np.array_equal(wah_decode(words, nbits), bm.buffer)
+    # Re-encoding the expansion reproduces the words exactly: the
+    # encoder emits maximal runs, so the encoding is canonical.
+    assert np.array_equal(
+        bitmap_mod._groups_to_words(wah_expand_groups(words)), words
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(case=_bit_sets())
+def test_positions_encoder_matches_dense(case):
+    nbits, positions = case
+    dense = wah_encode(Bitmap.from_positions(positions, nbits).buffer, nbits)
+    assert np.array_equal(wah_from_positions(positions, nbits), dense)
+
+
+@settings(max_examples=80, deadline=None)
+@given(case=_bit_sets())
+def test_cardinality_matches_count(case):
+    nbits, positions = case
+    bm = Bitmap.from_positions(positions, nbits)
+    words = wah_encode(bm.buffer, nbits)
+    assert wah_cardinality(words) == bm.count() == positions.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_group_domain_and_or_match_dense(data):
+    nbits = data.draw(_NBITS)
+    _, pos_a = data.draw(_bit_sets(nbits=nbits))
+    _, pos_b = data.draw(_bit_sets(nbits=nbits))
+    a = Bitmap.from_positions(pos_a, nbits)
+    b = Bitmap.from_positions(pos_b, nbits)
+    ga = wah_expand_groups(wah_encode(a.buffer, nbits))
+    gb = wah_expand_groups(wah_encode(b.buffer, nbits))
+    assert groups_to_bitmap(ga & gb, nbits) == (a & b)
+    assert groups_to_bitmap(ga | gb, nbits) == (a | b)
+
+
+def test_empty_bitmap_is_one_zero_fill():
+    words = wah_from_positions(np.empty(0, dtype=np.int64), 1000)
+    assert words.size == 1
+    assert wah_cardinality(words) == 0
+    assert np.array_equal(wah_decode(words, 1000), np.zeros(125, dtype=np.uint8))
+
+
+def test_fill_run_count_guard(monkeypatch):
+    """Regression: oversized fill runs must raise, not wrap silently.
+
+    A real overflow needs 2**62 groups, so the guard is exercised by
+    shrinking the count mask — the comparison path is identical.
+    """
+    assert int(bitmap_mod._COUNT_MASK) == (1 << 62) - 1
+    monkeypatch.setattr(bitmap_mod, "_COUNT_MASK", np.uint64(3))
+    ok = bitmap_mod._groups_to_words(np.zeros(3, dtype=np.uint64))
+    assert ok.size == 1
+    with pytest.raises(ValueError, match="62-bit count field"):
+        bitmap_mod._groups_to_words(np.zeros(4, dtype=np.uint64))

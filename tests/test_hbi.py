@@ -1,0 +1,191 @@
+"""Unit tests for the hierarchical compressed bitmap index.
+
+Covers the structural contracts in isolation: the write-time streaming
+builder and the lazy from-store builder must be byte-identical, the
+serialized record must roundtrip and reject corruption, interior-node
+range queries must agree with brute-force sums over the exact count
+matrix in O(fanout log n_bins) nodes, and leaf-resolved positions must
+match ground-truth bin membership of the raw field.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, mloc_col
+from repro.datasets import gts_like
+from repro.index.hbi import (
+    HBIBuilder,
+    HBIndex,
+    build_from_store,
+    decode_hierarchical_bitmap,
+    encode_hierarchical_bitmap,
+    hbi_path,
+)
+from repro.pfs import SimulatedPFS
+
+
+@pytest.fixture(scope="module")
+def store_and_field():
+    fs = SimulatedPFS()
+    field = gts_like((64, 64), seed=11)
+    cfg = mloc_col(chunk_shape=(16, 16), n_bins=8, target_block_bytes=4096)
+    MLOCWriter(fs, "/h", cfg).write(field, variable="f")
+    return MLOCStore.open(fs, "/h", "f", use_hbi=True), field
+
+
+class TestConstruction:
+    def test_writer_and_lazy_builder_agree_byte_for_byte(self, store_and_field):
+        store, _ = store_and_field
+        persisted = bytes(
+            store.fs.session().open(hbi_path(store.root)).read_all()
+        )
+        rebuilt = build_from_store(store).to_bytes()
+        assert persisted == rebuilt
+
+    def test_builder_rejects_out_of_order_chunks(self):
+        builder = HBIBuilder(2, 4, 16)
+        builder.add_chunk(0, np.empty(0, dtype=np.int64), np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="in order"):
+            builder.add_chunk(2, np.empty(0, dtype=np.int64), np.zeros(3, dtype=np.int64))
+
+    def test_builder_rejects_missing_chunks(self):
+        builder = HBIBuilder(2, 4, 16)
+        builder.add_chunk(0, np.empty(0, dtype=np.int64), np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="before finish"):
+            builder.finish()
+
+    def test_run_counts_match_meta(self, store_and_field):
+        store, _ = store_and_field
+        hbi = store.hbi
+        counts = store.meta.counts.astype(np.int64)
+        n_runs = hbi.n_runs
+        padded = np.zeros((hbi.n_bins, n_runs * hbi.leaf_span), dtype=np.int64)
+        padded[:, : hbi.n_chunks] = counts
+        expected = padded.reshape(hbi.n_bins, n_runs, hbi.leaf_span).sum(axis=2)
+        assert np.array_equal(hbi.run_counts, expected)
+
+    def test_validate_passes(self, store_and_field):
+        store, _ = store_and_field
+        store.hbi.validate()
+
+
+class TestSerialization:
+    def test_roundtrip(self, store_and_field):
+        store, _ = store_and_field
+        hbi = store.hbi
+        clone = HBIndex.from_bytes(hbi.to_bytes())
+        assert clone.to_bytes() == hbi.to_bytes()
+        assert np.array_equal(clone.run_counts, hbi.run_counts)
+        assert np.array_equal(clone.leaf_words, hbi.leaf_words)
+        assert len(clone.levels) == len(hbi.levels)
+        clone.validate()
+
+    def test_bad_magic_rejected(self, store_and_field):
+        store, _ = store_and_field
+        raw = bytearray(store.hbi.to_bytes())
+        raw[0] ^= 0xFF
+        with pytest.raises(ValueError, match="not a hierarchical"):
+            HBIndex.from_bytes(bytes(raw))
+
+    def test_any_corruption_fails_crc(self, store_and_field):
+        store, _ = store_and_field
+        raw = bytearray(store.hbi.to_bytes())
+        for offset in (len(raw) // 3, len(raw) // 2, len(raw) - 10):
+            flipped = bytearray(raw)
+            flipped[offset] ^= 0x40
+            with pytest.raises(ValueError, match="CRC|version|hierarchical"):
+                HBIndex.from_bytes(bytes(flipped))
+
+    def test_unknown_version_rejected(self, store_and_field):
+        import struct
+        import zlib
+
+        store, _ = store_and_field
+        raw = bytearray(store.hbi.to_bytes())
+        struct.pack_into("<I", raw, 8, 99)  # version field after magic
+        body = bytes(raw[:-4])
+        raw[-4:] = struct.pack("<I", zlib.crc32(body))
+        with pytest.raises(ValueError, match="version 99"):
+            HBIndex.from_bytes(bytes(raw))
+
+
+class TestInteriorNodes:
+    def test_range_counts_match_brute_force_for_every_range(self, store_and_field):
+        store, _ = store_and_field
+        hbi = store.hbi
+        n_levels = len(hbi.levels) + 1
+        # Segment-tree decomposition: per level at most fanout-1 nodes
+        # peeled off each unaligned edge, plus a fully-covered top.
+        bound = 2 * (hbi.fanout - 1) * n_levels + hbi.fanout
+        for lo in range(hbi.n_bins + 1):
+            for hi in range(lo, hbi.n_bins + 1):
+                counts, visited = hbi.range_run_counts(lo, hi)
+                assert np.array_equal(counts, hbi.run_counts[lo:hi].sum(axis=0))
+                assert visited <= bound, (lo, hi, visited, bound)
+                assert hbi.cardinality(lo, hi) == int(counts.sum())
+
+    def test_range_validation(self, store_and_field):
+        store, _ = store_and_field
+        with pytest.raises(ValueError, match="bad bin range"):
+            store.hbi.range_run_counts(-1, 2)
+        with pytest.raises(ValueError, match="bad bin range"):
+            store.hbi.range_run_counts(0, store.hbi.n_bins + 1)
+
+
+class TestLeaves:
+    def test_positions_match_ground_truth_membership(self, store_and_field):
+        store, field = store_and_field
+        hbi = store.hbi
+        bin_ids = store.scheme.assign(field.reshape(-1))
+        for lo, hi in [(0, 1), (2, 5), (0, hbi.n_bins), (7, 8), (3, 3)]:
+            got = hbi.range_positions(lo, hi, store.grid, store.curve)
+            expect = np.flatnonzero((bin_ids >= lo) & (bin_ids < hi))
+            assert np.array_equal(got, expect), (lo, hi)
+
+    def test_leaf_cardinality_matches_counts(self, store_and_field):
+        from repro.index.bitmap import wah_cardinality
+
+        store, _ = store_and_field
+        hbi = store.hbi
+        for b in range(hbi.n_bins):
+            for r in range(hbi.n_runs):
+                assert wah_cardinality(hbi.leaf(b, r)) == hbi.run_counts[b, r]
+
+
+class TestExchangePayload:
+    def test_roundtrip(self, store_and_field):
+        store, field = store_and_field
+        flat = field.reshape(-1)
+        lo, hi = np.quantile(flat, [0.4, 0.6])
+        positions = np.flatnonzero((flat >= lo) & (flat <= hi))
+        payload = encode_hierarchical_bitmap(positions, store.grid, store.curve)
+        decoded = decode_hierarchical_bitmap(payload, store.grid, store.curve)
+        assert np.array_equal(decoded, positions)
+
+    def test_empty_roundtrip(self, store_and_field):
+        store, _ = store_and_field
+        payload = encode_hierarchical_bitmap(
+            np.empty(0, dtype=np.int64), store.grid, store.curve
+        )
+        decoded = decode_hierarchical_bitmap(payload, store.grid, store.curve)
+        assert decoded.size == 0
+
+    def test_payload_overhead_is_bounded(self, store_and_field):
+        from repro.index.bitmap import Bitmap
+
+        store, field = store_and_field
+        flat_field = field.reshape(-1)
+        hbi = store.hbi
+        # The run directory costs a fixed header plus one entry per
+        # non-empty run, and restarting the 63-bit group phase at each
+        # run boundary can split a handful of words that the whole-
+        # domain form merges.  Pin that per-run slack so the directory
+        # can never silently bloat the exchange.
+        for q_lo, q_hi in [(0.0, 0.05), (0.3, 0.5), (0.0, 1.0)]:
+            lo, hi = np.quantile(flat_field, [q_lo, q_hi])
+            positions = np.flatnonzero((flat_field >= lo) & (flat_field <= hi))
+            payload = encode_hierarchical_bitmap(
+                positions, store.grid, store.curve, hbi.leaf_span
+            )
+            flat = Bitmap.from_positions(positions, store.n_elements).wah_bytes()
+            assert len(payload) <= len(flat) + 12 + 32 * hbi.n_runs
