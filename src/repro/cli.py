@@ -87,6 +87,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", choices=["positions", "values"], default="values"
     )
     query.add_argument("--plod", type=int, default=7, help="PLoD level 1..7")
+    query.add_argument(
+        "--tol",
+        type=float,
+        default=None,
+        help=(
+            "max acceptable relative error; reads the minimal PLoD "
+            "level per chunk whose recorded bound meets it (0 = exact)"
+        ),
+    )
+    query.add_argument(
+        "--tol-metric",
+        choices=["max_rel", "mean_rel"],
+        default="max_rel",
+        help="which recorded per-chunk bound --tol is measured against",
+    )
     query.add_argument("--ranks", type=int, default=8)
     _add_execution_options(query)
     query.add_argument(
@@ -135,6 +150,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--levels",
         default="2,4,7",
         help="comma-separated ascending PLoD levels, e.g. 2,4,7",
+    )
+    refine.add_argument(
+        "--tol",
+        type=float,
+        default=None,
+        help=(
+            "auto-refine until every chunk's recorded bound meets this "
+            "relative error (replaces --levels: the ladder is derived "
+            "from the per-chunk bounds)"
+        ),
+    )
+    refine.add_argument(
+        "--tol-metric",
+        choices=["max_rel", "mean_rel"],
+        default="max_rel",
+        help="which recorded per-chunk bound --tol is measured against",
     )
     refine.add_argument("--ranks", type=int, default=8)
     _add_execution_options(refine)
@@ -422,7 +453,7 @@ def _parse_query_spec(spec: str) -> Query:
             raise ValueError(f"bad query spec field {pair!r} (expected key=value)")
         key, value = pair.split("=", 1)
         fields[key.strip()] = value.strip()
-    known = {"vmin", "vmax", "region", "output", "plod"}
+    known = {"vmin", "vmax", "region", "output", "plod", "tol", "tol_metric"}
     unknown = set(fields) - known
     if unknown:
         raise ValueError(f"unknown query spec keys {sorted(unknown)}")
@@ -437,6 +468,8 @@ def _parse_query_spec(spec: str) -> Query:
         region=_parse_region(fields.get("region")),
         output=fields.get("output", "values"),
         plod_level=int(fields.get("plod", 7)),
+        tol=float(fields["tol"]) if "tol" in fields else None,
+        tol_metric=fields.get("tol_metric", "max_rel"),
     )
 
 
@@ -511,6 +544,8 @@ def _cmd_query(args) -> int:
         region=_parse_region(args.region),
         output=args.output,
         plod_level=args.plod,
+        tol=args.tol,
+        tol_metric=args.tol_metric,
     )
     if args.aggregate is not None:
         result = aggregate_query(store, query, args.aggregate)
@@ -541,8 +576,24 @@ def _cmd_query(args) -> int:
         f"decompression {result.times.decompression:.4f}, "
         f"reconstruction {result.times.reconstruction:.4f})"
     )
+    _print_tol_stats(result.stats)
     _print_fault_stats(result.stats)
     return 0
+
+
+def _print_tol_stats(stats: dict) -> None:
+    """One line per tol query: the claim, the proof, and the saving."""
+    if "tol_target" not in stats:
+        return
+    hist = ", ".join(
+        f"L{lv}×{n}" for lv, n in sorted(stats["levels_histogram"].items())
+    )
+    met = "met" if stats.get("tol_met") else "MISSED"
+    print(
+        f"tol: target {stats['tol_target']:g} ({stats['tol_metric']}) {met}; "
+        f"provable bound {stats['achieved_bound']:.3g}; "
+        f"chunk levels {hist}; {stats['tol_bytes_saved']} raw bytes saved"
+    )
 
 
 def _print_fault_stats(stats: dict) -> None:
@@ -600,9 +651,6 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_refine(args) -> int:
-    if args.shards > 1:
-        print("error: refinement sessions are not sharded (drop --shards)")
-        return 2
     fs = SimulatedPFS.load(args.snapshot)
     store = _open_store(fs, args)
     try:
@@ -623,21 +671,38 @@ def _cmd_refine(args) -> int:
         value_range=value_range,
         region=_parse_region(args.region),
         output="values",
-        plod_level=levels[0],
+        # With --tol the session derives its own ladder from the
+        # per-chunk bounds; --levels only drives the tol-less path.
+        plod_level=7 if args.tol is not None else levels[0],
+        tol=args.tol,
+        tol_metric=args.tol_metric,
     )
     try:
         with store.open_session(query) as session:
-            for level in levels[1:]:
-                session.refine(level)
-            for level, result in zip(levels, session.results):
-                stats = result.stats
-                print(
-                    f"level {level}: {result.n_results} results; "
-                    f"response {result.times.total:.4f} s simulated; "
-                    f"{stats['bytes_read']} bytes read, "
-                    f"{stats['bytes_reused']} raw bytes reused"
-                )
-                _print_fault_stats(stats)
+            if args.tol is not None:
+                for result in session.progressive_results():
+                    stats = result.stats
+                    print(
+                        f"step at level {session.level}: "
+                        f"{result.n_results} results; "
+                        f"response {result.times.total:.4f} s simulated; "
+                        f"{stats['bytes_read']} bytes read, "
+                        f"{stats['bytes_reused']} raw bytes reused"
+                    )
+                    _print_tol_stats(stats)
+                    _print_fault_stats(stats)
+            else:
+                for level in levels[1:]:
+                    session.refine(level)
+                for level, result in zip(levels, session.results):
+                    stats = result.stats
+                    print(
+                        f"level {level}: {result.n_results} results; "
+                        f"response {result.times.total:.4f} s simulated; "
+                        f"{stats['bytes_read']} bytes read, "
+                        f"{stats['bytes_reused']} raw bytes reused"
+                    )
+                    _print_fault_stats(stats)
             final = session.result.stats
             print(
                 f"session: {session.refine_steps} refine step(s), "

@@ -223,6 +223,12 @@ class ExecutionConfig:
     allow_partial: bool = False
     coalesce_gap: int = 0
     readahead: int = 0
+    #: Handle-level error-bound default: queries without their own
+    #: ``tol`` run error-bounded at this tolerance (``None`` = off).
+    tol: float | None = None
+    #: Which recorded bound the default ``tol`` compares against
+    #: (``"max_rel"`` or ``"mean_rel"``; see docs/tuning.md).
+    tol_metric: str = "max_rel"
 
     def __post_init__(self) -> None:
         if self.backend not in EXEC_BACKENDS:
@@ -255,6 +261,13 @@ class ExecutionConfig:
             raise ValueError(f"coalesce_gap must be >= 0, got {self.coalesce_gap}")
         if self.readahead < 0:
             raise ValueError(f"readahead must be >= 0, got {self.readahead}")
+        if self.tol is not None and not self.tol >= 0:
+            raise ValueError(f"tol must be non-negative, got {self.tol}")
+        if self.tol_metric not in ("max_rel", "mean_rel"):
+            raise ValueError(
+                "tol_metric must be one of ('max_rel', 'mean_rel'), "
+                f"got {self.tol_metric!r}"
+            )
 
     def store_options(self) -> dict[str, Any]:
         """Keyword arguments for :meth:`MLOCStore.open`."""
@@ -268,6 +281,8 @@ class ExecutionConfig:
             "allow_partial": self.allow_partial,
             "coalesce_gap": self.coalesce_gap,
             "readahead": self.readahead,
+            "tol": self.tol,
+            "tol_metric": self.tol_metric,
         }
 
     def writer_options(self) -> dict[str, Any]:

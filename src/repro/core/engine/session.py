@@ -22,12 +22,27 @@ whose values are bit-identical to a fresh single-shot query at that
 level (pinned by ``tests/test_refinement_session.py``), with
 cumulative session counters added to ``stats``: ``refine_steps``,
 ``bytes_reused``, ``coalesced_reads``, ``readahead_hits``.
+
+Error-bounded sessions (``query.tol`` set) resolve per-chunk target
+levels from the store's ``peb`` bounds table: the initial step runs at
+the *shallowest* target level, and each refinement only deepens the
+chunks whose target exceeds the step level — chunks already at their
+target fetch nothing further.  :meth:`progressive_results` drives the
+whole ladder, yielding one result per step; only the final step
+enforces the accuracy contract (earlier steps disclose their honest
+``achieved_bound`` with ``tol_met=False``).
+
+The session drives every step through the store's public ``plan`` /
+``execute_planned`` surface, so flat and sharded stores refine
+identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
 
 from repro.core.query import Query
 from repro.core.result import QueryResult
@@ -42,17 +57,21 @@ __all__ = ["RefinementSession"]
 class RefinementSession:
     """Progressive execution of one query at increasing PLoD levels.
 
-    Created by :meth:`~repro.core.store.MLOCStore.open_session`; the
-    initial step executes immediately at ``query.plod_level``.  Usable
-    as a context manager — :meth:`close` releases the cache pins.
+    Created by ``open_session`` on either store flavor; the initial
+    step executes immediately — at ``query.plod_level``, or, for
+    error-bounded queries, at the shallowest per-chunk target level.
+    Usable as a context manager — :meth:`close` releases the cache
+    pins.
     """
 
     def __init__(self, store: "MLOCStore", query: Query) -> None:
         self._store = store
         self._query = query
-        self._fetcher = store.executor.new_fetcher(shared=True)
+        self._fetcher = store.new_fetcher(shared=True)
         self._owner = ("refinement-session", id(self))
-        self._level: int = query.plod_level
+        #: Per-chunk target PLoD levels of an error-bounded session
+        #: (``None`` for plain level-driven sessions).
+        self._target_levels: np.ndarray | None = store.resolve_levels(query)
         self._refine_steps = 0
         self._bytes_reused = 0
         self._coalesced_reads = 0
@@ -60,7 +79,12 @@ class RefinementSession:
         self._closed = False
         #: Per-step results, most recent last.
         self.results: list[QueryResult] = []
-        self._step(query.plod_level)
+        if self._target_levels is not None:
+            start = int(self._target_levels.min()) if self._target_levels.size else 1
+        else:
+            start = query.plod_level
+        self._level: int = start
+        self._step(start)
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +115,10 @@ class RefinementSession:
         at most :data:`~repro.plod.byteplanes.FULL_PLOD_LEVEL`.  Raises
         ``ValueError`` on non-PLoD layouts (there are no refinement
         planes to fetch) and after :meth:`close`.
+
+        On an error-bounded session the step level is a *ceiling*:
+        each chunk refines to ``min(to_level, its target level)``, so
+        chunks whose bound is already met fetch nothing further.
         """
         if self._closed:
             raise ValueError("refinement session is closed")
@@ -109,13 +137,47 @@ class RefinementSession:
         self._level = to_level
         return result
 
+    def progressive_results(self) -> Iterator[QueryResult]:
+        """Iterate the refinement ladder, yielding one result per step.
+
+        Yields the most recent result first (the session's current
+        state), then — on an error-bounded session — auto-refines
+        through each remaining distinct per-chunk target level,
+        yielding the incremental result of every step.  Each step
+        fetches only the byte planes the shared fetcher does not
+        already hold, so the stream is the progressive-retrieval read
+        path: coarse answer now, deltas until every chunk provably
+        meets ``tol``.  The final step enforces the accuracy contract
+        (see :func:`~repro.core.store.stamp_tol_stats`).
+
+        On a plain (tol-less) session this yields just the current
+        result — there is no bound to converge to.
+        """
+        yield self.result
+        if self._target_levels is None:
+            return
+        for level in sorted(set(int(lv) for lv in self._target_levels)):
+            if level > self._level:
+                yield self.refine(level)
+
     # ------------------------------------------------------------------
     def _step(self, level: int) -> QueryResult:
         store = self._store
-        query = replace(self._query, plod_level=level)
-        plan, plan_stats = store._plan(query)
+        if self._target_levels is not None:
+            # Error-bounded step: the original query plans (its
+            # fingerprint carries tol), per-chunk levels drive fetching.
+            query = self._query
+            chunk_levels = np.minimum(self._target_levels, level)
+            final = level >= int(self._target_levels.max())
+        else:
+            query = replace(self._query, plod_level=level)
+            chunk_levels = None
+            final = False
+        plan, plan_stats = store.plan(query)
         hit_raw0 = self._fetcher.hit_raw_bytes
-        result = store.executor.execute(query, plan, fetcher=self._fetcher)
+        result = store.execute_planned(
+            query, plan, fetcher=self._fetcher, chunk_levels=chunk_levels
+        )
         self._bytes_reused += self._fetcher.hit_raw_bytes - hit_raw0
         self._coalesced_reads += result.stats.get("coalesced_reads", 0)
         self._readahead_hits += result.stats.get("readahead_hits", 0)
@@ -125,6 +187,12 @@ class RefinementSession:
         result.stats["coalesced_reads"] = self._coalesced_reads
         result.stats["readahead_hits"] = self._readahead_hits
         self._pin_held_blocks()
+        if chunk_levels is not None:
+            # Stamp the honest bound of this step; only the final step
+            # of the ladder enforces the contract.
+            store._stamp_tol_stats(
+                query, plan, chunk_levels, result, enforce=final
+            )
         self.results.append(result)
         return result
 

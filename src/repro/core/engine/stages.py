@@ -79,7 +79,11 @@ from repro.parallel.simmpi import CommCostModel, SimCommunicator
 from repro.pfs.blockcache import BlockCache
 from repro.pfs.layout import BinFileSet, aggregate_parallel_time
 from repro.pfs.simfs import PFSSession, SimulatedPFS
-from repro.plod.byteplanes import assemble_from_groups, assemble_from_groups_degraded
+from repro.plod.byteplanes import (
+    GROUP_WIDTHS,
+    assemble_from_groups,
+    assemble_from_groups_degraded,
+)
 from repro.sfc.linearize import CurveOrder
 from repro.util.timing import TimerRegistry
 
@@ -154,9 +158,17 @@ class _ValueWork:
     #: Per-cpos mask of chunks whose points are unrecoverable (base
     #: byte-plane or full-value block quarantined); ``None`` if none.
     fatal_mask: np.ndarray | None = None
-    #: Per-cpos effective PLoD level (< ``n_groups`` where refinement
-    #: blocks were quarantined); ``None`` if no precision was lost.
+    #: Per-cpos effective PLoD level (below the requested level where
+    #: refinement blocks were quarantined); ``None`` if no precision
+    #: was lost.
     cell_levels: np.ndarray | None = None
+    #: Per-cpos *requested* PLoD level under an error-bounded
+    #: (``tol``) mixed-level plan; ``None`` = uniform ``n_groups``.
+    requested_levels: np.ndarray | None = None
+    #: Per-group indices into ``cpos`` of the chunks that actually
+    #: need that group (mixed-level plans); ``None`` = every group
+    #: covers every chunk.
+    group_members: list[np.ndarray] | None = None
     #: (path, offset) of the first quarantined block behind
     #: ``fatal_mask``, for the structured error.
     fatal_block: tuple[str, int] | None = None
@@ -343,7 +355,12 @@ class QueryEngine:
         return _BlockFetcher(self.cache, self.generation, shared=shared)
 
     # ------------------------------------------------------------------
-    def estimated_raw_bytes(self, query: Query, plan: QueryPlan) -> int:
+    def estimated_raw_bytes(
+        self,
+        query: Query,
+        plan: QueryPlan,
+        chunk_levels: np.ndarray | None = None,
+    ) -> int:
         """Raw (decoded) bytes this planned query will demand, estimated.
 
         Used for admission control and fair-scheduling cost accounting
@@ -354,18 +371,30 @@ class QueryEngine:
         PLoD group (8 B/point on whole-value layouts).  Block rounding
         is ignored, so this is a slight underestimate of the exact
         per-block raw footprint.
+
+        ``chunk_levels`` (a per-curve-position level array from an
+        error-bounded plan) replaces the uniform group count with each
+        chunk's own requested level, so broker admission costing sees
+        the bytes a ``tol`` query will actually demand.
         """
         config = self.meta.config
+        mixed = config.plod_enabled and chunk_levels is not None
         n_groups = (
             min(query.plod_level, config.n_groups) if config.plod_enabled else 8
+        )
+        lv = (
+            np.clip(chunk_levels[plan.cpos], 1, config.n_groups)
+            if mixed
+            else None
         )
         total = 0
         for i in range(plan.bin_ids.size):
             bin_id = int(plan.bin_ids[i])
-            n_elem = int(self.context.counts64[bin_id][plan.cpos].sum())
+            counts = self.context.counts64[bin_id][plan.cpos]
+            n_elem = int(counts.sum())
             total += n_elem * 8  # index positions
             if query.wants_values or not bool(plan.aligned[i]):
-                total += n_elem * n_groups
+                total += int((counts * lv).sum()) if mixed else n_elem * n_groups
         return total
 
     # ------------------------------------------------------------------
@@ -375,8 +404,16 @@ class QueryEngine:
         plan: QueryPlan,
         position_filter: Bitmap | None = None,
         fetcher: _BlockFetcher | None = None,
+        chunk_levels: np.ndarray | None = None,
     ) -> QueryResult:
-        """Run the staged parallel access program for one planned query."""
+        """Run the staged parallel access program for one planned query.
+
+        ``chunk_levels`` switches PLoD stores to a *mixed-level* plan:
+        a per-curve-position array of requested levels (clipped to
+        ``[1, n_groups]``) from which each chunk fetches only its own
+        leading byte groups.  The store derives it from the ``peb``
+        bounds table for error-bounded (``tol``) queries.
+        """
         if fetcher is None:
             fetcher = self.new_fetcher()
         hits0, misses0 = fetcher.hits, fetcher.misses
@@ -400,11 +437,17 @@ class QueryEngine:
             state.sched.flush()
         # Index losses resolved, value reads deferred; second wave.
         for state in states:
-            self._plan_rank_values(state, query, position_filter, fetcher, fctx)
+            self._plan_rank_values(
+                state, query, position_filter, fetcher, fctx, chunk_levels
+            )
         for state in states:
             state.sched.flush()
+        # Per-curve-position effective levels of chunks degraded below
+        # their requested level by sticky faults — the store uses this
+        # to compute an *honest* achieved bound for tol queries.
+        degraded_levels: dict[int, int] = {}
         for state in states:
-            self._classify_rank_values(state, fctx)
+            self._classify_rank_values(state, fctx, degraded_levels)
 
         # Stage 3 (Decode): the only concurrent part (threads or
         # processes backend).
@@ -474,7 +517,12 @@ class QueryEngine:
             "dropped_points": fctx.dropped_points,
             "quarantined_blocks": len(fctx.quarantined),
             "partial_chunks": sorted(fctx.partial_chunks),
+            "degraded_chunk_levels": degraded_levels,
             "n_results": int(positions.size),
+            # Error-bounded retrieval: the store stamps the real values
+            # (tol_target, achieved_bound, levels_histogram) on tol
+            # queries; the registered additive counter defaults here.
+            "tol_bytes_saved": 0,
             # Broker request-lifecycle counters (repro.server stamps the
             # real values on requests it serves); zero for direct queries
             # so every registered counter is emitted on every path.
@@ -614,6 +662,7 @@ class QueryEngine:
         position_filter: Bitmap | None,
         fetcher: _BlockFetcher,
         fctx: _FaultContext,
+        chunk_levels: np.ndarray | None = None,
     ) -> None:
         """Resolve index losses, then defer the rank's data-block reads."""
         for bin_plan in state.bins:
@@ -656,7 +705,7 @@ class QueryEngine:
             )
             if bin_plan.need_values:
                 bin_plan.value_work = self._request_value_blocks(
-                    state, bin_plan, query.plod_level, fetcher
+                    state, bin_plan, query.plod_level, fetcher, chunk_levels
                 )
 
     def _request_value_blocks(
@@ -665,8 +714,14 @@ class QueryEngine:
         bin_plan: _BinPlan,
         plod_level: int,
         fetcher: _BlockFetcher,
+        chunk_levels: np.ndarray | None = None,
     ) -> _ValueWork:
-        """Defer the data blocks covering the needed cells."""
+        """Defer the data blocks covering the needed cells.
+
+        With ``chunk_levels`` (mixed-level plans), byte group ``g`` is
+        requested only for the chunks whose level exceeds ``g`` — the
+        per-chunk minimal fetch of error-bounded retrieval.
+        """
         config = self.meta.config
         n_chunks = self.meta.n_chunks
         counts = self.context.counts64[bin_plan.bin_id]
@@ -678,18 +733,39 @@ class QueryEngine:
         if n_elem == 0:
             return _ValueWork(n_elem=0)
 
-        n_groups = min(plod_level, config.n_groups) if config.plod_enabled else 1
+        mixed = config.plod_enabled and chunk_levels is not None
+        if mixed:
+            requested = np.clip(chunk_levels[cpos], 1, config.n_groups).astype(
+                np.int64
+            )
+            n_groups = int(requested.max())
+        else:
+            requested = None
+            n_groups = min(plod_level, config.n_groups) if config.plod_enabled else 1
         cell_offsets = self.context.cell_offsets[bin_plan.bin_id]
         row_starts = self.context.data_row_starts[bin_plan.bin_id]
 
         # The cells needed, grouped per byte group (so each group's
         # payload concatenates contiguously in cpos order).
+        group_members: list[np.ndarray] | None = None
         if config.plod_enabled:
+            if mixed and int(requested.min()) < n_groups:
+                # Group g serves only the chunks requesting beyond it
+                # (group 0, the base plane, always serves every chunk).
+                group_members = [
+                    np.arange(cpos.size) if g == 0 else np.flatnonzero(requested > g)
+                    for g in range(n_groups)
+                ]
+                selected = [cpos[idx] for idx in group_members]
+            else:
+                selected = [cpos] * n_groups
             if config.group_major:  # V-M-S: cell = g * n_chunks + cpos
-                cells_per_group = [g * n_chunks + cpos for g in range(n_groups)]
+                cells_per_group = [
+                    g * n_chunks + c for g, c in enumerate(selected)
+                ]
             else:  # V-S-M: cell = cpos * 7 + g
                 cells_per_group = [
-                    cpos * config.n_groups + g for g in range(n_groups)
+                    c * config.n_groups + g for g, c in enumerate(selected)
                 ]
         else:
             cells_per_group = [cpos]
@@ -742,9 +818,16 @@ class QueryEngine:
             cell_offsets=cell_offsets,
             row_starts=row_starts,
             jobs=jobs,
+            requested_levels=requested,
+            group_members=group_members,
         )
 
-    def _classify_rank_values(self, state: _RankState, fctx: _FaultContext) -> None:
+    def _classify_rank_values(
+        self,
+        state: _RankState,
+        fctx: _FaultContext,
+        degraded_levels: dict[int, int] | None = None,
+    ) -> None:
         """Map quarantined data blocks onto the degradation policy."""
         for bin_plan in state.bins:
             vw = bin_plan.value_work
@@ -756,6 +839,16 @@ class QueryEngine:
             table = self.meta.data_blocks[bin_plan.bin_id]
             path = self.files.data_path(bin_plan.bin_id)
             self._classify_data_loss(vw, bin_plan.cpos, lost_rows, table, path)
+            if vw.cell_levels is not None and degraded_levels is not None:
+                base = (
+                    vw.requested_levels
+                    if vw.requested_levels is not None
+                    else vw.n_groups
+                )
+                drop = vw.cell_levels < base
+                for c, lvl in zip(bin_plan.cpos[drop], vw.cell_levels[drop]):
+                    c, lvl = int(c), int(lvl)
+                    degraded_levels[c] = min(degraded_levels.get(c, lvl), lvl)
             if vw.fatal_mask is not None:
                 lost_ids = bin_plan.chunk_ids[vw.fatal_mask]
                 if not self.allow_partial:
@@ -797,11 +890,19 @@ class QueryEngine:
         # End cell (exclusive) of each block row; the table is
         # contiguous, so the last row ends at the bin's total cells.
         row_ends = np.append(row_starts[1:], vw.cell_offsets.size - 1)
-        levels = np.full(cpos.size, vw.n_groups, dtype=np.int64)
+        base_levels = (
+            vw.requested_levels.copy()
+            if vw.requested_levels is not None
+            else np.full(cpos.size, vw.n_groups, dtype=np.int64)
+        )
+        levels = base_levels.copy()
         fatal = np.zeros(cpos.size, dtype=bool)
         fatal_row: int | None = None
         for g, cells in enumerate(vw.cells_per_group):
-            hit = np.zeros(cpos.size, dtype=bool)
+            # Mixed-level plans request group g for a subset of the
+            # chunks; map subset hits back to cpos indices.
+            members = vw.group_members[g] if vw.group_members is not None else None
+            hit = np.zeros(cells.size, dtype=bool)
             for row_idx in lost_rows:
                 row_hit = (cells >= row_starts[row_idx]) & (cells < row_ends[row_idx])
                 if g == 0 and fatal_row is None and row_hit.any():
@@ -809,14 +910,15 @@ class QueryEngine:
                 hit |= row_hit
             if not hit.any():
                 continue
+            idx = members[hit] if members is not None else np.flatnonzero(hit)
             if g == 0:
-                fatal |= hit
+                fatal[idx] = True
             else:
-                levels[hit] = np.minimum(levels[hit], g)
+                levels[idx] = np.minimum(levels[idx], g)
         if fatal.any():
             vw.fatal_mask = fatal
             vw.fatal_block = (path, int(table[fatal_row][2]))
-        if (levels < vw.n_groups).any():
+        if (levels < base_levels).any():
             vw.cell_levels = levels
 
     # ------------------------------------------------------------------
@@ -867,7 +969,12 @@ class QueryEngine:
                 if vw is not None and vw.cell_levels is not None:
                     # Count degraded points that actually reach the
                     # result (dummy-filled below the requested level).
-                    deg = np.repeat(vw.cell_levels < vw.n_groups, counts)
+                    base = (
+                        vw.requested_levels
+                        if vw.requested_levels is not None
+                        else vw.n_groups
+                    )
+                    deg = np.repeat(vw.cell_levels < base, counts)
                     if mask is not None:
                         deg = deg & mask
                     fctx.degraded_points += int(deg.sum())
@@ -969,11 +1076,35 @@ class QueryEngine:
                 for cells in vw.cells_per_group
             ]
             if config.plod_enabled:
-                if vw.cell_levels is not None:
-                    counts = self.context.counts64[bin_plan.bin_id][bin_plan.cpos]
-                    point_levels = np.repeat(
-                        np.maximum(vw.cell_levels, 1), counts
-                    )
+                counts = self.context.counts64[bin_plan.bin_id][bin_plan.cpos]
+                if vw.group_members is not None:
+                    # Mixed-level plans fetched subset payloads; scatter
+                    # them into full-size planes (gaps stay zero — the
+                    # dummy-fill rule overwrites every byte beyond a
+                    # point's effective level).
+                    elem_starts = np.concatenate(
+                        ([0], np.cumsum(counts))
+                    ).astype(np.int64)
+                    group_payloads = [
+                        payload
+                        if members.size == counts.size
+                        else _scatter_subset(
+                            payload,
+                            members,
+                            elem_starts,
+                            GROUP_WIDTHS[g],
+                            vw.n_elem,
+                        )
+                        for g, (payload, members) in enumerate(
+                            zip(group_payloads, vw.group_members)
+                        )
+                    ]
+                levels = vw.cell_levels
+                if levels is None and vw.requested_levels is not None:
+                    if int(vw.requested_levels.min()) < vw.n_groups:
+                        levels = vw.requested_levels
+                if levels is not None:
+                    point_levels = np.repeat(np.maximum(levels, 1), counts)
                     return assemble_from_groups_degraded(
                         group_payloads, vw.n_elem, vw.n_groups, point_levels
                     )
@@ -1019,3 +1150,34 @@ class QueryEngine:
         if not parts:
             return np.empty(0, dtype=np.float64 if as_float else np.uint8)
         return np.concatenate(parts)
+
+
+def _scatter_subset(
+    payload: np.ndarray,
+    members: np.ndarray,
+    elem_starts: np.ndarray,
+    width: int,
+    n_elem: int,
+) -> np.ndarray:
+    """Scatter a subset byte-group payload into a full-size plane.
+
+    ``payload`` concatenates the group's bytes for the chunks indexed by
+    ``members`` (ascending indices into the bin's planned cpos array);
+    ``elem_starts`` is the cumulative element count over all planned
+    chunks.  Chunks outside the subset stay zero — assembly's per-point
+    dummy-fill rule overwrites those bytes, so they never reach a value.
+    Copies maximal runs of consecutive members, mirroring the run-sliced
+    cell gather.
+    """
+    plane = np.zeros(n_elem * width, dtype=np.uint8)
+    if members.size:
+        breaks = np.flatnonzero(np.diff(members) != 1) + 1
+        starts = np.concatenate(([0], breaks))
+        ends = np.concatenate((breaks, [members.size]))
+        src = 0
+        for s, e in zip(starts, ends):
+            lo = int(elem_starts[members[s]]) * width
+            hi = int(elem_starts[members[e - 1] + 1]) * width
+            plane[lo:hi] = payload[src : src + (hi - lo)]
+            src += hi - lo
+    return plane

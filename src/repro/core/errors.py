@@ -34,7 +34,11 @@ class DegradedResultError(Exception):
         chunks' membership is unknown); ``"data-base"`` — a PLoD base
         byte-plane block was lost (affected points cannot be
         reconstructed at any level); ``"data"`` — a full-value data
-        block was lost.
+        block was lost; ``"tol"`` — an error-bounded query lost
+        refinement planes and the provable bound of the degraded
+        result exceeds the requested ``tol`` (only raised on
+        ``tol`` queries; ``bin_id`` is ``-1`` — the loss may span
+        bins).
     path / offset:
         Location of the first quarantined block that made the result
         partial.

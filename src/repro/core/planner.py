@@ -298,6 +298,8 @@ class PlanContext:
             query.plod_level,
             query.resolution_level,
             query.output,
+            query.tol,
+            query.tol_metric,
         )
 
     def plan(self, query: Query) -> QueryPlan:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.plod.bounds import TOL_METRICS
 from repro.plod.byteplanes import FULL_PLOD_LEVEL
 
 __all__ = ["Query", "OUTPUTS"]
@@ -48,6 +49,17 @@ class Query:
     resolution_level:
         Subset-based resolution level for hierarchical-curve stores:
         only chunks of levels ``<= resolution_level`` are accessed.
+    tol:
+        Error-bounded retrieval: the maximum acceptable relative
+        reconstruction error.  When set (on a PLoD store), the planner
+        picks the minimal PLoD level *per chunk* from the stored
+        ``peb`` bounds — ``plod_level`` acts as a ceiling — and the
+        result's stats report the achieved bound.  ``tol=0`` demands
+        (and gets) full precision, bit-identical to a tol-less query.
+    tol_metric:
+        Which recorded bound ``tol`` is compared against:
+        ``"max_rel"`` (default, the per-point guarantee) or
+        ``"mean_rel"`` (a chunk-level average; see docs/tuning.md).
     """
 
     value_range: tuple[float, float] | None = None
@@ -55,6 +67,8 @@ class Query:
     output: str = "values"
     plod_level: int = FULL_PLOD_LEVEL
     resolution_level: int | None = None
+    tol: float | None = None
+    tol_metric: str = "max_rel"
 
     def __post_init__(self) -> None:
         if self.output not in OUTPUTS:
@@ -70,6 +84,12 @@ class Query:
         if self.resolution_level is not None and self.resolution_level < 0:
             raise ValueError(
                 f"resolution_level must be non-negative, got {self.resolution_level}"
+            )
+        if self.tol is not None and not self.tol >= 0:
+            raise ValueError(f"tol must be non-negative, got {self.tol}")
+        if self.tol_metric not in TOL_METRICS:
+            raise ValueError(
+                f"tol_metric must be one of {TOL_METRICS}, got {self.tol_metric!r}"
             )
 
     @property

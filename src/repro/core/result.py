@@ -23,6 +23,9 @@ __all__ = [
     "SUMMED_STAT_KEYS",
     "FAULT_STAT_KEYS",
     "UNION_STAT_KEYS",
+    "MAX_STAT_KEYS",
+    "DICT_SUM_STAT_KEYS",
+    "DICT_MIN_STAT_KEYS",
     "aggregate_stats",
 ]
 
@@ -72,6 +75,9 @@ SUMMED_STAT_KEYS: tuple[str, ...] = (
     "cancelled",
     "quota_rejections",
     "quota_evictions",
+    # Error-bounded retrieval (query tol=...): raw bytes the per-chunk
+    # level selection avoided reading vs the full-precision plan.
+    "tol_bytes_saved",
 )
 
 #: The fault-accounting subset (printed by the CLI, swept by the
@@ -86,16 +92,31 @@ FAULT_STAT_KEYS: tuple[str, ...] = (
 #: Collection-valued counters aggregated by set union, not addition.
 UNION_STAT_KEYS: tuple[str, ...] = ("partial_chunks",)
 
+#: Worst-case counters aggregated by max, emitted only when present
+#: (an aggregate bound is the loosest per-query bound).
+MAX_STAT_KEYS: tuple[str, ...] = ("achieved_bound", "tol_target")
+
+#: Dict-valued counters merged key-wise, emitted only when present:
+#: ``levels_histogram`` (PLoD level -> chunk count) sums per key;
+#: ``degraded_chunk_levels`` (curve position -> effective level) keeps
+#: the minimum — the honest (deepest-loss) level per chunk.
+DICT_SUM_STAT_KEYS: tuple[str, ...] = ("levels_histogram",)
+DICT_MIN_STAT_KEYS: tuple[str, ...] = ("degraded_chunk_levels",)
+
 
 def aggregate_stats(per_query: "list[dict] | tuple[dict, ...]") -> dict:
     """Fold per-query ``stats`` dicts into one aggregate dict.
 
     Sums every key in :data:`SUMMED_STAT_KEYS` (missing keys count as
-    zero, so older recorded stats aggregate cleanly) and unions the
-    keys in :data:`UNION_STAT_KEYS` into sorted lists.  Non-additive
-    counters (``quarantined_blocks`` is registry state, not a per-query
-    delta; ``n_ranks``/``backend`` are configuration) are the caller's
-    responsibility.
+    zero, so older recorded stats aggregate cleanly), unions the keys
+    in :data:`UNION_STAT_KEYS` into sorted lists, maxes the keys in
+    :data:`MAX_STAT_KEYS`, and merges the dict-valued keys key-wise
+    (:data:`DICT_SUM_STAT_KEYS` by addition,
+    :data:`DICT_MIN_STAT_KEYS` by minimum); the latter two families
+    appear in the aggregate only when some input carried them.
+    Non-additive counters (``quarantined_blocks`` is registry state,
+    not a per-query delta; ``n_ranks``/``backend`` are configuration)
+    are the caller's responsibility.
     """
     per_query = list(per_query)
     out: dict = {}
@@ -109,6 +130,25 @@ def aggregate_stats(per_query: "list[dict] | tuple[dict, ...]") -> dict:
         for s in per_query:
             merged.update(s.get(key, ()))
         out[key] = sorted(merged)
+    for key in MAX_STAT_KEYS:
+        vals = [s[key] for s in per_query if key in s]
+        if vals:
+            out[key] = max(vals)
+    for key, fold in (
+        *((k, lambda a, b: a + b) for k in DICT_SUM_STAT_KEYS),
+        *((k, min) for k in DICT_MIN_STAT_KEYS),
+    ):
+        seen = False
+        merged_d: dict = {}
+        for s in per_query:
+            d = s.get(key)
+            if d is None:
+                continue
+            seen = True
+            for k, v in d.items():
+                merged_d[k] = fold(merged_d[k], v) if k in merged_d else v
+        if seen:
+            out[key] = merged_d
     return out
 
 

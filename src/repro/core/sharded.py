@@ -49,7 +49,7 @@ from repro.core.result import (
     QueryResult,
     aggregate_stats,
 )
-from repro.core.store import MLOCStore, StorageReport
+from repro.core.store import MLOCStore, StorageReport, stamp_tol_stats
 from repro.index.bitmap import Bitmap
 from repro.parallel.scheduler import weighted_bin_partition
 from repro.pfs.simfs import SimulatedPFS
@@ -199,6 +199,7 @@ class ShardedMLOCStore:
         plan: QueryPlan,
         position_filter: Bitmap | None = None,
         fetcher=None,
+        chunk_levels: np.ndarray | None = None,
     ) -> QueryResult:
         """Execute the narrowed sub-plans and merge shard results.
 
@@ -217,7 +218,11 @@ class ShardedMLOCStore:
             shards_hit += 1
             shard_results.append(
                 store.executor.execute(
-                    query, sub, position_filter=position_filter, fetcher=fetcher
+                    query,
+                    sub,
+                    position_filter=position_filter,
+                    fetcher=fetcher,
+                    chunk_levels=chunk_levels,
                 )
             )
 
@@ -238,6 +243,20 @@ class ShardedMLOCStore:
         stats["n_ranks"] = self.n_shards * self.shards[0].executor.n_ranks
         stats["backend"] = self.shards[0].executor.backend
         stats["n_results"] = int(positions.size)
+        # Plan-derived counters the per-shard sum would misstate: every
+        # shard repeats the whole chunk column (summing overcounts
+        # chunks by shards_hit), and the flat store emits these per
+        # query, so the session-parity contract stamps the union-plan
+        # values here instead of dropping them.
+        stats["bins_accessed"] = int(plan.bin_ids.size)
+        stats["aligned_bins"] = int(plan.aligned.sum())
+        stats["chunks_accessed"] = int(plan.cpos.size)
+        backends = {r.stats.get("decode_backend") for r in shard_results}
+        if len(backends) == 1:
+            stats["decode_backend"] = backends.pop()
+        elif backends:  # "auto" may resolve differently per shard
+            stats["decode_backend"] = "mixed"
+        stats["quarantined_blocks"] = len(self.quarantined_blocks)
         return QueryResult(
             positions=positions,
             values=values,
@@ -250,8 +269,94 @@ class ShardedMLOCStore:
         return self.shards[0]._plan(query)
 
     def estimated_raw_bytes(self, query: Query, plan: QueryPlan) -> int:
-        """Estimated raw decode bytes of a planned query (admission cost)."""
-        return self.shards[0].executor.estimated_raw_bytes(query, plan)
+        """Estimated raw decode bytes of a planned query (admission cost).
+
+        Like the flat store, error-bounded queries are costed at their
+        per-chunk levels — the broker admits what will be read.
+        """
+        return self.shards[0].executor.estimated_raw_bytes(
+            query, plan, chunk_levels=self.resolve_levels(query)
+        )
+
+    # ------------------------------------------------------------------
+    # Error-bounded retrieval: the bounds table describes the whole
+    # variable (bins partition values, not chunks), so every shard
+    # shares the first shard's peb/level resolution.
+    @property
+    def peb(self):
+        """The per-chunk PLoD error-bounds table (whole-variable)."""
+        return self.shards[0].peb
+
+    def resolve_levels(self, query: Query) -> np.ndarray | None:
+        """Per-chunk PLoD levels meeting the query's error bound."""
+        return self.shards[0].resolve_levels(query)
+
+    def _tol_params(self, query: Query) -> tuple[float, str] | None:
+        return self.shards[0]._tol_params(query)
+
+    @property
+    def _primary_executor(self):
+        return self.shards[0].executor
+
+    @property
+    def quarantined_blocks(self) -> dict[tuple[str, int], str]:
+        """Union of the per-shard quarantine registries.
+
+        Shard bin ranges are disjoint, so a block extent can only be
+        quarantined by the shard that owns its bin — the union is a
+        plain merge.
+        """
+        merged: dict[tuple[str, int], str] = {}
+        for shard in self.shards:
+            merged.update(shard.executor.quarantine)
+        return merged
+
+    @property
+    def cache(self):
+        """The decoded-block cache all shards share."""
+        return self.shards[0].cache
+
+    def new_fetcher(self, shared: bool = False):
+        """A block fetcher usable across every shard's executor.
+
+        Fetcher keys are ``(generation, path, offset)``; every shard is
+        opened on the same metadata (same generation) and shard bin
+        ranges are disjoint, so one fetcher serves the whole scatter.
+        """
+        return self.shards[0].executor.new_fetcher(shared=shared)
+
+    def _stamp_tol_stats(
+        self,
+        query: Query,
+        plan: QueryPlan,
+        levels: np.ndarray,
+        result: QueryResult,
+        *,
+        enforce: bool = True,
+    ) -> None:
+        stamp_tol_stats(self, query, plan, levels, result, enforce=enforce)
+
+    def execute_planned(
+        self,
+        query: Query,
+        plan: QueryPlan,
+        *,
+        position_filter: Bitmap | None = None,
+        fetcher=None,
+        chunk_levels: np.ndarray | None = None,
+    ) -> QueryResult:
+        """Execute an already-planned query across the shards.
+
+        The refinement session drives its steps through this entry so
+        flat and sharded stores expose one execution surface.
+        """
+        return self._scatter_gather(
+            query,
+            plan,
+            position_filter,
+            fetcher=fetcher,
+            chunk_levels=chunk_levels,
+        )
 
     def query(
         self,
@@ -263,8 +368,13 @@ class ShardedMLOCStore:
     ) -> QueryResult:
         """Plan once, scatter narrowed sub-plans, gather shard results."""
         plan, plan_stats = self.plan(query) if planned is None else planned
-        result = self._scatter_gather(query, plan, position_filter, fetcher=fetcher)
+        levels = self.resolve_levels(query)
+        result = self._scatter_gather(
+            query, plan, position_filter, fetcher=fetcher, chunk_levels=levels
+        )
         result.stats.update(plan_stats)
+        if levels is not None:
+            self._stamp_tol_stats(query, plan, levels, result)
         return result
 
     def query_many(self, queries: list[Query]) -> BatchResult:
@@ -282,11 +392,16 @@ class ShardedMLOCStore:
         return BatchResult(results=results, times=times, stats=stats)
 
     def open_session(self, query: Query):
-        """Progressive refinement is a single-store feature for now."""
-        raise NotImplementedError(
-            "refinement sessions are not sharded; open an MLOCStore "
-            "handle on the same root instead"
-        )
+        """Open a progressive refinement session over the shards.
+
+        Sessions drive their steps through :meth:`plan` /
+        :meth:`execute_planned` with one shared fetcher, so the sharded
+        session holds planes and refines exactly like the flat store's
+        (parity pinned by ``tests/test_sharded_store.py``).
+        """
+        from repro.core.engine.session import RefinementSession
+
+        return RefinementSession(self, query)
 
     # ------------------------------------------------------------------
     def storage_report(self) -> StorageReport:

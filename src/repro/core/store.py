@@ -19,6 +19,7 @@ import numpy as np
 from repro.binning.binner import BinScheme
 from repro.core.chunking import ChunkGrid
 from repro.core.engine.session import RefinementSession
+from repro.core.errors import DegradedResultError
 from repro.core.executor import QueryExecutor
 from repro.core.meta import StoreMeta
 from repro.core.planner import PlanContext, QueryPlan
@@ -33,11 +34,72 @@ from repro.core.writer import make_curve
 from repro.index.bitmap import Bitmap
 from repro.index.hbi import HBIndex, build_from_store, hbi_path
 from repro.parallel.simmpi import CommCostModel
+from repro.plod import bounds as peb_bounds
+from repro.plod.bounds import TOL_METRICS, ErrorBoundsTable, peb_path
 from repro.pfs.blockcache import BlockCache
 from repro.pfs.layout import BinFileSet
 from repro.pfs.simfs import SimulatedPFS
 
-__all__ = ["MLOCStore", "StorageReport"]
+__all__ = ["MLOCStore", "StorageReport", "stamp_tol_stats"]
+
+
+def stamp_tol_stats(
+    store,
+    query: Query,
+    plan: QueryPlan,
+    levels: np.ndarray,
+    result: QueryResult,
+    *,
+    enforce: bool = True,
+) -> None:
+    """Report (and enforce) the accuracy contract of a tol query.
+
+    Shared by the flat store, the sharded store, and the refinement
+    session (``store`` duck-types ``_tol_params`` / ``peb`` /
+    ``_primary_executor`` / ``quarantined_blocks``).
+
+    ``achieved_bound`` is computed from the *effective* levels — the
+    requested per-chunk levels reduced by any sticky-fault degradation
+    the engine reported in ``degraded_chunk_levels`` — so a
+    dummy-filled plane can never silently count as meeting the bound.
+    When the provable bound exceeds ``tol`` and ``enforce`` is set,
+    strict mode raises :class:`DegradedResultError` (kind ``"tol"``);
+    with ``allow_partial`` (or on non-final progressive steps, which
+    pass ``enforce=False``) the degradation is disclosed via
+    ``tol_met=False`` instead.
+    """
+    tol, metric = store._tol_params(query)
+    executor = store._primary_executor
+    effective = levels.copy()
+    degraded = result.stats.get("degraded_chunk_levels") or {}
+    for c, lvl in degraded.items():
+        effective[c] = min(int(effective[c]), int(lvl))
+    planned_eff = effective[plan.cpos]
+    achieved = (
+        float(store.peb.bound_at(planned_eff, metric, cpos=plan.cpos).max())
+        if planned_eff.size
+        else 0.0
+    )
+    uniq, cnt = np.unique(levels[plan.cpos], return_counts=True)
+    full_bytes = executor.estimated_raw_bytes(query, plan)
+    tol_bytes = executor.estimated_raw_bytes(query, plan, chunk_levels=levels)
+    result.stats["tol_target"] = float(tol)
+    result.stats["tol_metric"] = metric
+    result.stats["achieved_bound"] = achieved
+    result.stats["levels_histogram"] = {int(u): int(c) for u, c in zip(uniq, cnt)}
+    result.stats["tol_bytes_saved"] = int(full_bytes - tol_bytes)
+    result.stats["tol_met"] = bool(achieved <= tol)
+    if enforce and achieved > tol and not executor.allow_partial:
+        quarantined = sorted(store.quarantined_blocks)
+        path, offset = quarantined[0] if quarantined else ("", 0)
+        hit = np.isin(plan.cpos, np.fromiter(degraded, dtype=np.int64))
+        raise DegradedResultError(
+            kind="tol",
+            path=path,
+            offset=offset,
+            bin_id=-1,
+            chunk_ids=tuple(int(c) for c in plan.chunk_ids[hit]),
+        )
 
 
 @dataclass(frozen=True)
@@ -78,10 +140,23 @@ class MLOCStore:
         coalesce_gap: int = 0,
         readahead: int = 0,
         use_hbi: bool | None = None,
+        tol: float | None = None,
+        tol_metric: str = "max_rel",
     ) -> None:
+        if tol is not None and not tol >= 0:
+            raise ValueError(f"tol must be non-negative, got {tol}")
+        if tol_metric not in TOL_METRICS:
+            raise ValueError(
+                f"tol_metric must be one of {TOL_METRICS}, got {tol_metric!r}"
+            )
         self.fs = fs
         self.root = root.rstrip("/")
         self.meta = meta
+        # Handle-level error-bound defaults: applied to queries that do
+        # not set their own ``tol`` (a query's explicit tol always wins).
+        self.default_tol = tol
+        self.default_tol_metric = tol_metric
+        self._peb: ErrorBoundsTable | None = None
         # Hierarchical bitmap index: opt-in per handle (or fleet-wide
         # via MLOC_HBI=1) because enabling it changes plan *work*, not
         # results — the flat path stays the accounting baseline.
@@ -188,6 +263,26 @@ class MLOCStore:
                 self._hbi = build_from_store(self)
         return self._hbi
 
+    @property
+    def peb(self) -> ErrorBoundsTable:
+        """The per-chunk PLoD error-bounds table, loaded or rebuilt.
+
+        Prefers the ``peb`` record persisted at write time (read
+        through an uncharged session, like the metadata at open);
+        stores written before the record existed fall back to
+        rebuilding it from the stored byte planes — both paths yield
+        identical bytes (``tests/test_peb_record.py``).  Raises
+        ``ValueError`` on non-PLoD layouts.
+        """
+        if self._peb is None:
+            path = peb_path(self.root)
+            if self.fs.exists(path):
+                raw = bytes(self.fs.session().open(path).read_all())
+                self._peb = ErrorBoundsTable.from_bytes(raw)
+            else:
+                self._peb = peb_bounds.build_from_store(self)
+        return self._peb
+
     def with_ranks(self, n_ranks: int) -> "MLOCStore":
         """A view of the same store using a different rank count."""
         clone = MLOCStore(
@@ -208,8 +303,11 @@ class MLOCStore:
             coalesce_gap=self.executor.coalesce_gap,
             readahead=self.executor.readahead,
             use_hbi=self.use_hbi,
+            tol=self.default_tol,
+            tol_metric=self.default_tol_metric,
         )
         clone._hbi = self._hbi
+        clone._peb = self._peb
         return clone
 
     @property
@@ -222,6 +320,16 @@ class MLOCStore:
         and is answered by the degradation policy instead of re-read.
         """
         return dict(self.executor.quarantine)
+
+    @property
+    def _primary_executor(self):
+        """The executor that answers estimate/config questions — the
+        common surface the sharded store mirrors with its first shard."""
+        return self.executor
+
+    def new_fetcher(self, shared: bool = False):
+        """A block fetcher for one query (``shared=True``: a session/batch)."""
+        return self.executor.new_fetcher(shared=shared)
 
     # ------------------------------------------------------------------
     def _plan(self, query: Query) -> tuple[QueryPlan, dict[str, int]]:
@@ -259,8 +367,95 @@ class MLOCStore:
         return self._plan(query)
 
     def estimated_raw_bytes(self, query: Query, plan: QueryPlan) -> int:
-        """Estimated raw decode bytes of a planned query (admission cost)."""
-        return self.executor.estimated_raw_bytes(query, plan)
+        """Estimated raw decode bytes of a planned query (admission cost).
+
+        For error-bounded queries the estimate reflects the per-chunk
+        levels the bounds table selects, so broker admission costing
+        sees the bytes a ``tol`` query will actually demand.
+        """
+        return self.executor.estimated_raw_bytes(
+            query, plan, chunk_levels=self.resolve_levels(query)
+        )
+
+    # ------------------------------------------------------------------
+    def _tol_params(self, query: Query) -> tuple[float, str] | None:
+        """The effective (tol, metric) of a query, or ``None``.
+
+        A query's own ``tol`` wins; otherwise the handle-level default
+        applies (with its metric).  ``tol=0`` resolves to ``None``: it
+        demands full precision, which is exactly the tol-less path —
+        results *and* stats stay bit-identical.
+        """
+        if query.tol is not None:
+            tol, metric = query.tol, query.tol_metric
+        elif self.default_tol is not None:
+            tol, metric = self.default_tol, self.default_tol_metric
+        else:
+            return None
+        if tol == 0:
+            return None
+        return tol, metric
+
+    def resolve_levels(self, query: Query) -> np.ndarray | None:
+        """Per-chunk PLoD levels meeting the query's error bound.
+
+        Returns a per-curve-position ``int64`` array of the minimal
+        level whose recorded bound is ``<= tol`` for every chunk, or
+        ``None`` when the query carries no (effective) tol.  Raises
+        ``ValueError`` on non-PLoD layouts and when ``query.plod_level``
+        caps the plan below the level ``tol`` requires — the engine
+        never claims an accuracy it cannot prove from stored bounds.
+        """
+        params = self._tol_params(query)
+        if params is None:
+            return None
+        tol, metric = params
+        if not self.meta.config.plod_enabled:
+            raise ValueError(
+                "tol requires a PLoD layout (level order containing 'M'); "
+                f"this store uses {self.meta.config.level_order!r}"
+            )
+        levels = self.peb.min_level_for(tol, metric)
+        deepest = int(levels.max()) if levels.size else 1
+        if deepest > query.plod_level:
+            raise ValueError(
+                f"tol={tol} ({metric}) needs PLoD level {deepest} on some "
+                f"chunks, but the query caps plod_level at {query.plod_level}"
+            )
+        return levels
+
+    def execute_planned(
+        self,
+        query: Query,
+        plan: QueryPlan,
+        *,
+        position_filter: Bitmap | None = None,
+        fetcher=None,
+        chunk_levels: np.ndarray | None = None,
+    ) -> QueryResult:
+        """Execute an already-planned query on this store's engine.
+
+        The refinement session drives its steps through this entry so
+        flat and sharded stores expose one execution surface.
+        """
+        return self.executor.execute(
+            query,
+            plan,
+            position_filter=position_filter,
+            fetcher=fetcher,
+            chunk_levels=chunk_levels,
+        )
+
+    def _stamp_tol_stats(
+        self,
+        query: Query,
+        plan: QueryPlan,
+        levels: np.ndarray,
+        result: QueryResult,
+        *,
+        enforce: bool = True,
+    ) -> None:
+        stamp_tol_stats(self, query, plan, levels, result, enforce=enforce)
 
     def query(
         self,
@@ -300,10 +495,17 @@ class MLOCStore:
             if prune:
                 pruned += self.context.prune_plan(plan, self.hbi)
             plan_stats["chunks_pruned"] = pruned
+        levels = self.resolve_levels(query)
         result = self.executor.execute(
-            query, plan, position_filter=position_filter, fetcher=fetcher
+            query,
+            plan,
+            position_filter=position_filter,
+            fetcher=fetcher,
+            chunk_levels=levels,
         )
         result.stats.update(plan_stats)
+        if levels is not None:
+            self._stamp_tol_stats(query, plan, levels, result)
         return result
 
     def query_many(self, queries: list[Query]) -> BatchResult:
@@ -325,8 +527,13 @@ class MLOCStore:
         fetcher = self.executor.new_fetcher(shared=True)
         results = []
         for q, (plan, plan_stats) in zip(queries, planned):
-            result = self.executor.execute(q, plan, fetcher=fetcher)
+            levels = self.resolve_levels(q)
+            result = self.executor.execute(
+                q, plan, fetcher=fetcher, chunk_levels=levels
+            )
             result.stats.update(plan_stats)
+            if levels is not None:
+                self._stamp_tol_stats(q, plan, levels, result)
             results.append(result)
         times = ComponentTimes()
         for r in results:

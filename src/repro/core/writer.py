@@ -78,6 +78,7 @@ from repro.parallel.procpool import (
 )
 from repro.pfs.layout import BinFileSet
 from repro.pfs.simfs import SimulatedPFS
+from repro.plod.bounds import PEBBuilder, compute_chunk_bounds, peb_path
 from repro.plod.byteplanes import GROUP_WIDTHS, split_byte_groups
 from repro.sfc.hierarchical import hierarchical_order
 from repro.sfc.linearize import CurveOrder, chunk_curve_order
@@ -105,6 +106,10 @@ class WriteReport:
     #: Kept out of ``total_bytes`` so Table I storage accounting is
     #: unchanged by the optional summary structure.
     hbi_bytes: int = 0
+    #: Per-chunk error-bounds file size (0 when ``build_peb=False`` or
+    #: the layout has no PLoD byte planes).  Outside ``total_bytes``
+    #: for the same reason as ``hbi_bytes``.
+    peb_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -374,6 +379,15 @@ class MLOCWriter:
         stream, so the ``hbi`` file is bit-identical across write
         backends like every other subfile.  Stores opened without
         ``use_hbi`` ignore the file entirely.
+    build_peb:
+        Record per-(chunk, PLoD-level) error bounds
+        (:mod:`repro.plod.bounds`) and persist them as the ``peb``
+        record (default on; effective only for byte-plane layouts).
+        Bounds are pure functions of the chunk-stage output consumed
+        in ordered-commit order, so the file is bit-identical across
+        write backends.  The record powers ``query(tol=...)``; stores
+        written without it rebuild an identical table lazily on first
+        use.
     """
 
     def __init__(
@@ -385,6 +399,7 @@ class MLOCWriter:
         write_backend: str = "serial",
         write_workers: int | None = None,
         build_hbi: bool = True,
+        build_peb: bool = True,
     ) -> None:
         if write_backend not in WRITE_BACKENDS:
             raise ValueError(
@@ -398,6 +413,7 @@ class MLOCWriter:
         self.write_backend = write_backend
         self.write_workers = write_workers
         self.build_hbi = build_hbi
+        self.build_peb = build_peb
 
     def variable_root(self, variable: str) -> str:
         """Directory of one variable's subfiles under this writer's root."""
@@ -413,12 +429,12 @@ class MLOCWriter:
         scheme = self._estimate_bins(data)
         backend = self._make_backend(codec, data.nbytes)
         try:
-            data_streams, index_streams, counts, hbi = self._encode(
+            data_streams, index_streams, counts, hbi, peb = self._encode(
                 data, grid, curve, scheme, backend
             )
             return self._commit(
                 data, variable, scheme, counts, data_streams, index_streams, backend,
-                hbi,
+                hbi, peb,
             )
         finally:
             backend.close()
@@ -484,6 +500,11 @@ class MLOCWriter:
         hbi = (
             HBIBuilder(n_bins, n_chunks, grid.chunk_size) if self.build_hbi else None
         )
+        # The bounds builder rides the same ordered commit loop; the
+        # bounds themselves are computed in the (parallel) chunk stage
+        # because they are pure functions of the chunk's values.
+        peb = PEBBuilder(n_chunks) if (self.build_peb and plod) else None
+        want_bounds = peb is not None
 
         def chunk_stage(cpos: int) -> tuple:
             chunk_id = int(curve.order[cpos])
@@ -491,14 +512,19 @@ class MLOCWriter:
             bids = scheme.assign(vals)
             perm, sorted_vals, offsets = per_bin_segments(vals, bids, n_bins)
             planes = split_byte_groups(sorted_vals) if plod else [sorted_vals]
-            return perm, offsets, planes
+            bounds = (
+                compute_chunk_bounds(sorted_vals, planes) if want_bounds else None
+            )
+            return perm, offsets, planes, bounds
 
         widths = GROUP_WIDTHS if plod else (8,)
         results = backend.chunk_results(chunk_stage, n_chunks)
-        for cpos, (perm, offsets, planes) in enumerate(results):
+        for cpos, (perm, offsets, planes, bounds) in enumerate(results):
             counts[:, cpos] = np.diff(offsets).astype(np.uint32)
             if hbi is not None:
                 hbi.add_chunk(cpos, perm, offsets)
+            if peb is not None:
+                peb.add_chunk(cpos, *bounds)
             for b in range(n_bins):
                 lo, hi = int(offsets[b]), int(offsets[b + 1])
                 index_streams[b].add(cpos, perm[lo:hi])
@@ -509,12 +535,12 @@ class MLOCWriter:
                         data_streams[b][g].add(g * n_chunks + cpos, part)
                     else:
                         data_streams[b][0].add(cpos * n_groups + g, part)
-        return data_streams, index_streams, counts, hbi
+        return data_streams, index_streams, counts, hbi, peb
 
     # ------------------------------------------------------------------
     def _commit(
         self, data, variable, scheme, counts, data_streams, index_streams, backend,
-        hbi=None,
+        hbi=None, peb=None,
     ) -> WriteReport:
         """Materialize subfiles and metadata in deterministic order."""
         n_bins = self.config.n_bins
@@ -581,6 +607,12 @@ class MLOCWriter:
             self.fs.write_file(hbi_path(self.variable_root(variable)), blob)
             hbi_bytes = len(blob)
 
+        peb_bytes = 0
+        if peb is not None:
+            blob = peb.finish().to_bytes()
+            self.fs.write_file(peb_path(self.variable_root(variable)), blob)
+            peb_bytes = len(blob)
+
         return WriteReport(
             variable=variable,
             raw_bytes=data.nbytes,
@@ -588,6 +620,7 @@ class MLOCWriter:
             index_bytes=files.index_bytes(self.fs),
             meta_bytes=self.fs.size(files.meta_path),
             hbi_bytes=hbi_bytes,
+            peb_bytes=peb_bytes,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,321 @@
+"""Per-chunk PLoD error bounds: the ``peb`` record behind ``query(tol=...)``.
+
+The paper's Table VI reports one max-relative-error figure per PLoD
+level for a whole dataset; error-bounded retrieval needs the same
+information *per chunk*, so the planner can pick the minimal level for
+each chunk independently (mixed-level plans).  This module holds that
+table:
+
+* :class:`ErrorBoundsTable` — ``(7, n_chunks)`` max and mean relative
+  errors of reconstructing each chunk at PLoD levels 1..7 (level 7 is
+  exact, so its row is identically zero), indexed by curve position.
+  Bounds are monotone non-increasing in level — adding a byte group
+  never increases the reconstruction error — which is what lets
+  :meth:`ErrorBoundsTable.min_level_for` resolve a tolerance to a
+  per-chunk level with one vectorized comparison.
+* :class:`PEBBuilder` — streaming write-time builder fed by the
+  writer's ordered commit loop, exactly like
+  :class:`repro.index.hbi.HBIBuilder`: chunk bounds are pure functions
+  of the chunk-stage output, consumed in serial ``cpos`` order, so the
+  persisted record is bit-identical across write backends and worker
+  counts (DESIGN.md §6).
+* :func:`build_from_store` — lazy rebuild for stores written before
+  the record existed.  Level-7 byte-plane reassembly is exact, so the
+  rebuilt values equal the written ones and the recomputed bounds are
+  byte-identical to the write-time record.
+
+A per-chunk **max** relative bound covers every subset of the chunk's
+points, so it remains valid for value- and region-restricted queries
+that touch only part of a chunk.  The **mean** bound is a chunk-level
+statistic only — a selective query's observed mean error may exceed it
+(see docs/tuning.md); the accuracy contract the property suite pins is
+the max metric.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.compression.base import make_codec
+from repro.plod.accuracy import relative_errors
+from repro.plod.byteplanes import (
+    FULL_PLOD_LEVEL,
+    GROUP_WIDTHS,
+    N_GROUPS,
+    assemble_from_groups,
+    split_byte_groups,
+)
+
+__all__ = [
+    "ErrorBoundsTable",
+    "PEBBuilder",
+    "TOL_METRICS",
+    "build_from_store",
+    "compute_chunk_bounds",
+    "peb_path",
+]
+
+_MAGIC = b"MLOCPEB\x00"
+FORMAT_VERSION = 1
+
+#: Accepted values of ``Query.tol_metric``.
+TOL_METRICS = ("max_rel", "mean_rel")
+
+
+def peb_path(root: str) -> str:
+    """On-disk path of a variable's per-chunk error-bounds file."""
+    return f"{root.rstrip('/')}/peb"
+
+
+def compute_chunk_bounds(
+    values: np.ndarray, groups: list[np.ndarray] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Max and mean relative reconstruction error of one chunk per level.
+
+    Returns two ``(N_GROUPS,)`` float64 arrays (levels 1..7; the level-7
+    entries are exactly 0.0).  ``values`` is the chunk's element vector
+    in any fixed order — both reductions are permutation-sensitive only
+    through floating-point summation, so the writer and the rebuild
+    path must (and do) pass the same bin-segmented order.  ``groups``
+    may supply the already-split byte planes of ``values``.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    max_rel = np.zeros(N_GROUPS, dtype=np.float64)
+    mean_rel = np.zeros(N_GROUPS, dtype=np.float64)
+    if not values.size:
+        return max_rel, mean_rel
+    if groups is None:
+        groups = split_byte_groups(values)
+    for level in range(1, FULL_PLOD_LEVEL):
+        approx = assemble_from_groups(groups[:level], values.size, level)
+        rel = relative_errors(values, approx)
+        max_rel[level - 1] = float(rel.max())
+        mean_rel[level - 1] = float(rel.mean())
+    return max_rel, mean_rel
+
+
+class ErrorBoundsTable:
+    """Per-(chunk, PLoD-level) reconstruction error bounds."""
+
+    def __init__(self, max_rel: np.ndarray, mean_rel: np.ndarray) -> None:
+        self.max_rel = np.asarray(max_rel, dtype=np.float64)
+        self.mean_rel = np.asarray(mean_rel, dtype=np.float64)
+        if self.max_rel.ndim != 2 or self.max_rel.shape[0] != N_GROUPS:
+            raise ValueError(
+                f"bounds must be ({N_GROUPS}, n_chunks), got {self.max_rel.shape}"
+            )
+        if self.mean_rel.shape != self.max_rel.shape:
+            raise ValueError(
+                f"max/mean shape mismatch: {self.max_rel.shape} vs "
+                f"{self.mean_rel.shape}"
+            )
+
+    @property
+    def n_chunks(self) -> int:
+        return self.max_rel.shape[1]
+
+    def _metric(self, metric: str) -> np.ndarray:
+        if metric not in TOL_METRICS:
+            raise ValueError(f"tol_metric must be one of {TOL_METRICS}, got {metric!r}")
+        return self.max_rel if metric == "max_rel" else self.mean_rel
+
+    def min_level_for(self, tol: float, metric: str = "max_rel") -> np.ndarray:
+        """Minimal PLoD level per chunk whose bound is ``<= tol``.
+
+        Monotonicity makes this one comparison: the first level at or
+        under ``tol`` sits right after the last level above it.  The
+        level-7 row is zero, so every chunk resolves to a level in
+        ``[1, 7]`` for any ``tol >= 0``.
+        """
+        if tol < 0:
+            raise ValueError(f"tol must be non-negative, got {tol}")
+        bounds = self._metric(metric)
+        levels = (bounds > tol).sum(axis=0) + 1
+        return np.clip(levels, 1, FULL_PLOD_LEVEL).astype(np.int64)
+
+    def bound_at(
+        self,
+        levels: np.ndarray,
+        metric: str = "max_rel",
+        cpos: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Recorded bound of each chunk at the given per-chunk levels.
+
+        Without ``cpos``, ``levels`` must cover chunks ``0..n-1`` in
+        curve order; with ``cpos``, ``levels[i]`` is looked up for the
+        chunk at curve position ``cpos[i]`` (the shape a query plan's
+        chunk subset arrives in).
+        """
+        bounds = self._metric(metric)
+        levels = np.asarray(levels, dtype=np.int64)
+        if levels.size and (levels.min() < 1 or levels.max() > FULL_PLOD_LEVEL):
+            raise ValueError(
+                f"levels must lie in [1, {FULL_PLOD_LEVEL}], got "
+                f"[{levels.min()}, {levels.max()}]"
+            )
+        cols = (
+            np.arange(levels.size)
+            if cpos is None
+            else np.asarray(cpos, dtype=np.int64)
+        )
+        if cols.shape != levels.shape:
+            raise ValueError(
+                f"cpos shape {cols.shape} must match levels shape {levels.shape}"
+            )
+        return bounds[levels - 1, cols]
+
+    def validate(self) -> None:
+        """Internal consistency: the invariants fsck cross-checks."""
+        for name, bounds in (("max_rel", self.max_rel), ("mean_rel", self.mean_rel)):
+            if not np.all(np.isfinite(bounds)) or bounds.min(initial=0.0) < 0:
+                raise ValueError(f"{name} bounds must be finite and non-negative")
+            if np.any(np.diff(bounds, axis=0) > 0):
+                raise ValueError(f"{name} bounds must not increase with level")
+            if np.any(bounds[FULL_PLOD_LEVEL - 1] != 0.0):
+                raise ValueError(f"level-{FULL_PLOD_LEVEL} {name} bounds must be zero")
+        # A mean over per-point errors cannot exceed their max beyond
+        # summation rounding; allow that rounding headroom.
+        slack = np.maximum(self.max_rel, 1.0) * 1e-12
+        if np.any(self.mean_rel > self.max_rel + slack):
+            raise ValueError("mean_rel bounds must not exceed max_rel bounds")
+
+    # ------------------------------------------------------------------
+    # Serialization (FORMAT.md: per-chunk error-bounds record)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Versioned, CRC-terminated serialization."""
+        body = b"".join(
+            [
+                _MAGIC,
+                struct.pack("<Iqq", FORMAT_VERSION, N_GROUPS, self.n_chunks),
+                self.max_rel.astype("<f8").tobytes(),
+                self.mean_rel.astype("<f8").tobytes(),
+            ]
+        )
+        return body + struct.pack("<I", zlib.crc32(body))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "ErrorBoundsTable":
+        """Parse a serialized table, verifying magic, version, and CRC."""
+        if len(raw) < len(_MAGIC) + 4 or raw[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not a per-chunk error-bounds record")
+        body, (crc,) = raw[:-4], struct.unpack("<I", raw[-4:])
+        if zlib.crc32(body) != crc:
+            raise ValueError("error-bounds record failed its CRC check")
+        off = len(_MAGIC)
+        version, n_levels, n_chunks = struct.unpack_from("<Iqq", body, off)
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported error-bounds record version {version}")
+        if n_levels != N_GROUPS:
+            raise ValueError(
+                f"error-bounds record has {n_levels} levels, expected {N_GROUPS}"
+            )
+        off += struct.calcsize("<Iqq")
+
+        def take(count: int) -> np.ndarray:
+            nonlocal off
+            arr = np.frombuffer(body, dtype="<f8", count=count, offset=off)
+            off += count * 8
+            return arr.astype(np.float64)
+
+        max_rel = take(n_levels * n_chunks).reshape(n_levels, n_chunks)
+        mean_rel = take(n_levels * n_chunks).reshape(n_levels, n_chunks)
+        return cls(max_rel, mean_rel)
+
+
+class PEBBuilder:
+    """Streaming write-time builder fed in ordered-commit ``cpos`` order."""
+
+    def __init__(self, n_chunks: int) -> None:
+        self.n_chunks = int(n_chunks)
+        self.max_rel = np.zeros((N_GROUPS, self.n_chunks), dtype=np.float64)
+        self.mean_rel = np.zeros((N_GROUPS, self.n_chunks), dtype=np.float64)
+        self._next_cpos = 0
+
+    def add_chunk(
+        self, cpos: int, max_rel: np.ndarray, mean_rel: np.ndarray
+    ) -> None:
+        """Record one chunk's per-level bounds (:func:`compute_chunk_bounds`)."""
+        if cpos != self._next_cpos:
+            raise ValueError(f"chunks must arrive in order: expected {self._next_cpos}")
+        self._next_cpos = cpos + 1
+        self.max_rel[:, cpos] = max_rel
+        self.mean_rel[:, cpos] = mean_rel
+
+    def finish(self) -> ErrorBoundsTable:
+        if self._next_cpos != self.n_chunks:
+            raise ValueError(
+                f"saw {self._next_cpos} of {self.n_chunks} chunks before finish"
+            )
+        return ErrorBoundsTable(self.max_rel, self.mean_rel)
+
+
+def build_from_store(store) -> ErrorBoundsTable:
+    """Rebuild the bounds table from a store's data subfiles.
+
+    The lazy fallback for stores written before the record existed:
+    reads each bin's data subfile once (outside any query's accounting,
+    like the metadata read at open), reassembles every chunk's values
+    exactly from all seven byte groups, and recomputes the bounds with
+    the same :func:`compute_chunk_bounds` the writer ran — producing
+    bytes identical to the write-time record.
+    """
+    meta = store.meta
+    config = meta.config
+    if not config.plod_enabled:
+        raise ValueError(
+            f"per-chunk error bounds require a PLoD byte-plane layout, not "
+            f"{config.level_order!r}"
+        )
+    counts = meta.counts.astype(np.int64)
+    n_bins, n_chunks = counts.shape
+    n_groups = config.n_groups
+    widths = np.array(GROUP_WIDTHS[:n_groups], dtype=np.int64)
+    codec = make_codec(config.codec, **config.codec_params)
+    session = store.fs.session()
+
+    # Per-chunk byte-plane fragments, gathered bin-major so the
+    # reassembled value order matches the writer's bin-segmented order.
+    chunk_groups: list[list[list[np.ndarray]]] = [
+        [[] for _ in range(n_groups)] for _ in range(n_chunks)
+    ]
+    for b in range(n_bins):
+        blob = bytes(session.open(store.files.data_path(b)).read_all())
+        parts = []
+        for _cs, _ce, offset, comp_len, raw_len, _crc in meta.data_blocks[b]:
+            decoded = codec.decode(blob[offset : offset + comp_len], int(raw_len))
+            parts.append(np.frombuffer(decoded, dtype=np.uint8))
+        stream = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.uint8)
+        )
+        # Cell byte sizes in file order (FORMAT.md cell-index table).
+        if config.group_major:
+            sizes = (widths[:, None] * counts[b][None, :]).reshape(-1)
+        else:
+            sizes = (counts[b][:, None] * widths[None, :]).reshape(-1)
+        starts = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+        for cpos in range(n_chunks):
+            if not counts[b, cpos]:
+                continue
+            for g in range(n_groups):
+                cell = (
+                    g * n_chunks + cpos if config.group_major else cpos * n_groups + g
+                )
+                chunk_groups[cpos][g].append(stream[starts[cell] : starts[cell + 1]])
+
+    builder = PEBBuilder(n_chunks)
+    for cpos in range(n_chunks):
+        n_points = int(counts[:, cpos].sum())
+        planes = [
+            np.concatenate(chunk_groups[cpos][g])
+            if chunk_groups[cpos][g]
+            else np.empty(0, dtype=np.uint8)
+            for g in range(n_groups)
+        ]
+        values = assemble_from_groups(planes, n_points, FULL_PLOD_LEVEL)
+        builder.add_chunk(cpos, *compute_chunk_bounds(values))
+    return builder.finish()

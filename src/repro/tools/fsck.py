@@ -40,6 +40,7 @@ from repro.core.executor import _cell_sizes
 from repro.core.meta import StoreMeta
 from repro.index.binindex import decode_position_block
 from repro.index.hbi import HBIndex, hbi_path
+from repro.plod.bounds import ErrorBoundsTable, peb_path
 from repro.pfs.layout import BinFileSet
 from repro.pfs.simfs import SimulatedPFS
 
@@ -266,6 +267,7 @@ def check_store(fs: SimulatedPFS, root: str, variable: str) -> list[Issue]:
                 chunk_locals[cpos].append(local_ids)
 
     issues += _check_hbi(fs, var_root, meta, grid)
+    issues += _check_peb(fs, var_root, meta)
 
     # Cross-bin coverage: every chunk partitioned exactly.
     for cpos in range(n_chunks):
@@ -333,6 +335,50 @@ def _check_hbi(
     if not np.array_equal(expected_runs, hbi.run_counts):
         issues.append(
             Issue("error", loc, "run cardinalities disagree with metadata counts")
+        )
+    return issues
+
+
+def _check_peb(fs: SimulatedPFS, var_root: str, meta: StoreMeta) -> list[Issue]:
+    """Integrity of the optional per-chunk error-bounds file.
+
+    Like the hierarchical index, the file is derived data: beyond
+    parsing (magic/version/CRC) the check cross-validates its geometry
+    against the metadata and runs the table's own invariants — bounds
+    monotone non-increasing in level, the exact level-7 row zero, and
+    mean never exceeding max — which are what make ``query(tol=...)``'s
+    accuracy claims provable from the record.
+    """
+    path = peb_path(var_root)
+    if not fs.exists(path):
+        return []  # optional: stores may predate error-bounded retrieval
+    loc = "peb"
+    try:
+        table = ErrorBoundsTable.from_bytes(
+            bytes(fs.session().open(path).read_all())
+        )
+    except Exception as exc:
+        return [
+            Issue(
+                "error", loc, f"error-bounds record unreadable: {exc}",
+                kind="decode-error", path=path, offset=0,
+            )
+        ]
+    issues: list[Issue] = []
+    if table.n_chunks != meta.n_chunks:
+        return [
+            Issue(
+                "error", loc,
+                f"covers {table.n_chunks} chunks, metadata has {meta.n_chunks}",
+            )
+        ]
+    try:
+        table.validate()
+    except Exception as exc:
+        issues.append(Issue("error", loc, f"internal consistency: {exc}"))
+    if not meta.config.plod_enabled and table.n_chunks:
+        issues.append(
+            Issue("error", loc, "error bounds present on a non-PLoD layout")
         )
     return issues
 

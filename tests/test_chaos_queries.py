@@ -203,6 +203,134 @@ def test_strict_mode_never_drops_points(kind, data, request, chaos_seed):
 
 
 # ----------------------------------------------------------------------
+# Error-bounded retrieval under fire: meet tol, raise, or confess
+# ----------------------------------------------------------------------
+def _tol_failure_ok(exc: Exception) -> bool:
+    """A loud failure a faulted tol query is allowed to produce."""
+    if isinstance(exc, DegradedResultError):
+        return exc.kind in ("index", "data", "data-base", "tol")
+    # The bounds record itself rotted: refusing to plan is honest too.
+    return isinstance(exc, ValueError) and "error-bounds" in str(exc)
+
+
+@pytest.mark.parametrize("kind", ("col", "vsm"))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_tol_query_never_silently_misses_the_bound(
+    kind, data, request, chaos_seed, gts_small
+):
+    """A dummy-filled plane must never count as meeting the bound.
+
+    Under sticky rot a strict-mode ``query(tol=t)`` may raise, but any
+    result it *returns* claims ``tol_met`` — and that claim is checked
+    here against ground truth, point by point.  In ``allow_partial``
+    mode a miss is allowed but must be disclosed: ``tol_met=False``,
+    ``achieved_bound > tol``, and a degradation record.
+    """
+    fs, reference = request.getfixturevalue(f"{kind}_store")
+    flat = gts_small.reshape(-1)
+    plan = FaultPlan(
+        seed=chaos_seed + data.draw(st.integers(0, 9999), label="plan seed"),
+        transient_error_rate=0.2,
+        sticky_corruption_rate=data.draw(
+            st.sampled_from([0.05, 0.2]), label="sticky"
+        ),
+    )
+    tol = data.draw(st.sampled_from([1e-2, 1e-4, 1e-6]), label="tol")
+    shape = reference.shape
+    box = tuple((d // 4, 3 * d // 4) for d in shape)
+    query = Query(region=box, output="values", tol=tol)
+    allow_partial = data.draw(st.booleans(), label="allow_partial")
+
+    ffs = FaultyPFS(fs, plan)
+    store = _open(ffs, allow_partial=allow_partial, max_read_retries=1)
+    fs.clear_cache()
+    try:
+        result = store.query(query)
+    except Exception as exc:  # noqa: BLE001 - the contract is "loud or honest"
+        assert _tol_failure_ok(exc), exc
+        return
+    if result.stats["tol_met"]:
+        errs = np.abs(result.values - flat[result.positions])
+        denom = np.abs(flat[result.positions])
+        rel = np.where(denom > 0, errs / np.where(denom > 0, denom, 1.0), errs)
+        assert rel.size == 0 or float(rel.max()) <= tol, (
+            "claimed to meet tol but ground-truth error exceeds it"
+        )
+    else:
+        assert not allow_partial or _degradation_record(result)
+        assert result.stats["achieved_bound"] > tol
+
+
+def test_tol_enforcement_raises_on_pinned_plane_loss(col_store):
+    """Deterministic regression for the ``kind="tol"`` raise: this
+    seed rots only refinement planes the query needs, so strict mode
+    must refuse rather than return a provably-out-of-bound answer."""
+    fs, _ = col_store
+    ffs = FaultyPFS(fs, FaultPlan(seed=8, sticky_corruption_rate=0.04))
+    store = _open(ffs, max_read_retries=1)
+    fs.clear_cache()
+    with pytest.raises(DegradedResultError) as excinfo:
+        store.query(Query(region=((64, 192), (64, 192)), output="values", tol=1e-6))
+    assert excinfo.value.kind == "tol"
+    assert excinfo.value.bin_id == -1  # plane loss may span bins
+    assert excinfo.value.chunk_ids
+
+
+@pytest.mark.parametrize("kind", ("col",))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_tol_refinement_session_converges_or_raises(
+    kind, data, request, chaos_seed, gts_small
+):
+    """Sticky faults during auto-refinement: the progressive ladder
+    either ends in a step that provably meets ``tol`` or fails loudly
+    on its final (enforcing) step — never a quiet miss."""
+    fs, reference = request.getfixturevalue(f"{kind}_store")
+    flat = gts_small.reshape(-1)
+    plan = FaultPlan(
+        seed=chaos_seed + data.draw(st.integers(0, 9999), label="plan seed"),
+        transient_error_rate=0.1,
+        sticky_corruption_rate=data.draw(
+            st.sampled_from([0.05, 0.15]), label="sticky"
+        ),
+    )
+    tol = data.draw(st.sampled_from([1e-3, 1e-5]), label="tol")
+    shape = reference.shape
+    box = tuple((d // 8, d // 2) for d in shape)
+    query = Query(region=box, output="values", tol=tol)
+
+    ffs = FaultyPFS(fs, plan)
+    store = _open(ffs, max_read_retries=1)
+    fs.clear_cache()
+    steps = []
+    try:
+        with store.open_session(query) as session:
+            steps = list(session.progressive_results())
+    except Exception as exc:  # noqa: BLE001
+        assert _tol_failure_ok(exc), exc
+        return
+    final = steps[-1]
+    assert final.stats["tol_met"] is True
+    errs = np.abs(final.values - flat[final.positions])
+    denom = np.abs(flat[final.positions])
+    rel = np.where(denom > 0, errs / np.where(denom > 0, denom, 1.0), errs)
+    assert rel.size == 0 or float(rel.max()) <= tol
+    # Non-final steps never overstate: a step that admits missing the
+    # bound reports the bound it *did* achieve.
+    for step in steps[:-1]:
+        assert step.stats["achieved_bound"] >= 0.0
+
+
+# ----------------------------------------------------------------------
 # fsck agrees with the quarantine registry on persistent rot
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("kind", STORE_KINDS)

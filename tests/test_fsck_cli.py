@@ -169,6 +169,42 @@ class TestCLIRefineAndStats:
         assert "2 refine step(s)" in out
         assert "raw bytes reused" in out
 
+    def test_query_tol_prints_accuracy_line(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "query", snap, "--root", "/demo", "--variable", "potential",
+            "--vmin", "4.0", "--tol", "1e-3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tol: target 0.001 (max_rel) met" in out
+        assert "provable bound" in out
+        assert "raw bytes saved" in out
+
+    def test_refine_tol_drives_progressive_ladder(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "refine", snap, "--root", "/demo", "--variable", "potential",
+            "--vmin", "4.0", "--tol", "1e-4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "step at level" in out
+        assert "tol: target 0.0001 (max_rel) met" in out
+
+    def test_refine_sharded_session(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        main(["demo", snap, "--size", "128", "--bins", "8"])
+        capsys.readouterr()
+        assert main([
+            "refine", snap, "--root", "/demo", "--variable", "potential",
+            "--vmin", "4.0", "--levels", "2,7", "--shards", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "level 2:" in out and "level 7:" in out
+
     def test_refine_rejects_bad_levels(self, tmp_path, capsys):
         snap = str(tmp_path / "demo.pfs")
         main(["demo", snap, "--size", "128", "--bins", "8"])

@@ -1,0 +1,172 @@
+"""The persisted per-chunk error-bounds (``peb``) record.
+
+Three contracts, in dependency order:
+
+* **Determinism** — the record is a pure function of the written data:
+  byte-identical across write backends and worker counts (the builder
+  rides the ordered commit loop, like the hierarchical index).
+* **Rebuild equivalence** — deleting the file and letting the store's
+  lazy ``peb`` property rebuild from the data subfiles reproduces the
+  exact bytes, because level-7 byte-plane reassembly is exact and the
+  rebuild feeds :func:`~repro.plod.bounds.compute_chunk_bounds` the
+  same bin-segmented value order the writer did.
+* **fsck cross-check** — the record parses under fsck, corruption is
+  reported as a decode error, and a record violating the monotonicity
+  invariant (bounds increasing with level) is flagged even when its
+  CRC is intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MLOCStore, MLOCWriter, Query, mloc_col, mloc_iso
+from repro.datasets import gts_like
+from repro.pfs import SimulatedPFS
+from repro.plod import bounds as peb_bounds
+from repro.plod.bounds import ErrorBoundsTable, peb_path
+from repro.tools.fsck import check_store
+
+CONFIG_KW = dict(n_bins=8, target_block_bytes=4096)
+
+
+@pytest.fixture(scope="module")
+def peb_field() -> np.ndarray:
+    return gts_like((128, 128), seed=21)
+
+
+def _write(config, data, *, backend="serial", workers=None):
+    fs = SimulatedPFS()
+    MLOCWriter(
+        fs, "/wb", config, write_backend=backend, write_workers=workers
+    ).write(data, variable="field")
+    return fs
+
+
+def _peb_blob(fs) -> bytes:
+    return bytes(fs.session().open(peb_path("/wb/field")).read_all())
+
+
+class TestPersistedBytes:
+    def test_peb_file_invariant_across_write_backends(self, peb_field):
+        blobs = {}
+        for backend, workers in [("serial", None), ("threads", 4), ("processes", 2)]:
+            fs = _write(
+                mloc_col((16, 16), **CONFIG_KW),
+                peb_field,
+                backend=backend,
+                workers=workers,
+            )
+            blobs[backend] = _peb_blob(fs)
+        assert blobs["serial"] == blobs["threads"] == blobs["processes"]
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(level_order="VMS", curve="hilbert"),
+            dict(level_order="VSM", curve="zorder"),
+            dict(level_order="VMS", curve="rowmajor"),
+        ],
+    )
+    def test_roundtrip_and_validate(self, peb_field, overrides):
+        fs = _write(mloc_col((16, 16), **CONFIG_KW, **overrides), peb_field)
+        blob = _peb_blob(fs)
+        table = ErrorBoundsTable.from_bytes(blob)
+        assert table.to_bytes() == blob
+        table.validate()  # monotone, level-7 zero, mean <= max
+        assert table.n_chunks == 64
+
+    def test_lazy_rebuild_matches_persisted(self, peb_field):
+        fs = _write(mloc_col((16, 16), **CONFIG_KW), peb_field)
+        persisted = _peb_blob(fs)
+        store = MLOCStore.open(fs, "/wb", "field")
+        assert store.peb.to_bytes() == persisted
+        # Delete the record: the lazy property must rebuild identical
+        # bytes from the flat bin subfiles.
+        fs.delete(peb_path("/wb/field"))
+        fresh = MLOCStore.open(fs, "/wb", "field")
+        assert fresh.peb.to_bytes() == persisted
+        assert peb_bounds.build_from_store(fresh).to_bytes() == persisted
+
+    def test_non_plod_layout_writes_no_record(self, peb_field):
+        """VS layouts keep no byte planes, so there are no per-level
+        bounds to record — and tol queries on them must refuse rather
+        than guess."""
+        fs = _write(mloc_iso((16, 16), **CONFIG_KW), peb_field)
+        assert not fs.exists(peb_path("/wb/field"))
+        store = MLOCStore.open(fs, "/wb", "field")
+        with pytest.raises(ValueError, match="PLoD"):
+            store.query(Query(value_range=(0.2, 0.8), tol=1e-3))
+
+    def test_opt_out(self, peb_field):
+        fs = SimulatedPFS()
+        report = MLOCWriter(
+            fs, "/wb", mloc_col((16, 16), **CONFIG_KW), build_peb=False
+        ).write(peb_field, variable="field")
+        assert report.peb_bytes == 0
+        assert not fs.exists(peb_path("/wb/field"))
+
+
+class TestBoundsSemantics:
+    def test_min_level_for_monotone_in_tol(self, peb_field):
+        fs = _write(mloc_col((16, 16), **CONFIG_KW), peb_field)
+        table = ErrorBoundsTable.from_bytes(_peb_blob(fs))
+        prev = None
+        for tol in (0.0, 1e-8, 1e-6, 1e-4, 1e-2, 1.0):
+            levels = table.min_level_for(tol)
+            assert levels.min() >= 1 and levels.max() <= 7
+            # Recorded bound at the resolved level actually meets tol.
+            assert (table.bound_at(levels) <= tol).all()
+            if prev is not None:
+                assert (levels <= prev).all()  # looser tol, shallower
+            prev = levels
+        assert (table.min_level_for(0.0) == 7).all()
+
+    def test_mean_metric_resolves_no_deeper_than_max(self, peb_field):
+        fs = _write(mloc_col((16, 16), **CONFIG_KW), peb_field)
+        table = ErrorBoundsTable.from_bytes(_peb_blob(fs))
+        for tol in (1e-6, 1e-3):
+            assert (
+                table.min_level_for(tol, "mean_rel")
+                <= table.min_level_for(tol, "max_rel")
+            ).all()
+
+
+class TestFsckCrossCheck:
+    def test_clean_store_has_no_issues(self, peb_field):
+        fs = _write(mloc_col((16, 16), **CONFIG_KW), peb_field)
+        assert check_store(fs, "/wb", "field") == []
+
+    def test_corrupt_record_is_a_decode_error(self, peb_field):
+        fs = _write(mloc_col((16, 16), **CONFIG_KW), peb_field)
+        blob = bytearray(_peb_blob(fs))
+        blob[len(blob) // 2] ^= 0xFF
+        fs.write_file(peb_path("/wb/field"), bytes(blob))
+        issues = [i for i in check_store(fs, "/wb", "field") if i.location == "peb"]
+        assert len(issues) == 1
+        assert issues[0].kind == "decode-error"
+
+    def test_non_monotone_bounds_are_flagged(self, peb_field):
+        """A CRC-intact record whose bounds *increase* with level must
+        fail the cross-check: monotonicity is what lets the planner
+        trust ``min_level_for``."""
+        fs = _write(mloc_col((16, 16), **CONFIG_KW), peb_field)
+        table = ErrorBoundsTable.from_bytes(_peb_blob(fs))
+        bad_max = table.max_rel.copy()
+        bad_max[3, 0] = bad_max[2, 0] + 1.0  # deeper level, larger bound
+        fs.write_file(
+            peb_path("/wb/field"),
+            ErrorBoundsTable(bad_max, np.minimum(table.mean_rel, bad_max)).to_bytes(),
+        )
+        issues = [i for i in check_store(fs, "/wb", "field") if i.location == "peb"]
+        assert len(issues) == 1
+        assert "consistency" in issues[0].message
+
+    def test_geometry_mismatch_is_flagged(self, peb_field):
+        fs = _write(mloc_col((16, 16), **CONFIG_KW), peb_field)
+        small = ErrorBoundsTable(np.zeros((7, 3)), np.zeros((7, 3)))
+        fs.write_file(peb_path("/wb/field"), small.to_bytes())
+        issues = [i for i in check_store(fs, "/wb", "field") if i.location == "peb"]
+        assert len(issues) == 1
+        assert "chunks" in issues[0].message

@@ -284,10 +284,29 @@ class TestShardedHandle:
         assert len(stats["shard_bounds"]) == 3
         assert len(stats["shards"]) == 2
 
-    def test_open_session_not_sharded(self, col_fs):
+    def test_open_session_parity_with_flat(self, col_fs):
+        """Sharded refinement sessions step bit-identically to flat ones.
+
+        Sessions drive the store-agnostic ``plan``/``execute_planned``
+        surface, so the same refine ladder on a flat and a sharded
+        handle must produce the same positions and values per step.
+        """
+        flat = MLOCStore.open(col_fs, "/store", "field")
         sharded = ShardedMLOCStore.open(col_fs, "/store", "field", n_shards=2)
-        with pytest.raises(NotImplementedError, match="refinement"):
-            sharded.open_session(QUERIES[0])
+        query = Query(value_range=(2.0, 6.0), output="values", plod_level=2)
+        col_fs.clear_cache()
+        with flat.open_session(query) as fsess:
+            flat_steps = [fsess.result]
+            flat_steps += [fsess.refine(lv) for lv in (4, 7)]
+        col_fs.clear_cache()
+        with sharded.open_session(query) as ssess:
+            assert ssess.level == 2
+            shard_steps = [ssess.result]
+            shard_steps += [ssess.refine(lv) for lv in (4, 7)]
+        for a, b in zip(shard_steps, flat_steps):
+            _assert_same_answer(a, b)
+        assert shard_steps[-1].stats["refine_steps"] == 2
+        assert shard_steps[-1].stats["n_shards"] == 2
 
     def test_validation(self, col_fs):
         with pytest.raises(ValueError, match="n_shards"):
