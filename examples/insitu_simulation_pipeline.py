@@ -1,13 +1,18 @@
 #!/usr/bin/env python
-"""In-situ pipeline: encode simulation output as it is produced.
+"""In-situ pipeline: query the campaign *while* it is being produced.
 
 Models the integration the paper targets (intro contribution 4 and the
 conclusion's future work): a running simulation hands each timestep to
 staging nodes, which run MLOC's layout optimization + compression *in
-situ* before the data reaches the parallel file system.  Afterwards the
-analyst explores the whole time series — including a cross-timestep
-query ("when did the hot region first exceed the threshold?") that
-never reads more than the bins it needs from each snapshot.
+situ* and seal it with an atomic manifest bump
+(:meth:`~repro.core.dataset.MLOCDataset.append`).  An analyst pins a
+:class:`~repro.core.dataset.DatasetSnapshot` mid-run and explores the
+sealed prefix of the campaign — appends landing behind their back
+never change an answer — then ``refresh()`` surfaces new timesteps.
+
+The closing check is the refactor's core guarantee: every mid-run
+answer is bit-identical to the same query against a post-hoc open of
+the fully sealed campaign, pinned at the generation the analyst saw.
 
 Run:  python examples/insitu_simulation_pipeline.py
 """
@@ -27,60 +32,87 @@ def simulate_timestep(t: int) -> np.ndarray:
     return base * heating
 
 
+THRESHOLD = 5.2
+HOT_QUERY = Query(value_range=(THRESHOLD, np.inf), output="positions")
+
+
 def main() -> None:
     fs = SimulatedPFS()
     config = mloc_col(chunk_shape=(32, 32), n_bins=32)
     dataset = MLOCDataset(fs, "/campaign", config, n_ranks=8)
-    stager = InSituStager(dataset, buffer_bytes=8 << 20)
+    stager = InSituStager(dataset, buffer_bytes=8 << 20, use_manifest=True)
 
     # ------------------------------------------------------------------
-    # Simulation loop: produce 6 timesteps, staging each in situ.
+    # Simulation loop: produce 6 timesteps; the analyst queries mid-run
+    # against whatever generation their snapshot pins.
     # ------------------------------------------------------------------
     n_steps = 6
+    midrun_answers = []  # (generation, timestep, positions) seen live
+    snapshot = dataset.snapshot()  # generation 0: nothing sealed yet
+    assert snapshot.timesteps("potential") == []
+
     for t in range(n_steps):
-        field = simulate_timestep(t)
-        stager.process("potential", t, field)
+        stager.process("potential", t, simulate_timestep(t))
+        if t % 2 == 1:  # the analyst polls every other timestep
+            snapshot = snapshot.refresh()
+            latest = snapshot.timesteps("potential")[-1]
+            result = snapshot.store("potential", latest).query(HOT_QUERY)
+            midrun_answers.append(
+                (snapshot.generation, latest, result.positions.copy())
+            )
+            print(
+                f"  mid-run @ generation {snapshot.generation}: "
+                f"t={latest} has {result.n_results} hot points "
+                f"({len(snapshot.members())} sealed timesteps visible)"
+            )
+
     report = stager.report
     print(
-        f"staged {report.snapshots} snapshots: raw {report.raw_bytes / 1e6:.1f} MB "
-        f"-> stored {report.stored_bytes / 1e6:.1f} MB "
-        f"({report.compression_ratio:.0%}), encode throughput "
-        f"{report.encode_throughput / 1e6:.1f} MB/s"
-    )
-    print(
-        f"raw drain (do-nothing alternative) would take "
-        f"{report.raw_drain_seconds:.2f} simulated seconds of PFS bandwidth"
+        f"staged {report.snapshots} snapshots in "
+        f"{report.generations_committed} manifest generations: raw "
+        f"{report.raw_bytes / 1e6:.1f} MB -> stored "
+        f"{report.stored_bytes / 1e6:.1f} MB ({report.compression_ratio:.0%})"
     )
 
     # ------------------------------------------------------------------
-    # Post-hoc exploration over the time series.
+    # Post-hoc exploration over the fully sealed time series.
     # ------------------------------------------------------------------
-    threshold = 5.2
-    print(f"\ntime series scan: first timestep with any value > {threshold}")
+    final = dataset.snapshot()
+    print(f"\ntime series scan: first timestep with any value > {THRESHOLD}")
     first_hit = None
-    for t in dataset.timesteps("potential"):
-        store = dataset.store("potential", t)
-        fs.clear_cache()
-        result = store.query(
-            Query(value_range=(threshold, np.inf), output="positions")
-        )
-        frac = result.stats["bytes_read"] / dataset.total_bytes()
-        print(
-            f"  t={t}: {result.n_results:6d} hot points "
-            f"({result.stats['bins_accessed']} bins visited, "
-            f"{frac:.1%} of campaign bytes read)"
-        )
+    series = final.query_series("potential", HOT_QUERY)
+    for t, result in sorted(series.items()):
+        print(f"  t={t}: {result.n_results:6d} hot points")
         if result.n_results and first_hit is None:
             first_hit = t
     print(f"threshold first exceeded at t={first_hit}")
 
     # Sanity check against brute force on the raw fields.
     expected_first = next(
-        (t for t in range(n_steps) if (simulate_timestep(t) > threshold).any()),
+        (t for t in range(n_steps) if (simulate_timestep(t) > THRESHOLD).any()),
         None,
     )
     assert first_hit == expected_first, (first_hit, expected_first)
-    print("in-situ pipeline OK")
+
+    # ------------------------------------------------------------------
+    # The snapshot-isolation guarantee: every answer the analyst saw
+    # mid-run is bit-identical to a fresh post-hoc open of the sealed
+    # campaign pinned at the same generation.
+    # ------------------------------------------------------------------
+    posthoc = MLOCDataset(fs, "/campaign", config, n_ranks=8)
+    for generation, t, live_positions in midrun_answers:
+        sealed_rerun = (
+            posthoc.snapshot(generation=generation)
+            .store("potential", t)
+            .query(HOT_QUERY)
+        )
+        assert np.array_equal(live_positions, sealed_rerun.positions), (
+            f"mid-run answer at generation {generation} diverged"
+        )
+    print(
+        f"{len(midrun_answers)} mid-run answers match the post-hoc sealed "
+        "rerun bit-for-bit — in-situ pipeline OK"
+    )
 
 
 if __name__ == "__main__":

@@ -20,6 +20,11 @@ executed):
    without the serving layer.  ``repro/cli.py`` is exempt: the CLI is
    the composition root (the application shell above every layer,
    including serving).
+4. **Manifests below the store.**  ``repro.core.manifest`` is the
+   append protocol's foundation record — writer, store, dataset, and
+   serving all depend on it, so it may import only the PFS substrate
+   and stdlib.  Any import of the store/engine/planner stack (or
+   higher) from ``core/manifest.py`` is a cycle waiting to happen.
 
 Exits non-zero listing every violation.  Wired into ``make verify``
 and CI; run directly with ``python scripts/check_layers.py``.
@@ -41,6 +46,23 @@ PFS_FORBIDDEN_PREFIXES = (
     "repro.binning",
     "repro.index",
     "repro.parallel",
+    "repro.harness",
+)
+
+#: Packages ``repro.core.manifest`` may never import from (everything
+#: at or above the store layer; the PFS substrate and stdlib are fine).
+MANIFEST_FORBIDDEN_PREFIXES = (
+    "repro.core.store",
+    "repro.core.dataset",
+    "repro.core.writer",
+    "repro.core.executor",
+    "repro.core.planner",
+    "repro.core.engine",
+    "repro.core.sharded",
+    "repro.core.staging",
+    "repro.server",
+    "repro.index",
+    "repro.plod",
     "repro.harness",
 )
 
@@ -98,6 +120,16 @@ def check() -> list[str]:
                     f"{name} (height {height}) may not import {module} "
                     f"(height {other}); stages import strictly downward"
                 )
+
+    manifest_py = SRC / "repro" / "core" / "manifest.py"
+    for lineno, module in _imported_modules(manifest_py):
+        if module.startswith(MANIFEST_FORBIDDEN_PREFIXES):
+            violations.append(
+                f"{manifest_py.relative_to(REPO)}:{lineno}: "
+                f"repro.core.manifest must not import {module} (manifests "
+                f"sit below the store layer; only the PFS substrate and "
+                f"stdlib are allowed)"
+            )
 
     server_dir = SRC / "repro" / "server"
     for path in sorted((SRC / "repro").rglob("*.py")):

@@ -23,6 +23,7 @@ paper-versus-measured record of every table and figure.
 from repro.core import (
     ChunkGrid,
     ComponentTimes,
+    DatasetSnapshot,
     InSituStager,
     MLOCConfig,
     MLOCDataset,
@@ -44,6 +45,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ChunkGrid",
     "ComponentTimes",
+    "DatasetSnapshot",
     "InSituStager",
     "MLOCConfig",
     "MLOCDataset",

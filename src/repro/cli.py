@@ -44,7 +44,7 @@ from repro.core import (
 from repro.core.aggregate import AGGREGATE_OPS, aggregate_query
 from repro.core.result import FAULT_STAT_KEYS
 from repro.pfs import SimulatedPFS
-from repro.tools.fsck import check_store
+from repro.tools.fsck import check_dataset, check_store
 from repro.tools.relayout import relayout
 
 __all__ = ["main", "build_parser"]
@@ -70,7 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
     fsck = sub.add_parser("fsck", help="check a store's integrity")
     fsck.add_argument("snapshot")
     fsck.add_argument("--root", required=True, help="dataset root, e.g. /demo")
-    fsck.add_argument("--variable", required=True)
+    fsck.add_argument(
+        "--variable",
+        default=None,
+        help="store member to check (required unless --dataset)",
+    )
+    fsck.add_argument(
+        "--dataset",
+        action="store_true",
+        help="check the whole manifest-managed dataset under --root: "
+        "generation chain, sealed-member CRCs, per-member hbi/peb "
+        "records, and orphaned member directories",
+    )
+    fsck.add_argument(
+        "--deep",
+        action="store_true",
+        help="with --dataset: also run the full per-member store check",
+    )
 
     query = sub.add_parser("query", help="run one query against a store")
     query.add_argument("snapshot")
@@ -520,9 +536,17 @@ def _cmd_info(args) -> int:
 
 def _cmd_fsck(args) -> int:
     fs = SimulatedPFS.load(args.snapshot)
-    issues = check_store(fs, args.root, args.variable)
+    if args.dataset:
+        issues = check_dataset(fs, args.root, deep=args.deep)
+        label = args.root
+    elif args.variable is None:
+        print("fsck: --variable is required unless --dataset is given")
+        return 2
+    else:
+        issues = check_store(fs, args.root, args.variable)
+        label = f"{args.root}/{args.variable}"
     if not issues:
-        print(f"{args.root}/{args.variable}: OK")
+        print(f"{label}: OK")
         return 0
     for issue in issues:
         print(issue)

@@ -30,8 +30,16 @@ from repro.core.config import (
     mloc_isa,
     mloc_iso,
 )
-from repro.core.dataset import MLOCDataset
+from repro.core.dataset import DatasetSnapshot, MLOCDataset
 from repro.core.engine.session import RefinementSession
+from repro.core.manifest import (
+    Manifest,
+    ManifestError,
+    ManifestMember,
+    load_manifest,
+    load_manifest_at,
+    manifest_path,
+)
 from repro.core.errors import DegradedResultError
 from repro.core.executor import QueryExecutor
 from repro.core.meta import StoreMeta
@@ -57,12 +65,19 @@ __all__ = [
     "ExecutionConfig",
     "InSituStager",
     "LEVEL_ORDERS",
+    "DatasetSnapshot",
     "MLOCConfig",
     "MLOCDataset",
     "MLOCStore",
     "MLOCWriter",
+    "Manifest",
+    "ManifestError",
+    "ManifestMember",
     "MultiVarResult",
     "Query",
+    "load_manifest",
+    "load_manifest_at",
+    "manifest_path",
     "QueryClass",
     "QueryExecutor",
     "PlanCache",

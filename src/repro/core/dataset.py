@@ -8,19 +8,54 @@ an independent MLOC store (its own bin subfiles and metadata), which is
 exactly how the framework composes: queries on one snapshot never touch
 another's files, and multi-variable access joins stores that share the
 grid.
+
+Two write paths coexist:
+
+``write()``
+    The original sealed-batch path: encode one member, no catalog
+    record beyond the files themselves.
+``append()``
+    The in-situ ingest path (ROADMAP item 4b): encode one member
+    through the same three-stage writer pipeline, then commit it with
+    an atomic manifest bump (``repro.core.manifest``).  Readers pin a
+    :class:`DatasetSnapshot` — generation ``G`` sees exactly the
+    members sealed at ``G``, bit-identical no matter how many appends
+    land mid-query — and call :meth:`DatasetSnapshot.refresh` to
+    surface newer generations.
+
+Open member handles are registered per ``(key, meta_crc)``: two
+snapshots of the same sealed member share one :class:`MLOCStore` (one
+``PlanContext``, one plan LRU), while a rewritten member gets a fresh
+handle and a fresh cache generation, so stale planning tables or
+decoded blocks can never serve a newer layout.
 """
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.core.config import MLOCConfig
+from repro.core.manifest import (
+    Manifest,
+    ManifestError,
+    ManifestMember,
+    commit_manifest,
+    load_manifest,
+    load_manifest_at,
+)
+from repro.core.meta import StoreMeta
 from repro.core.multivar import MultiVarResult, multi_variable_query
+from repro.core.query import Query
+from repro.core.result import QueryResult
+from repro.core.sharded import ShardedMLOCStore
 from repro.core.store import MLOCStore
 from repro.core.writer import MLOCWriter, WriteReport
+from repro.pfs.blockcache import BlockCache
 from repro.pfs.simfs import SimulatedPFS
 
-__all__ = ["MLOCDataset"]
+__all__ = ["DatasetSnapshot", "MLOCDataset"]
 
 
 class MLOCDataset:
@@ -35,6 +70,8 @@ class MLOCDataset:
         n_ranks: int = 8,
         write_backend: str = "serial",
         write_workers: int | None = None,
+        cache_bytes: int = 0,
+        store_options: dict | None = None,
     ) -> None:
         self.fs = fs
         self.root = root.rstrip("/")
@@ -47,7 +84,17 @@ class MLOCDataset:
             write_backend=write_backend,
             write_workers=write_workers,
         )
-        self._stores: dict[str, MLOCStore] = {}
+        #: One decoded-block cache shared by every member handle this
+        #: dataset opens; entries are keyed by each member's sealed
+        #: generation (its ``meta_crc``), so a rewrite can never serve
+        #: stale blocks.
+        self.cache = BlockCache(cache_bytes) if cache_bytes > 0 else None
+        self._store_options = dict(store_options or {})
+        #: Open member handles, keyed ``(key, meta_crc)``.
+        self._handles: dict[tuple[str, int], MLOCStore] = {}
+        self._manifest: Manifest | None = None
+        self._generations_seen: set[int] = set()
+        self.snapshot_refreshes = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -64,17 +111,129 @@ class MLOCDataset:
         """Encode one variable snapshot through the MLOC pipeline."""
         key = self._key(variable, timestep)
         report = self._writer.write(data, variable=key)
-        self._stores.pop(key, None)  # invalidate any cached open store
+        self._drop_handles(key)  # invalidate any cached open store
         return report
+
+    def append(
+        self, data: np.ndarray, variable: str, timestep: int | None = None
+    ) -> WriteReport:
+        """Seal one new member and commit an atomic manifest bump.
+
+        The member's subfiles (bins, metadata, per-member ``hbi``/
+        ``peb``) are written first through the ordinary three-stage
+        pipeline, then ``manifest.g<N+1>`` is committed in one write.
+        A crash before the commit leaves only orphaned files that no
+        generation references (``fsck --dataset`` reports them); a torn
+        commit leaves an unreadable manifest that readers skip — either
+        way generation ``N`` stays fully readable.
+        """
+        key = self._key(variable, timestep)
+        current = load_manifest(self.fs, self.root)
+        if current.member(key) is not None:
+            raise ManifestError(
+                f"member {key!r} already sealed in generation "
+                f"{current.generation}"
+            )
+        report = self._writer.write(data, variable=key)
+        member = ManifestMember(
+            key=key,
+            timestep=timestep,
+            sealed_generation=current.generation + 1,
+            meta_crc=report.meta_crc,
+            total_bytes=report.total_bytes,
+        )
+        manifest = current.with_member(member)
+        commit_manifest(self.fs, self.root, manifest)
+        self._manifest = manifest
+        self._generations_seen.add(manifest.generation)
+        self._drop_handles(key)
+        return report
+
+    # ------------------------------------------------------------------
+    def _drop_handles(self, key: str) -> None:
+        """Forget open handles of ``key`` (after a rewrite/seal)."""
+        for reg in [r for r in self._handles if r[0] == key]:
+            stale = self._handles.pop(reg)
+            if self.cache is not None:
+                self.cache.invalidate_generation(stale.generation)
+
+    def _open_member(
+        self, key: str, expect_crc: int | None = None, **overrides
+    ) -> MLOCStore:
+        """Open ``key``, optionally pinned to a sealed ``meta_crc``.
+
+        Handles opened with the dataset's default options are shared
+        through the ``(key, meta_crc)`` registry — the same sealed
+        member reached through any number of snapshots reuses one
+        ``PlanContext`` and plan LRU.  Option overrides bypass the
+        registry (a differently configured handle is a different view).
+        """
+        meta_path = f"{self.root}/{key}/meta"
+        raw = bytes(self.fs.session().open(meta_path).read_all())
+        crc = zlib.crc32(raw)
+        if expect_crc is not None and crc != expect_crc:
+            raise ManifestError(
+                f"member {key!r}: on-disk metadata (crc {crc:#010x}) does "
+                f"not match its sealed manifest record ({expect_crc:#010x})"
+            )
+        reg = (key, crc)
+        if not overrides and reg in self._handles:
+            return self._handles[reg]
+        meta = StoreMeta.from_bytes(raw)
+        options = {"n_ranks": self.n_ranks, **self._store_options, **overrides}
+        if (
+            self.cache is not None
+            and "cache" not in options
+            and not options.get("cache_bytes")
+        ):
+            options["cache"] = self.cache
+        store = MLOCStore(
+            self.fs, f"{self.root}/{key}", meta, generation=crc, **options
+        )
+        if not overrides:
+            self._handles[reg] = store
+        return store
 
     def store(self, variable: str, timestep: int | None = None) -> MLOCStore:
         """Open (and cache) the store of one variable snapshot."""
-        key = self._key(variable, timestep)
-        if key not in self._stores:
-            self._stores[key] = MLOCStore.open(
-                self.fs, self.root, key, n_ranks=self.n_ranks
-            )
-        return self._stores[key]
+        return self._open_member(self._key(variable, timestep))
+
+    # ------------------------------------------------------------------
+    @property
+    def manifest(self) -> Manifest:
+        """The latest manifest generation this handle has observed."""
+        if self._manifest is None:
+            self._manifest = load_manifest(self.fs, self.root)
+            self._generations_seen.add(self._manifest.generation)
+        return self._manifest
+
+    @property
+    def generation(self) -> int:
+        return self.manifest.generation
+
+    def snapshot(self, generation: int | None = None) -> "DatasetSnapshot":
+        """Pin a snapshot: the member set of exactly one generation.
+
+        Default is the newest committed generation on disk; passing
+        ``generation`` re-opens a specific one (the fresh-open view the
+        snapshot-isolation property tests bit-compare against).
+        """
+        if generation is None:
+            manifest = load_manifest(self.fs, self.root)
+            self._manifest = manifest
+        else:
+            manifest = load_manifest_at(self.fs, self.root, generation)
+        self._generations_seen.add(manifest.generation)
+        return DatasetSnapshot(self, manifest)
+
+    def runtime_stats(self) -> dict:
+        """Lifecycle counters of this catalog handle."""
+        return {
+            "generation": self.generation,
+            "generations_seen": len(self._generations_seen),
+            "snapshot_refreshes": self.snapshot_refreshes,
+            "open_handles": len(self._handles),
+        }
 
     # ------------------------------------------------------------------
     def variables(self) -> list[str]:
@@ -127,3 +286,131 @@ class MLOCDataset:
             for name, store in zip(fetch_variables, fetch)
         }
         return result
+
+
+class DatasetSnapshot:
+    """An immutable pin of one manifest generation.
+
+    Every accessor resolves against the pinned member set only: a
+    member sealed by a later generation does not exist here (store
+    lookups raise ``KeyError``), and because sealed members never
+    change, every query through this snapshot is bit-identical to the
+    same query against a fresh open pinned at the same generation —
+    regardless of concurrent appends.  ``refresh()`` returns a *new*
+    snapshot at the newest committed generation; this one stays valid.
+    """
+
+    def __init__(self, dataset: MLOCDataset, manifest: Manifest) -> None:
+        self._dataset = dataset
+        self.manifest = manifest
+        self._stores: dict[str, MLOCStore] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self.manifest.generation
+
+    def members(self) -> tuple[ManifestMember, ...]:
+        return self.manifest.members
+
+    def variables(self) -> list[str]:
+        return sorted({m.variable for m in self.manifest.members})
+
+    def timesteps(self, variable: str) -> list[int]:
+        return sorted(
+            m.timestep
+            for m in self.manifest.members
+            if m.variable == variable and m.timestep is not None
+        )
+
+    def has(self, variable: str, timestep: int | None = None) -> bool:
+        key = MLOCDataset._key(variable, timestep)
+        return self.manifest.member(key) is not None
+
+    def member(
+        self, variable: str, timestep: int | None = None
+    ) -> ManifestMember:
+        key = MLOCDataset._key(variable, timestep)
+        member = self.manifest.member(key)
+        if member is None:
+            raise KeyError(
+                f"member {key!r} is not sealed in generation "
+                f"{self.generation}"
+            )
+        return member
+
+    # ------------------------------------------------------------------
+    def store(
+        self, variable: str, timestep: int | None = None, **options
+    ) -> MLOCStore:
+        """Open one sealed member, pinned to its recorded ``meta_crc``."""
+        member = self.member(variable, timestep)
+        if not options and member.key in self._stores:
+            return self._stores[member.key]
+        store = self._dataset._open_member(
+            member.key, expect_crc=member.meta_crc, **options
+        )
+        if not options:
+            self._stores[member.key] = store
+        return store
+
+    def sharded_store(
+        self,
+        variable: str,
+        timestep: int | None = None,
+        *,
+        n_shards: int = 2,
+        **options,
+    ) -> ShardedMLOCStore:
+        """Open one sealed member as bin-range shards (same pinning)."""
+        member = self.member(variable, timestep)
+        dataset = self._dataset
+        meta_path = f"{dataset.root}/{member.key}/meta"
+        raw = bytes(dataset.fs.session().open(meta_path).read_all())
+        if zlib.crc32(raw) != member.meta_crc:
+            raise ManifestError(
+                f"member {member.key!r}: on-disk metadata does not match "
+                f"its sealed manifest record"
+            )
+        opts = {"n_ranks": dataset.n_ranks, **dataset._store_options, **options}
+        if (
+            dataset.cache is not None
+            and "cache" not in opts
+            and not opts.get("cache_bytes")
+        ):
+            opts["cache"] = dataset.cache
+        return ShardedMLOCStore(
+            dataset.fs,
+            f"{dataset.root}/{member.key}",
+            StoreMeta.from_bytes(raw),
+            n_shards=n_shards,
+            generation=member.meta_crc,
+            **opts,
+        )
+
+    def refresh(self) -> "DatasetSnapshot":
+        """A new snapshot pinned at the newest committed generation."""
+        self._dataset.snapshot_refreshes += 1
+        return self._dataset.snapshot()
+
+    # ------------------------------------------------------------------
+    def query_series(
+        self,
+        variable: str,
+        query: Query,
+        timesteps: list[int] | None = None,
+    ) -> dict[int, QueryResult]:
+        """Run one query across this snapshot's timesteps of a variable.
+
+        Cross-member planning is the union of per-member plans: each
+        sealed member carries its own ``hbi``/``peb`` records built at
+        its seal, so no whole-dataset index exists (or is ever rebuilt
+        on append) — the planner prunes within each member
+        independently.
+        """
+        if timesteps is None:
+            timesteps = self.timesteps(variable)
+        out: dict[int, QueryResult] = {}
+        for t in timesteps:
+            out[t] = self.store(variable, t).query(query)
+        return out

@@ -533,6 +533,11 @@ class QueryEngine:
             "cancelled": 0,
             "quota_rejections": 0,
             "quota_evictions": 0,
+            # Ingest lifecycle counters (repro.server.ingest stamps the
+            # real values on broker/replay aggregates); same contract.
+            "generations_seen": 0,
+            "snapshot_refreshes": 0,
+            "ingest_stall_seconds": 0.0,
         }
         return QueryResult(positions=positions, values=values, times=times, stats=stats)
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import io
 import pickle
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -69,6 +70,16 @@ class StoreMeta:
     @property
     def n_chunks(self) -> int:
         return int(self.counts.shape[1])
+
+    def fingerprint(self) -> int:
+        """CRC32 of the serialized metadata.
+
+        The store **generation**: manifests record it per sealed
+        member, and the block/plan caches key on it, so state cached
+        under one layout of the same paths can never serve a
+        rewritten store.
+        """
+        return zlib.crc32(self.to_bytes())
 
     def to_bytes(self) -> bytes:
         """Serialize (pickle protocol 4; a trusted research format)."""

@@ -21,6 +21,7 @@ __all__ = [
     "QueryResult",
     "BatchResult",
     "SUMMED_STAT_KEYS",
+    "FLOAT_SUMMED_STAT_KEYS",
     "FAULT_STAT_KEYS",
     "UNION_STAT_KEYS",
     "MAX_STAT_KEYS",
@@ -78,6 +79,20 @@ SUMMED_STAT_KEYS: tuple[str, ...] = (
     # Error-bounded retrieval (query tol=...): raw bytes the per-chunk
     # level selection avoided reading vs the full-precision plan.
     "tol_bytes_saved",
+    # Ingest-aware serving (repro.server.ingest): manifest generations
+    # a broker observed, snapshot re-pins it performed, and simulated
+    # seconds queries stalled waiting for a timestep still being
+    # appended.  ``ingest_stall_seconds`` is a float like
+    # ``stall_seconds``.
+    "generations_seen",
+    "snapshot_refreshes",
+    "ingest_stall_seconds",
+)
+
+#: The float-valued members of :data:`SUMMED_STAT_KEYS` (everything
+#: else is integral).
+FLOAT_SUMMED_STAT_KEYS: frozenset = frozenset(
+    {"stall_seconds", "ingest_stall_seconds"}
 )
 
 #: The fault-accounting subset (printed by the CLI, swept by the
@@ -121,7 +136,7 @@ def aggregate_stats(per_query: "list[dict] | tuple[dict, ...]") -> dict:
     per_query = list(per_query)
     out: dict = {}
     for key in SUMMED_STAT_KEYS:
-        if key == "stall_seconds":
+        if key in FLOAT_SUMMED_STAT_KEYS:
             out[key] = float(sum(s.get(key, 0) for s in per_query))
         else:
             out[key] = int(sum(s.get(key, 0) for s in per_query))

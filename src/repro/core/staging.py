@@ -47,6 +47,8 @@ class StagingReport:
     #: Simulated seconds the same raw bytes would need to drain to the
     #: PFS uncompressed/unorganized (the do-nothing alternative).
     raw_drain_seconds: float = 0.0
+    #: Manifest generations committed (``use_manifest`` stagers only).
+    generations_committed: int = 0
 
     @property
     def compression_ratio(self) -> float:
@@ -66,11 +68,16 @@ class InSituStager:
         dataset: MLOCDataset,
         *,
         buffer_bytes: int = 1 << 30,
+        use_manifest: bool = False,
     ) -> None:
         if buffer_bytes <= 0:
             raise ValueError(f"buffer_bytes must be positive, got {buffer_bytes}")
         self.dataset = dataset
         self.buffer_bytes = buffer_bytes
+        #: When set, each drained snapshot is sealed through
+        #: :meth:`MLOCDataset.append` — an atomic manifest bump per
+        #: timestep, so analysts can pin snapshots and query mid-run.
+        self.use_manifest = use_manifest
         self.report = StagingReport()
         self._pending: list[tuple[str, int, np.ndarray]] = []
         self._pending_bytes = 0
@@ -96,7 +103,11 @@ class InSituStager:
         model = self.dataset.fs.cost_model
         for variable, timestep, data in self._pending:
             started = time.perf_counter()
-            write_report = self.dataset.write(data, variable, timestep)
+            if self.use_manifest:
+                write_report = self.dataset.append(data, variable, timestep)
+                self.report.generations_committed += 1
+            else:
+                write_report = self.dataset.write(data, variable, timestep)
             elapsed = time.perf_counter() - started
             self.report.snapshots += 1
             self.report.raw_bytes += data.nbytes

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import copy
 import os
-import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -142,6 +141,7 @@ class MLOCStore:
         use_hbi: bool | None = None,
         tol: float | None = None,
         tol_metric: str = "max_rel",
+        generation: int | None = None,
     ) -> None:
         if tol is not None and not tol >= 0:
             raise ValueError(f"tol must be non-negative, got {tol}")
@@ -187,8 +187,12 @@ class MLOCStore:
         )
         # Fingerprint the metadata so decoded blocks cached by a
         # previous layout of the same paths can never be served after a
-        # rewrite-and-reopen.
-        generation = zlib.crc32(meta.to_bytes()) if cache is not None else 0
+        # rewrite-and-reopen.  A dataset snapshot passes the sealed
+        # member's recorded ``meta_crc`` explicitly, pinning cache keys
+        # to the manifest generation that sealed the member.
+        if generation is None:
+            generation = meta.fingerprint() if cache is not None else 0
+        self.generation = generation
         self.executor = QueryExecutor(
             fs,
             self.files,
@@ -305,6 +309,7 @@ class MLOCStore:
             use_hbi=self.use_hbi,
             tol=self.default_tol,
             tol_metric=self.default_tol_metric,
+            generation=self.generation,
         )
         clone._hbi = self._hbi
         clone._peb = self._peb

@@ -110,6 +110,10 @@ class WriteReport:
     #: the layout has no PLoD byte planes).  Outside ``total_bytes``
     #: for the same reason as ``hbi_bytes``.
     peb_bytes: int = 0
+    #: CRC32 of the metadata bytes as written — the store generation a
+    #: dataset manifest records when it seals this write as a member
+    #: (``repro.core.manifest``).
+    meta_crc: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -599,7 +603,8 @@ class MLOCWriter:
             index_blocks=index_block_tables,
         )
         meta.validate()
-        self.fs.write_file(files.meta_path, meta.to_bytes())
+        meta_blob = meta.to_bytes()
+        self.fs.write_file(files.meta_path, meta_blob)
 
         hbi_bytes = 0
         if hbi is not None:
@@ -621,6 +626,7 @@ class MLOCWriter:
             meta_bytes=self.fs.size(files.meta_path),
             hbi_bytes=hbi_bytes,
             peb_bytes=peb_bytes,
+            meta_crc=zlib.crc32(meta_blob),
         )
 
     # ------------------------------------------------------------------

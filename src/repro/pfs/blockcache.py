@@ -240,3 +240,23 @@ class BlockCache:
                 _, nbytes = self._entries.pop(k)
                 self.stats.current_bytes -= nbytes
             return len(doomed)
+
+    def invalidate_generation(self, generation: int) -> int:
+        """Drop unpinned entries of one store generation.
+
+        Cache keys lead with the owning store's generation fingerprint
+        (a sealed member's ``meta_crc``), so when a dataset drops a
+        rewritten member's handle it can return that generation's
+        budget eagerly instead of waiting for LRU pressure.  The same
+        pin rule as :meth:`invalidate` applies.
+        """
+        with self._lock:
+            doomed = [
+                k
+                for k in self._entries
+                if k not in self._pins and k[0] == generation
+            ]
+            for k in doomed:
+                _, nbytes = self._entries.pop(k)
+                self.stats.current_bytes -= nbytes
+            return len(doomed)

@@ -17,11 +17,17 @@ those failures so the read path's verify-and-recover machinery
     A :class:`~repro.pfs.simfs.SimulatedPFS` subclass that *wraps* an
     existing file system (sharing its namespace, extent cache, and
     cost model) and applies a plan to every read.  Writes are never
-    faulted: the write pipeline's bit-identical guarantee is a
-    different contract, and the paper's failure domain is the
-    long-lived read-mostly analysis store.
+    faulted *by the plan*: the write pipeline's bit-identical
+    guarantee is a different contract, and the paper's failure domain
+    is the long-lived read-mostly analysis store.  Crash coverage of
+    the append protocol uses the explicit, scripted
+    :meth:`FaultyPFS.fail_next_write` hook instead — it interrupts a
+    chosen ``write_file`` call (optionally committing a torn prefix
+    first), modeling a writer that dies mid-commit.
 ``TransientIOError``
     The retryable error raised for injected transient failures.
+``WriteInterrupted``
+    The error raised by an injected write crash.
 
 Fault classes and their accounting semantics:
 
@@ -53,6 +59,7 @@ from repro.pfs.simfs import PFSSession, SimFileHandle, SimulatedPFS
 
 __all__ = [
     "TransientIOError",
+    "WriteInterrupted",
     "FaultDecision",
     "FaultPlan",
     "FaultInjectionLog",
@@ -72,6 +79,31 @@ class TransientIOError(IOError):
         self.offset = offset
         self.length = length
         self.attempt = attempt
+
+
+class WriteInterrupted(IOError):
+    """An injected crash in the middle of a ``write_file`` call.
+
+    ``committed`` is how many of ``total`` bytes made it to disk
+    before the crash (0 when the target file was left untouched).
+    """
+
+    def __init__(self, path: str, committed: int, total: int) -> None:
+        super().__init__(
+            f"write of {path} interrupted after {committed}/{total} bytes"
+        )
+        self.path = path
+        self.committed = committed
+        self.total = total
+
+
+@dataclass
+class _WriteFault:
+    """One scripted write interruption: match, torn prefix, uses left."""
+
+    match: str
+    torn_at: int | None
+    remaining: int
 
 
 @dataclass(frozen=True)
@@ -213,6 +245,8 @@ class FaultInjectionLog:
     bitflips: int = 0
     torn_reads: int = 0
     latency_spikes: int = 0
+    #: Scripted write crashes (``fail_next_write``), not plan-drawn.
+    interrupted_writes: int = 0
     stall_seconds: float = 0.0
     #: Rotten extents actually read, as (path, offset, length).
     sticky_extents: set = field(default_factory=set)
@@ -232,6 +266,7 @@ class FaultInjectionLog:
             "bitflips": self.bitflips,
             "torn_reads": self.torn_reads,
             "latency_spikes": self.latency_spikes,
+            "interrupted_writes": self.interrupted_writes,
             "stall_seconds": self.stall_seconds,
             "sticky_extents": len(self.sticky_extents),
         }
@@ -325,6 +360,7 @@ class FaultyPFS(SimulatedPFS):
         self.plan = plan if plan is not None else FaultPlan()
         self.injected = FaultInjectionLog()
         self._attempts: dict[tuple[str, int, int], int] = {}
+        self._write_faults: list[_WriteFault] = []
 
     # ------------------------------------------------------------------
     def _make_handle(self, session: PFSSession, path: str) -> SimFileHandle:
@@ -339,6 +375,38 @@ class FaultyPFS(SimulatedPFS):
     def reset_attempts(self) -> None:
         """Restart per-extent attempt numbering (fresh chaos round)."""
         self._attempts.clear()
+
+    # ------------------------------------------------------------------
+    def fail_next_write(
+        self, match: str, *, torn_at: int | None = None, count: int = 1
+    ) -> None:
+        """Script a crash into the next ``count`` writes matching ``match``.
+
+        ``match`` is a path substring.  With ``torn_at=None`` the
+        crash lands *before* anything durable: the target path keeps
+        whatever it held (a previous version, or nothing).  With
+        ``torn_at=k`` the first ``k`` bytes are committed and the rest
+        lost — the torn-commit case CRC-framed records (manifests,
+        ``hbi``/``peb``) must detect and readers must skip.  Either
+        way the interrupted call raises :class:`WriteInterrupted`.
+        """
+        if torn_at is not None and torn_at < 0:
+            raise ValueError(f"torn_at must be >= 0, got {torn_at}")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._write_faults.append(_WriteFault(match, torn_at, count))
+
+    def write_file(self, path: str, data: bytes) -> None:
+        for spec in self._write_faults:
+            if spec.remaining > 0 and spec.match in path:
+                spec.remaining -= 1
+                self.injected.interrupted_writes += 1
+                committed = 0
+                if spec.torn_at is not None:
+                    committed = min(spec.torn_at, len(data))
+                    super().write_file(path, bytes(data[:committed]))
+                raise WriteInterrupted(path, committed, len(data))
+        super().write_file(path, data)
 
     def with_plan(self, plan: FaultPlan) -> "FaultyPFS":
         """A sibling view over the same files under a different plan."""

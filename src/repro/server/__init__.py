@@ -16,6 +16,16 @@ from repro.server.broker import (
     TenantQuota,
 )
 from repro.server.fetchmerge import FetchMergeLoop
+from repro.server.ingest import (
+    AppendRecord,
+    IngestBroker,
+    IngestQueryEvent,
+    IngestReplayReport,
+    IngestSession,
+    NotYetSealed,
+    TimestepArrival,
+    replay_ingest,
+)
 from repro.server.replay import (
     ReplayEvent,
     ReplayReport,
@@ -34,6 +44,14 @@ __all__ = [
     "Request",
     "TenantQuota",
     "FetchMergeLoop",
+    "AppendRecord",
+    "IngestBroker",
+    "IngestQueryEvent",
+    "IngestReplayReport",
+    "IngestSession",
+    "NotYetSealed",
+    "TimestepArrival",
+    "replay_ingest",
     "ReplayEvent",
     "ReplayReport",
     "open_loop_events",

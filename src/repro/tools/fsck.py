@@ -37,6 +37,13 @@ import numpy as np
 from repro.compression.base import ByteCodec, make_codec
 from repro.core.chunking import ChunkGrid
 from repro.core.executor import _cell_sizes
+from repro.core.manifest import (
+    Manifest,
+    ManifestError,
+    load_manifest_at,
+    manifest_generations,
+    manifest_path,
+)
 from repro.core.meta import StoreMeta
 from repro.index.binindex import decode_position_block
 from repro.index.hbi import HBIndex, hbi_path
@@ -44,7 +51,7 @@ from repro.plod.bounds import ErrorBoundsTable, peb_path
 from repro.pfs.layout import BinFileSet
 from repro.pfs.simfs import SimulatedPFS
 
-__all__ = ["Issue", "check_store"]
+__all__ = ["Issue", "check_dataset", "check_store"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +65,11 @@ class Issue:
     decode, and ``"other"`` every structural inconsistency.  For the
     block-level kinds, ``path``/``offset`` name the damaged extent in
     the same coordinates the executor's quarantine keys use.
+    Dataset-level checking (:func:`check_dataset`) adds
+    ``"manifest-torn"`` (an unreadable manifest generation — the
+    footprint of an interrupted commit) and ``"orphaned-member"`` (a
+    member on disk that no manifest generation references — the
+    footprint of a seal interrupted before its commit).
     """
 
     severity: str  # "error" | "warning"
@@ -68,7 +80,7 @@ class Issue:
     offset: int | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"[{self.severity}] {self.location}: {self.message}"
+        return f"[{self.severity}:{self.kind}] {self.location}: {self.message}"
 
 
 def check_store(fs: SimulatedPFS, root: str, variable: str) -> list[Issue]:
@@ -480,3 +492,169 @@ def _check_bin_membership(
             )
         ]
     return []
+
+
+# ----------------------------------------------------------------------
+# Dataset-level checking: manifests, sealed members, orphans
+# ----------------------------------------------------------------------
+def check_dataset(
+    fs: SimulatedPFS, root: str, *, deep: bool = False
+) -> list[Issue]:
+    """Check a manifest-managed dataset root (``repro.core.manifest``).
+
+    Validates the generation chain (every manifest parses, records the
+    generation its filename claims, and is append-only with respect to
+    its predecessor — a sealed member never disappears or changes),
+    then the newest valid generation's member set: each member's
+    metadata must exist and hash to the recorded ``meta_crc``, and its
+    per-member ``hbi``/``peb`` records (built at seal time) must be
+    internally consistent with that metadata.  Store directories that
+    no valid generation references are reported as
+    ``kind="orphaned-member"`` — the harmless-but-reclaimable
+    footprint of an append that crashed before its commit.
+
+    A dataset with no manifest files is not manifest-managed; the
+    check returns no issues (use :func:`check_store` per variable).
+    ``deep=True`` additionally runs the full :func:`check_store` walk
+    on every sealed member.
+    """
+    root = root.rstrip("/")
+    generations = manifest_generations(fs, root)
+    if not generations:
+        return []
+    issues: list[Issue] = []
+    valid: dict[int, Manifest] = {}
+    for generation in generations:
+        path = manifest_path(root, generation)
+        try:
+            valid[generation] = load_manifest_at(fs, root, generation)
+        except ManifestError as exc:
+            # The newest generation being torn is the expected footprint
+            # of an interrupted commit (the previous one still serves);
+            # a torn *interior* generation means history damage.
+            severity = "warning" if generation == generations[-1] else "error"
+            issues.append(
+                Issue(
+                    severity,
+                    path,
+                    f"manifest unreadable: {exc}",
+                    kind="manifest-torn",
+                    path=path,
+                )
+            )
+    if not valid:
+        issues.append(
+            Issue(
+                "error",
+                root,
+                "no readable manifest generation",
+                kind="manifest-torn",
+            )
+        )
+        return issues
+
+    ordered = sorted(valid)
+    for prev_gen, cur_gen in zip(ordered, ordered[1:]):
+        prev, cur = valid[prev_gen], valid[cur_gen]
+        cur_members = {m.key: m for m in cur.members}
+        for member in prev.members:
+            loc = manifest_path(root, cur_gen)
+            if member.key not in cur_members:
+                issues.append(
+                    Issue(
+                        "error",
+                        loc,
+                        f"member {member.key!r} sealed at generation "
+                        f"{prev_gen} missing from generation {cur_gen}; "
+                        "manifests are append-only",
+                    )
+                )
+            elif cur_members[member.key] != member:
+                issues.append(
+                    Issue(
+                        "error",
+                        loc,
+                        f"member {member.key!r} record changed between "
+                        f"generations {prev_gen} and {cur_gen}; sealed "
+                        "members are immutable",
+                    )
+                )
+
+    latest = valid[ordered[-1]]
+    for member in latest.members:
+        var_root = f"{root}/{member.key}"
+        meta_path = f"{var_root}/meta"
+        if not fs.exists(meta_path):
+            issues.append(
+                Issue(
+                    "error",
+                    meta_path,
+                    f"sealed member {member.key!r} has no metadata file",
+                )
+            )
+            continue
+        raw = bytes(fs.session().open(meta_path).read_all())
+        if zlib.crc32(raw) != member.meta_crc:
+            issues.append(
+                Issue(
+                    "error",
+                    meta_path,
+                    f"metadata CRC {zlib.crc32(raw):#010x} does not match "
+                    f"the sealed manifest record {member.meta_crc:#010x}",
+                    kind="crc-mismatch",
+                    path=meta_path,
+                    offset=0,
+                )
+            )
+            continue
+        try:
+            meta = StoreMeta.from_bytes(raw)
+        except Exception as exc:
+            issues.append(
+                Issue(
+                    "error",
+                    meta_path,
+                    f"metadata unreadable: {exc}",
+                    kind="decode-error",
+                    path=meta_path,
+                )
+            )
+            continue
+        grid = ChunkGrid(meta.shape, meta.config.chunk_shape)
+        issues += [
+            Issue(
+                i.severity,
+                f"{member.key}: {i.location}",
+                i.message,
+                kind=i.kind,
+                path=i.path,
+                offset=i.offset,
+            )
+            for i in _check_hbi(fs, var_root, meta, grid)
+            + _check_peb(fs, var_root, meta)
+        ]
+        if deep:
+            issues += check_store(fs, root, member.key)
+
+    sealed_anywhere: set[str] = set()
+    for manifest in valid.values():
+        sealed_anywhere |= manifest.keys()
+    prefix = root + "/"
+    on_disk = {
+        rest.split("/", 1)[0]
+        for path in fs.list_files(prefix)
+        for rest in (path[len(prefix) :],)
+        if "/" in rest
+    }
+    for key in sorted(on_disk - sealed_anywhere):
+        issues.append(
+            Issue(
+                "warning",
+                f"{root}/{key}",
+                "member on disk but in no manifest generation "
+                "(interrupted append; reclaimable)",
+                kind="orphaned-member",
+                path=f"{root}/{key}",
+            )
+        )
+    return issues

@@ -149,6 +149,34 @@ class TestCLI:
         assert main(["fsck", snap, "--root", "/demo", "--variable", "potential"]) == 1
         assert "issue(s) found" in capsys.readouterr().out
 
+    def test_fsck_dataset_mode(self, tmp_path, capsys):
+        from repro.core import MLOCDataset, mloc_col
+        from repro.datasets import gts_like
+
+        snap = str(tmp_path / "campaign.pfs")
+        fs = SimulatedPFS()
+        ds = MLOCDataset(
+            fs, "/camp", mloc_col(chunk_shape=(16, 16), n_bins=8), n_ranks=4
+        )
+        for t in range(2):
+            ds.append(gts_like((64, 64), seed=t), "temp", t)
+        fs.save(snap)
+        assert main(["fsck", snap, "--root", "/camp", "--dataset"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        # An orphaned member directory turns the check red.
+        ds.write(gts_like((64, 64), seed=9), "temp", 9)
+        fs.save(snap)
+        assert main(["fsck", snap, "--root", "/camp", "--dataset"]) == 1
+        out = capsys.readouterr().out
+        assert "orphaned-member" in out
+
+    def test_fsck_requires_variable_or_dataset(self, tmp_path, capsys):
+        snap = str(tmp_path / "demo.pfs")
+        SimulatedPFS().save(snap)
+        assert main(["fsck", snap, "--root", "/demo"]) == 2
+        assert "--variable" in capsys.readouterr().out
+
     def test_info_empty_snapshot(self, tmp_path, capsys):
         snap = str(tmp_path / "empty.pfs")
         SimulatedPFS().save(snap)
